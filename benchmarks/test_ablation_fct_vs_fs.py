@@ -1,0 +1,16 @@
+"""Benchmark A-ABL1: incremental FCT maintenance vs frequent-subtree
+re-mining (the Section 3.3 scaffolding decision in isolation)."""
+
+from repro.bench.experiments import ablations
+
+from .conftest import run_once
+
+
+def test_ablation_fct_vs_fs(benchmark, scale):
+    table = run_once(benchmark, ablations.run_fct_vs_fs, scale)
+    print()
+    table.show()
+    speedups = table.column_values("speedup")
+    # Incremental maintenance should win on most batches.
+    wins = sum(1 for s in speedups if s > 1.0)
+    assert wins * 2 >= len(speedups)

@@ -1,0 +1,18 @@
+"""Benchmark A-ABL2: coverage-based pruning on/off (Section 5.2)."""
+
+from repro.bench.experiments import ablations
+
+from .conftest import run_once
+
+
+def test_ablation_pruning(benchmark, scale):
+    table = run_once(benchmark, ablations.run_pruning, scale)
+    print()
+    table.show()
+    gated = table.column_values("gated")
+    ungated = table.column_values("ungated")
+    promising = table.column_values("promising")
+    # The gate can only remove candidates, never invent them...
+    assert all(g <= u for g, u in zip(gated, ungated))
+    # ...and the Definition 5.5 filter only narrows further.
+    assert all(p <= g for p, g in zip(promising, gated))

@@ -1,0 +1,21 @@
+"""Benchmark A-ABL4: walk-based candidate generation vs frequent
+subgraph mining — CATAPULT's central design bet, measured."""
+
+from repro.bench.experiments import ablations
+
+from .conftest import run_once
+
+
+def test_ablation_walks_vs_fsm(benchmark, scale):
+    table = run_once(benchmark, ablations.run_walks_vs_fsm, scale)
+    print()
+    table.show()
+    rows = {row[0]: row for row in table.rows}
+    walk_seconds = rows["random-walk FCPs"][2]
+    fsm_seconds = rows["frequent subgraphs"][2]
+    # Walks must be at least an order of magnitude cheaper.
+    assert walk_seconds * 10 <= fsm_seconds
+    # ... at coverage within 20% of the exhaustive pool's.
+    walk_cov = rows["random-walk FCPs"][3]
+    fsm_cov = rows["frequent subgraphs"][3]
+    assert walk_cov >= 0.8 * fsm_cov

@@ -1,0 +1,20 @@
+"""Benchmark E-FIG9: the simulated user study on PubChem-like data.
+
+Regenerates paper Figure 9 (QFT / steps / VMT per approach per query
+set).  Expected shape: MIDAS ≤ from-scratch selectors < NoMaintain,
+largest gap on Qs3 (queries from Δ⁺).
+"""
+
+from repro.bench.experiments import fig09
+
+from .conftest import run_once
+
+
+def test_fig09_user_study(benchmark, scale):
+    table = run_once(benchmark, fig09.run, scale)
+    print()
+    table.show()
+    approaches = table.column_values("approach")
+    assert approaches.count("midas") == 3  # one row per query set
+    qft = table.column_values("qft")
+    assert all(value >= 0 for value in qft)

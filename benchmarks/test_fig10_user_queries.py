@@ -1,0 +1,18 @@
+"""Benchmark E-FIG10: user-specified queries across the three datasets.
+
+Regenerates paper Figure 10 (average QFT / steps / VMT per approach per
+dataset).  Expected shape: MIDAS lowest on average.
+"""
+
+from repro.bench.experiments import fig10
+
+from .conftest import run_once
+
+
+def test_fig10_user_queries(benchmark, scale):
+    table = run_once(benchmark, fig10.run, scale)
+    print()
+    table.show()
+    datasets = set(table.column_values("dataset"))
+    assert datasets == {"pubchem", "aids", "emol"}
+    assert len(table.rows) == 12  # 3 datasets x 4 approaches

@@ -1,0 +1,21 @@
+"""Benchmark E-FIG11: ε and κ=λ threshold sweeps (paper Figure 11).
+
+Expected shape: PMT roughly flat in ε until large ε suppresses
+maintenance entirely; PMT far below the from-scratch CATAPULT++ total;
+κ sweeps barely move PMT/PGT.
+"""
+
+from repro.bench.experiments import fig11
+
+from .conftest import run_once
+
+
+def test_fig11_thresholds(benchmark, scale):
+    epsilon_table, kappa_table = run_once(benchmark, fig11.run, scale)
+    print()
+    epsilon_table.show()
+    kappa_table.show()
+    # Larger ε must not classify more batches as major than smaller ε.
+    majors = epsilon_table.column_values("major")
+    assert majors == sorted(majors, reverse=True)
+    assert len(kappa_table.rows) == 4

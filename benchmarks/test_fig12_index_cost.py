@@ -1,0 +1,28 @@
+"""Benchmark E-FIG12: FCT and index construction/maintenance costs
+(paper Figure 12).
+
+Expected shape: all costs grow with |D|; the FCT-Index costs more to
+build than the IFE-Index; memory stays modest; |FCT|/|D| shrinks.
+"""
+
+from repro.bench.experiments import fig12
+
+from .conftest import run_once
+
+
+def test_fig12_index_cost(benchmark, scale):
+    sizes = (
+        scale.base_graphs // 2,
+        scale.base_graphs,
+        scale.base_graphs * 2,
+    )
+    table = run_once(benchmark, fig12.run, scale, sizes)
+    print()
+    table.show()
+    mine_times = table.column_values("fct_mine")
+    assert mine_times[-1] >= mine_times[0]  # cost grows with |D|
+    ratios = table.column_values("fct_ratio")
+    assert ratios[-1] <= ratios[0]  # |FCT|/|D| shrinks with |D|
+    fct_builds = table.column_values("fct_index_build")
+    ife_builds = table.column_values("ife_index_build")
+    assert all(f >= i for f, i in zip(fct_builds, ife_builds))

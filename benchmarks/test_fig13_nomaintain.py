@@ -1,0 +1,27 @@
+"""Benchmark E-FIG13: MIDAS vs NoMaintain (paper Figure 13).
+
+Expected shape: MIDAS's MP is at most NoMaintain's on every batch, and
+strictly better somewhere on the grid; scov and div never worse.
+"""
+
+from repro.bench.experiments import fig13
+
+from .conftest import run_once
+
+
+def test_fig13_nomaintain(benchmark, scale):
+    table = run_once(benchmark, fig13.run, scale)
+    print()
+    table.show()
+    rows = {}
+    for row in table.rows:
+        batch, approach = row[0], row[1]
+        rows.setdefault(batch, {})[approach] = row
+    for batch, by_approach in rows.items():
+        midas_mp = by_approach["midas"][2]
+        nomaintain_mp = by_approach["nomaintain"][2]
+        assert midas_mp <= nomaintain_mp + 1e-9, (
+            f"MIDAS MP worse than NoMaintain on batch {batch}"
+        )
+        # Progressive-gain guarantee: coverage never regresses.
+        assert by_approach["midas"][3] >= by_approach["nomaintain"][3] - 1e-9

@@ -1,0 +1,29 @@
+"""Benchmark E-FIG14: MIDAS vs CATAPULT / CATAPULT++ / Random on
+AIDS-like data (paper Figure 14).
+
+Expected shape: MIDAS maintenance time well below from-scratch CATAPULT;
+MIDAS MP never worse than Random's; quality comparable to from-scratch.
+"""
+
+from repro.bench.experiments import fig14
+
+from .conftest import run_once
+
+
+def test_fig14_baselines_aids(benchmark, scale):
+    table = run_once(benchmark, fig14.run, scale)
+    print()
+    table.show()
+    by_batch: dict[str, dict[str, tuple]] = {}
+    for row in table.rows:
+        by_batch.setdefault(row[0], {})[row[1]] = row
+    midas_faster_count = 0
+    for batch, rows in by_batch.items():
+        midas_time = rows["midas"][2]
+        catapult_time = rows["catapult"][2]
+        if midas_time < catapult_time:
+            midas_faster_count += 1
+    # MIDAS must beat from-scratch CATAPULT on the majority of batches.
+    assert midas_faster_count * 2 >= len(by_batch), (
+        "MIDAS not faster than from-scratch CATAPULT on most batches"
+    )

@@ -1,0 +1,19 @@
+"""Benchmark E-FIG15: the baseline comparison on PubChem-like data
+(paper Figure 15).  Same protocol and expected shape as E-FIG14.
+"""
+
+from repro.bench.experiments import fig15
+
+from .conftest import run_once
+
+
+def test_fig15_baselines_pubchem(benchmark, scale):
+    table = run_once(benchmark, fig15.run, scale)
+    print()
+    table.show()
+    approaches = set(table.column_values("approach"))
+    assert approaches == {"midas", "random", "catapult", "catapult++"}
+    # μ of MIDAS against itself is 0 by definition.
+    for row in table.rows:
+        if row[1] == "midas":
+            assert abs(row[4]) < 1e-9

@@ -1,0 +1,28 @@
+"""Benchmark E-FIG16: scalability (paper Figure 16).
+
+Expected shape: PMT grows with |D|; PMT and cluster-maintenance speedups
+over from-scratch CATAPULT++ are > 1 and grow with |D| (the paper's
+headline: 642× cluster maintenance, 83× PMT at PubChem-1M).
+"""
+
+from repro.bench.experiments import fig16
+
+from .conftest import run_once
+
+
+def test_fig16_scalability(benchmark, scale):
+    sizes = (
+        max(scale.base_graphs // 2, 30),
+        scale.base_graphs,
+        scale.base_graphs * 2,
+    )
+    table = run_once(
+        benchmark, fig16.run, scale, sizes, max(scale.base_graphs // 4, 10)
+    )
+    print()
+    table.show()
+    speedups = table.column_values("pmt_speedup")
+    # Maintenance must beat from-scratch selection at the largest scale.
+    assert speedups[-1] > 1.0, "no PMT speedup over from-scratch"
+    cluster_speedups = table.column_values("cluster_speedup")
+    assert cluster_speedups[-1] > 1.0

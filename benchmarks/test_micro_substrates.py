@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the hot substrates.
+
+Unlike the figure benchmarks (one full experiment per run), these are
+classic pytest-benchmark micro-measurements with many rounds: subgraph
+isomorphism, graphlet counting, GED bounds, FCT mining and the index
+prefilter — the operations whose costs dominate every experiment.
+"""
+
+import pytest
+
+from repro.datasets import aids_like
+from repro.ged import ged_bipartite_upper_bound, ged_tight_lower_bound
+from repro.graphlets import count_graphlets
+from repro.index import IndexPair
+from repro.isomorphism import contains
+from repro.patterns import CoverageOracle
+from repro.trees import FCTSet, TreeMiner
+from repro.workload import generate_queries
+
+
+@pytest.fixture(scope="module")
+def db():
+    return aids_like(60, seed=42)
+
+
+@pytest.fixture(scope="module")
+def graphs(db):
+    return dict(db.items())
+
+
+@pytest.fixture(scope="module")
+def pattern(graphs):
+    queries = generate_queries(graphs, 1, size_range=(4, 4), seed=0)
+    return queries[0]
+
+
+def test_vf2_containment_scan(benchmark, graphs, pattern):
+    """One pattern tested against the whole database."""
+
+    def scan():
+        return sum(1 for g in graphs.values() if contains(g, pattern))
+
+    hits = benchmark(scan)
+    assert 0 <= hits <= len(graphs)
+
+
+def test_graphlet_counting(benchmark, graphs):
+    """Graphlet census of the full database."""
+
+    def census():
+        total = 0.0
+        for g in graphs.values():
+            total += count_graphlets(g).sum()
+        return total
+
+    assert benchmark(census) > 0
+
+
+def test_ged_bounds_pairwise(benchmark, graphs):
+    """Tight lower + bipartite upper bounds over pattern-sized pairs."""
+    pool = generate_queries(graphs, 12, size_range=(3, 8), seed=1)
+
+    def bounds():
+        total = 0
+        for i, a in enumerate(pool):
+            for b in pool[i + 1 :]:
+                total += ged_tight_lower_bound(a, b)
+                total += ged_bipartite_upper_bound(a, b)
+        return total
+
+    assert benchmark(bounds) >= 0
+
+
+def test_fct_mining(benchmark, graphs):
+    """Frequent-tree mining at the default threshold."""
+
+    def mine():
+        return len(TreeMiner(graphs, 0.5, max_edges=3).mine_frequent())
+
+    assert benchmark(mine) > 0
+
+
+def test_index_prefilter_speedup(benchmark, graphs, pattern):
+    """Coverage with the FCT/IFE prefilter (the Section 6.1 trick)."""
+    fct_set = FCTSet(graphs, 0.5, max_edges=3)
+    pair = IndexPair.build(fct_set, graphs)
+
+    def covered():
+        oracle = CoverageOracle(graphs, index_pair=pair)
+        return len(oracle.cover(pattern)), oracle.isomorphism_tests
+
+    covered_count, tests = benchmark(covered)
+    # The prefilter must not affect correctness...
+    plain = CoverageOracle(graphs)
+    assert covered_count == len(plain.cover(pattern))
+    # ...and should skip at least some isomorphism tests.
+    assert tests <= len(graphs)

@@ -1,0 +1,100 @@
+"""The paper's running example: boronic acids, boronic esters and John.
+
+Run:  python examples/chemical_evolution.py
+
+Examples 1.1/1.2 of the paper: John, a chemist, formulates a boronic-acid
+query on a chemical-compound GUI.  After the repository absorbs a family
+of boronic *esters*, a maintained pattern set lets him formulate related
+queries in far fewer steps than the stale (never-maintained) panel.
+
+This script replays that story with the simulated interface:
+
+* a PubChem-like database is created and MIDAS selects initial patterns;
+* a boronic-ester family batch arrives; MIDAS maintains the panel while
+  a NoMaintain GUI keeps its stale patterns;
+* "John" (the simulated user) formulates ester-flavoured queries on both
+  GUIs and on the edge-at-a-time control; steps and QFT are compared.
+"""
+
+from repro import Midas, MidasConfig, NoMaintainBaseline, PatternBudget
+from repro.datasets import family_injection, pubchem_like
+from repro.gui import VisualInterface
+from repro.workload import (
+    SimulatedUser,
+    balanced_query_set,
+    edge_at_a_time_steps,
+)
+
+
+def main() -> None:
+    print("== setting up the chemical repository ==")
+    database = pubchem_like(120, seed=7)
+    config = MidasConfig(
+        budget=PatternBudget(3, 8, 12),
+        sup_min=0.5,
+        num_clusters=5,
+        sample_cap=120,
+        seed=7,
+        epsilon=0.002,
+    )
+    midas = Midas.bootstrap(database, config)
+    static_gui = NoMaintainBaseline(config, database.copy(), midas.patterns.copy())
+    print(f"  initial panel: {len(midas.patterns)} patterns")
+
+    print("== the boronic-ester family arrives (+40 compounds) ==")
+    batch = family_injection(40, "boronic_ester", seed=8)
+    report = midas.apply_update(batch)
+    static_gui.apply_update(batch)
+    print(
+        f"  modification classified as "
+        f"{'MAJOR' if report.is_major else 'MINOR'} "
+        f"(distance {report.classification.distance:.5f}); "
+        f"{report.num_swaps} pattern(s) swapped"
+    )
+
+    print("== John formulates queries on three GUIs ==")
+    queries = balanced_query_set(
+        midas.database, report.inserted_ids, count=12, size_range=(8, 18), seed=9
+    )
+    john = SimulatedUser(seed=1, max_edits=2)
+
+    maintained_gui = VisualInterface.with_patterns(midas.patterns)
+    stale_gui = VisualInterface.with_patterns(static_gui.patterns)
+
+    total = {"midas": 0, "stale": 0, "edge": 0}
+    qft = {"midas": 0.0, "stale": 0.0, "edge": 0.0}
+    for query in queries:
+        maintained = maintained_gui.formulate(query, max_edits=2)
+        stale = stale_gui.formulate(query, max_edits=2)
+        assert maintained.success and stale.success
+        total["midas"] += maintained.steps
+        total["stale"] += stale.steps
+        total["edge"] += edge_at_a_time_steps(query)
+        qft["midas"] += john.formulate(
+            query, [p.graph for p in midas.patterns]
+        ).qft_seconds
+        qft["stale"] += john.formulate(
+            query, [p.graph for p in static_gui.patterns]
+        ).qft_seconds
+        qft["edge"] += john.formulate_edge_at_a_time(query).qft_seconds
+
+    count = len(queries)
+    print(f"  over {count} queries (pattern editing allowed):")
+    for approach, label in (
+        ("edge", "edge-at-a-time (no patterns)"),
+        ("stale", "stale GUI (NoMaintain)"),
+        ("midas", "maintained GUI (MIDAS)"),
+    ):
+        print(
+            f"    {label:<30} avg steps {total[approach] / count:5.1f}   "
+            f"avg QFT {qft[approach] / count:6.1f}s"
+        )
+    saved = (total["stale"] - total["midas"]) / max(total["stale"], 1)
+    print(
+        f"  maintained panel saves {100 * saved:.1f}% steps vs the stale "
+        "panel (paper: up to 50% fewer steps, 42% lower QFT)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Driving the simulated visual interface directly.
+
+Run:  python examples/interface_session.py
+
+A tour of the GUI substrate (paper, Figure 1): the pattern panel
+(Panel 4), the query canvas (Panel 2), pattern-at-a-time vs
+edge-at-a-time construction, editing a dropped pattern, and undo —
+the building blocks the user study is simulated with.
+"""
+
+from repro.graph import LabeledGraph, are_isomorphic
+from repro.gui import QueryCanvas, VisualInterface
+from repro.patterns import PatternSet
+
+
+def build_pattern(labels: str, edges) -> LabeledGraph:
+    return LabeledGraph.from_edges(dict(enumerate(labels)), edges)
+
+
+def main() -> None:
+    # The boronic-acid query of the paper's Example 1.1, simplified:
+    # a carbon ring fragment with a B(OH)(OH) functional group.
+    query = build_pattern(
+        "CCCBOOHH",
+        [(0, 1), (1, 2), (2, 3), (3, 4), (3, 5), (4, 6), (5, 7)],
+    )
+    query.name = "boronic-acid"
+
+    print("== edge-at-a-time construction ==")
+    canvas = QueryCanvas()
+    vertex_of = {}
+    for vertex in sorted(query.vertices()):
+        vertex_of[vertex] = canvas.add_vertex(query.label(vertex))
+    for u, v in sorted(query.edges()):
+        canvas.add_edge(vertex_of[u], vertex_of[v])
+    print(f"  {canvas.steps} steps "
+          f"({query.num_vertices} vertices + {query.num_edges} edges)")
+    assert are_isomorphic(canvas.graph, query)
+
+    print("== pattern-at-a-time construction ==")
+    panel = PatternSet()
+    panel.add(build_pattern("CCCB", [(0, 1), (1, 2), (2, 3)]), "panel")
+    panel.add(build_pattern("BOOHH", [(0, 1), (0, 2), (1, 3), (2, 4)]), "panel")
+    gui = VisualInterface.with_patterns(panel)
+    record = gui.formulate(query, max_edits=2)
+    print(
+        f"  {record.steps} steps: {record.pattern_uses} pattern drops, "
+        f"{record.deletions} deletions, {record.vertices_drawn} vertices, "
+        f"{record.edges_drawn} edges — success={record.success}"
+    )
+
+    print("== editing and undo ==")
+    canvas = QueryCanvas()
+    mapping = canvas.place_pattern(panel.get(panel.ids()[1]).graph)
+    print(f"  dropped the B(OH)(OH) pattern: canvas has "
+          f"{canvas.graph.num_vertices} vertices after {canvas.steps} step")
+    # John decides he does not need one hydroxyl hydrogen.
+    leaf = max(mapping.values())
+    canvas.delete_vertex(leaf)
+    print(f"  deleted one H: {canvas.graph.num_vertices} vertices, "
+          f"{canvas.steps} steps")
+    canvas.undo()
+    print(f"  changed his mind (undo): {canvas.graph.num_vertices} vertices, "
+          f"{canvas.steps} steps")
+
+    print("== session statistics ==")
+    for name, record_ in zip(["boronic-acid"], gui.sessions):
+        print(f"  {name}: {record_.as_dict()}")
+    print(f"  summary: {gui.session_summary()}")
+
+
+if __name__ == "__main__":
+    main()

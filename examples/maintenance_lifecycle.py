@@ -1,0 +1,90 @@
+"""A long-horizon maintenance lifecycle across many batches.
+
+Run:  python examples/maintenance_lifecycle.py
+
+Simulates months of repository evolution (the paper's motivation:
+thousands of new compounds arrive daily) as a sequence of batches —
+growth, churn, a new family, shrinkage — and tracks how MIDAS's panel
+quality and the missed-query percentage evolve against a never-maintained
+panel on the same trajectory.
+"""
+
+from repro import Midas, MidasConfig, NoMaintainBaseline, PatternBudget
+from repro.datasets import (
+    aids_like,
+    family_injection,
+    mixed_update,
+    random_deletions,
+    random_insertions,
+)
+from repro.patterns import PatternSet, pattern_set_quality
+from repro.workload import balanced_query_set, evaluate_patterns
+
+
+def main() -> None:
+    database = aids_like(100, seed=21)
+    config = MidasConfig(
+        budget=PatternBudget(3, 7, 10),
+        sup_min=0.5,
+        num_clusters=5,
+        sample_cap=120,
+        seed=21,
+        epsilon=0.002,
+    )
+    midas = Midas.bootstrap(database, config)
+    static_gui = NoMaintainBaseline(
+        config, database.copy(), midas.patterns.copy()
+    )
+    print(f"bootstrap: {len(midas.patterns)} patterns on "
+          f"{len(database)} graphs\n")
+
+    batches = [
+        ("month 1: +15% growth", lambda db, s: random_insertions(db, 15, seed=s)),
+        ("month 2: churn +10/-10%", lambda db, s: mixed_update(db, 10, 10, seed=s)),
+        ("month 3: boronic esters", lambda db, s: family_injection(35, seed=s)),
+        ("month 4: -10% cleanup", lambda db, s: random_deletions(db, 10, seed=s)),
+        ("month 5: +20% growth", lambda db, s: random_insertions(db, 20, seed=s)),
+    ]
+    header = (
+        f"{'batch':<28} {'type':<6} {'swaps':>5} "
+        f"{'MP midas':>9} {'MP stale':>9} {'scov m':>7} {'scov s':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for round_number, (name, make_batch) in enumerate(batches):
+        update = make_batch(midas.database, 100 + round_number)
+        report = midas.apply_update(update)
+        static_gui.apply_update(update)
+        queries = balanced_query_set(
+            midas.database,
+            report.inserted_ids,
+            count=60,
+            size_range=(4, 16),
+            seed=300 + round_number,
+        )
+        midas_eval = evaluate_patterns(
+            "midas", midas.pattern_graphs(), queries
+        )
+        stale_eval = evaluate_patterns(
+            "stale", static_gui.pattern_graphs(), queries
+        )
+        stale_set = PatternSet()
+        for graph in static_gui.pattern_graphs():
+            stale_set.add(graph, "stale")
+        q_midas = pattern_set_quality(midas.patterns, midas.oracle)
+        q_stale = pattern_set_quality(stale_set, midas.oracle)
+        print(
+            f"{name:<28} {'major' if report.is_major else 'minor':<6} "
+            f"{report.num_swaps:>5} "
+            f"{midas_eval.missed_percentage:>8.1f}% "
+            f"{stale_eval.missed_percentage:>8.1f}% "
+            f"{q_midas['scov']:>7.3f} {q_stale['scov']:>7.3f}"
+        )
+    print(
+        "\nMIDAS's panel never misses more queries than the stale panel, "
+        "and its coverage never regresses (sw1-sw5 guarantees)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Extensions tour: query-log weighting and the small-pattern tray.
+
+Run:  python examples/personalized_maintenance.py
+
+Two extensions the paper sketches but defers:
+
+* **query-log-aware swapping** (Section 3.5): patterns users actually
+  drag are protected from being swapped out, and candidates that match
+  logged queries are boosted;
+* **the η ≤ 2 tray** (Section 3.1 remark): the most frequent single
+  edges and 2-paths, maintained from exact counters.
+
+The script logs a user who works heavily with nitrogen chemistry, then
+shows that log-weighted maintenance keeps the N-flavoured patterns on
+the panel where plain MIDAS might trade them away.
+"""
+
+from repro import Midas, MidasConfig, PatternBudget
+from repro.datasets import aids_like, family_injection
+from repro.midas import LogWeightedSwapper, QueryLog
+from repro.midas.pruning import PruningContext
+from repro.catapult import CandidateGenerator
+from repro.workload import generate_queries
+
+
+def main() -> None:
+    config = MidasConfig(
+        budget=PatternBudget(3, 7, 10),
+        sup_min=0.5,
+        num_clusters=4,
+        sample_cap=100,
+        seed=17,
+        epsilon=0.002,
+        tray_edges=4,
+        tray_paths=3,
+    )
+    database = aids_like(100, seed=17)
+    midas = Midas.bootstrap(database, config)
+
+    print("== the small-pattern tray (η ≤ 2) ==")
+    assert midas.small_tray is not None
+    for pattern in midas.small_tray.refresh():
+        print(f"  {pattern.name}")
+
+    print("\n== a nitrogen-heavy user works for a while ==")
+    log = QueryLog(capacity=100)
+    nitrogen_sources = {
+        gid: g
+        for gid, g in database.items()
+        if list(g.labels().values()).count("N") >= 2
+    }
+    if nitrogen_sources:
+        log.record_many(
+            generate_queries(nitrogen_sources, 30, size_range=(4, 10), seed=18)
+        )
+    print(f"  logged {len(log)} queries")
+
+    print("\n== a major batch arrives; compare swap strategies ==")
+    update = family_injection(35, seed=19)
+    report = midas.apply_update(update)
+    print(
+        f"  classified {'MAJOR' if report.is_major else 'MINOR'}, "
+        f"{report.candidates_promising} promising candidates"
+    )
+
+    # Regenerate the same promising candidates and replay both swappers
+    # on copies of the maintained panel.
+    pruning = PruningContext(
+        midas.oracle,
+        midas.pattern_graphs(),
+        config.kappa,
+        index_pair=midas.index_pair,
+    )
+    generator = CandidateGenerator(
+        dict(midas.database.items()), config.budget, seed=config.seed
+    )
+    raw = generator.generate(
+        midas.csgs.summaries(),
+        edge_gate=pruning.edge_gate,
+        edge_priority=pruning.edge_priority,
+    )
+    promising = [
+        c.graph
+        for c in raw
+        if pruning.is_promising(c.graph)
+        and not midas.patterns.has_isomorphic(c.graph)
+    ]
+    plain_panel = midas.patterns.copy()
+    logged_panel = midas.patterns.copy()
+
+    from repro.midas import MultiScanSwapper
+
+    plain = MultiScanSwapper(
+        midas.oracle, kappa=config.kappa, lambda_=config.lambda_
+    )
+    weighted = LogWeightedSwapper(
+        midas.oracle, log, kappa=config.kappa, lambda_=config.lambda_
+    )
+    plain_outcome = plain.run(plain_panel, list(promising))
+    weighted_outcome = weighted.run(logged_panel, list(promising))
+
+    def nitrogen_patterns(panel) -> int:
+        return sum(
+            1 for p in panel if "N" in p.graph.vertex_label_set()
+        )
+
+    print(f"  plain MIDAS:       {plain_outcome.num_swaps} swaps, "
+          f"{nitrogen_patterns(plain_panel)} N-patterns on panel")
+    print(f"  log-weighted:      {weighted_outcome.num_swaps} swaps, "
+          f"{nitrogen_patterns(logged_panel)} N-patterns on panel")
+    print(
+        "\nLog weighting protects the patterns this user's queries rely "
+        "on (N-pattern count never lower than plain MIDAS's)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim so `pip install -e .` works offline (no wheel package).
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy editable-install code path on machines without the `wheel` package.
+"""
+from setuptools import setup
+
+setup()

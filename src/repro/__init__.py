@@ -1,0 +1,63 @@
+"""repro — a full reproduction of MIDAS (SIGMOD 2021).
+
+MIDAS maintains the *canned patterns* of a visual graph query interface
+as the underlying graph database evolves, so that the displayed patterns
+keep high subgraph/label coverage and diversity at low cognitive load —
+without re-running the full CATAPULT selection from scratch.
+
+Quickstart
+----------
+>>> from repro import Midas, MidasConfig
+>>> from repro.datasets import pubchem_like, family_injection
+>>> db = pubchem_like(150, seed=1)
+>>> midas = Midas.bootstrap(db, MidasConfig())      # doctest: +SKIP
+>>> report = midas.apply_update(family_injection(50, seed=2))  # doctest: +SKIP
+>>> report.is_major                                  # doctest: +SKIP
+True
+
+Package map
+-----------
+* :mod:`repro.graph` — labelled graphs, canonical forms, databases, IO;
+* :mod:`repro.datasets` — synthetic molecule datasets + evolution batches;
+* :mod:`repro.isomorphism` — VF2 subgraph isomorphism;
+* :mod:`repro.ged` — graph edit distance bounds and exact A*;
+* :mod:`repro.trees` — canonical trees, (closed) subtree mining, FCT
+  maintenance;
+* :mod:`repro.clustering` — k-means++, MCCS, cluster maintenance;
+* :mod:`repro.csg` — cluster summary graphs;
+* :mod:`repro.graphlets` — graphlet counting and distributions;
+* :mod:`repro.index` — FCT-Index and IFE-Index;
+* :mod:`repro.patterns` — canned patterns, budgets and quality metrics;
+* :mod:`repro.catapult` — the CATAPULT / CATAPULT++ selectors;
+* :mod:`repro.midas` — the MIDAS maintainer and baselines;
+* :mod:`repro.workload` — query workloads and the simulated user study;
+* :mod:`repro.bench` — the experiment drivers behind ``benchmarks/``.
+"""
+
+from .catapult import Catapult, CatapultConfig, CatapultPlusPlus
+from .graph import BatchUpdate, GraphDatabase, LabeledGraph
+from .midas import (
+    Midas,
+    MidasConfig,
+    NoMaintainBaseline,
+    RandomSwapMaintainer,
+)
+from .patterns import PatternBudget, PatternSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchUpdate",
+    "Catapult",
+    "CatapultConfig",
+    "CatapultPlusPlus",
+    "GraphDatabase",
+    "LabeledGraph",
+    "Midas",
+    "MidasConfig",
+    "NoMaintainBaseline",
+    "PatternBudget",
+    "PatternSet",
+    "RandomSwapMaintainer",
+    "__version__",
+]

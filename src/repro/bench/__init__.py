@@ -1,0 +1,24 @@
+"""Benchmark harness and per-figure experiment drivers."""
+
+from .common import (
+    DEFAULT_SCALE,
+    ExperimentScale,
+    batch_grid,
+    bootstrap_approaches,
+    dataset,
+    default_config,
+    scaled,
+)
+from .harness import ExperimentTable, series_summary
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentScale",
+    "ExperimentTable",
+    "batch_grid",
+    "bootstrap_approaches",
+    "dataset",
+    "default_config",
+    "scaled",
+    "series_summary",
+]

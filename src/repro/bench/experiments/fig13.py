@@ -1,0 +1,85 @@
+"""E-FIG13 — MIDAS vs NoMaintain (paper Figure 13, Exp 3a).
+
+On AIDS25K across batch modifications, the paper reports that MIDAS's
+maintained pattern set beats the never-maintained one by 61% MP on
+average, with higher diversity and subgraph coverage.
+
+Reproduced on an AIDS-like base over the standard batch grid; both
+approaches start from the *same* bootstrap pattern set, so every
+difference is attributable to maintenance.
+"""
+
+from __future__ import annotations
+
+from ...midas import Midas, NoMaintainBaseline
+from ...patterns import pattern_set_quality
+from ...workload import balanced_query_set, evaluate_patterns
+from ..common import (
+    DEFAULT_SCALE,
+    ExperimentScale,
+    batch_grid,
+    dataset,
+    default_config,
+)
+from ..harness import ExperimentTable
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentTable:
+    config = default_config(scale)
+    base = dataset("aids", scale.base_graphs, scale.seed)
+    table = ExperimentTable(
+        title="Fig 13 — MIDAS vs NoMaintain (AIDS-like): MP %, scov, div",
+        columns=[
+            "batch",
+            "approach",
+            "mp_percent",
+            "scov",
+            "div",
+            "avg_steps",
+        ],
+    )
+    for batch_name, update in batch_grid(base, scale, "aids"):
+        midas = Midas.bootstrap(base, config)
+        nomaintain = NoMaintainBaseline(
+            config, base.copy(), midas.patterns.copy()
+        )
+        report = midas.apply_update(update)
+        nomaintain.apply_update(update)
+        queries = balanced_query_set(
+            midas.database,
+            report.inserted_ids,
+            count=scale.queries,
+            size_range=scale.query_sizes,
+            seed=scale.seed + 31,
+        )
+        for approach, patterns in (
+            ("midas", midas.pattern_graphs()),
+            ("nomaintain", nomaintain.pattern_graphs()),
+        ):
+            workload = evaluate_patterns(approach, patterns, queries)
+            quality = pattern_set_quality(_as_patterns(patterns), midas.oracle)
+            table.add_row(
+                batch_name,
+                approach,
+                workload.missed_percentage,
+                quality["scov"],
+                quality["div"],
+                workload.average_steps,
+            )
+    table.add_note(
+        "paper shape: MIDAS outperforms NoMaintain on MP (61% avg), with "
+        "greater diversity and scov"
+    )
+    return table
+
+
+def _as_patterns(graphs):
+    from ...patterns import PatternSet
+
+    pattern_set = PatternSet()
+    for graph in graphs:
+        try:
+            pattern_set.add(graph, "eval")
+        except ValueError:
+            continue  # isomorphic duplicate in a stale set copy
+    return pattern_set

@@ -1,0 +1,15 @@
+"""E-FIG15 — the Figure 14 comparison on PubChem-like data (Exp 3c).
+
+Identical protocol to :mod:`repro.bench.experiments.fig14`, run on the
+PubChem-like profile (paper Figure 15, Pubchem15K).
+"""
+
+from __future__ import annotations
+
+from ..common import DEFAULT_SCALE, ExperimentScale
+from ..harness import ExperimentTable
+from .fig14 import run as _run_fig14
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentTable:
+    return _run_fig14(scale, profile_name="pubchem")

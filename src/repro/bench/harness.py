@@ -1,0 +1,87 @@
+"""Experiment harness utilities: table/series printing and run caching.
+
+Every benchmark in ``benchmarks/`` regenerates one table or figure of the
+paper.  The drivers in :mod:`repro.bench.experiments` return structured
+:class:`ExperimentTable` objects; this module renders them in the fixed
+row/column layout the paper reports so the console output can be read
+side by side with the original figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentTable:
+    """A printable experiment result: named columns, ordered rows."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    # ------------------------------------------------------------------
+    def _formatted(self, value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:.0f}"
+            if abs(value) >= 1:
+                return f"{value:.2f}"
+            return f"{value:.4f}"
+        return str(value)
+
+    def render(self) -> str:
+        """Fixed-width table rendering."""
+        header = [str(c) for c in self.columns]
+        body = [
+            [self._formatted(v) for v in row] for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body))
+            if body
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append(
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append(
+                "  ".join(v.ljust(widths[i]) for i, v in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render())
+
+    def column_values(self, column: str) -> list[object]:
+        index = list(self.columns).index(column)
+        return [row[index] for row in self.rows]
+
+
+def series_summary(name: str, values: Sequence[float]) -> str:
+    """One-line min/avg/max summary for a figure series."""
+    if not values:
+        return f"{name}: (empty)"
+    avg = sum(values) / len(values)
+    return (
+        f"{name}: min={min(values):.3f} avg={avg:.3f} max={max(values):.3f}"
+    )

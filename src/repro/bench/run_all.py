@@ -1,0 +1,68 @@
+"""Run every experiment and emit a markdown report.
+
+``python -m repro.bench.run_all [--scale small] [--out report.md]``
+drives all figure and ablation experiments in sequence and writes the
+tables as fenced markdown blocks — the machinery behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from ..cli import FIGURES, SCALES
+from .harness import ExperimentTable
+
+
+def run_all(scale_name: str = "small") -> tuple[str, float]:
+    """Run every experiment; returns (markdown report, total seconds)."""
+    scale = SCALES[scale_name]
+    sections: list[str] = [
+        "# Experiment report",
+        "",
+        f"Scale: `{scale_name}` — base |D| = {scale.base_graphs}, "
+        f"γ = {scale.gamma}, pattern sizes {scale.eta_min}–{scale.eta_max}, "
+        f"{scale.queries} queries per workload.",
+        "",
+    ]
+    total_start = time.perf_counter()
+    for name, (title, runner) in FIGURES.items():
+        start = time.perf_counter()
+        result = runner(scale)
+        elapsed = time.perf_counter() - start
+        tables = result if isinstance(result, tuple) else (result,)
+        sections.append(f"## {name} — {title}")
+        sections.append("")
+        for table in tables:
+            if isinstance(table, ExperimentTable):
+                sections.append("```text")
+                sections.append(table.render())
+                sections.append("```")
+                sections.append("")
+        sections.append(f"_Completed in {elapsed:.1f}s._")
+        sections.append("")
+    total = time.perf_counter() - total_start
+    sections.append(f"_Total: {total:.1f}s._")
+    return "\n".join(sections), total
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run every experiment and write a markdown report"
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument("--out", default=None, help="output file (default stdout)")
+    args = parser.parse_args(argv)
+    report, total = run_all(args.scale)
+    if args.out:
+        Path(args.out).write_text(report)
+        print(f"wrote report to {args.out} ({total:.1f}s)", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""The CATAPULT / CATAPULT++ canned-pattern selectors."""
+
+from .fsm import MinedSubgraph, SubgraphMiner, fsm_candidates
+from .candidate import (
+    CandidateGenerator,
+    CandidatePattern,
+    EdgeGate,
+    EdgePriority,
+    grow_candidate,
+)
+from .pipeline import Catapult, CatapultConfig, CatapultPlusPlus, CatapultResult
+from .random_walk import (
+    RandomWalker,
+    csg_edge_weights,
+    decay_weights,
+    edge_label_document_frequency,
+)
+from .selection import GreedySelector, cluster_coverage
+
+__all__ = [
+    "CandidateGenerator",
+    "CandidatePattern",
+    "Catapult",
+    "CatapultConfig",
+    "CatapultPlusPlus",
+    "CatapultResult",
+    "EdgeGate",
+    "EdgePriority",
+    "GreedySelector",
+    "MinedSubgraph",
+    "SubgraphMiner",
+    "fsm_candidates",
+    "RandomWalker",
+    "cluster_coverage",
+    "csg_edge_weights",
+    "decay_weights",
+    "edge_label_document_frequency",
+    "grow_candidate",
+]

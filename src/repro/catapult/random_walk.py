@@ -1,0 +1,140 @@
+"""Weighted random walks over cluster summary graphs.
+
+CATAPULT extracts candidate patterns from each CSG with weighted random
+walks (paper, Section 2.3): each summary edge gets weight
+``w_e = lcov(e, D) × lcov(e, C)`` — the product of the edge label's
+coverage in the whole database and in the cluster — and walk traversal
+counts then identify the structurally important edges.
+
+The walker is seeded and purely local: vertices are entered with
+probability proportional to incident edge weight, and successive steps
+pick incident edges with probability proportional to (possibly
+multiplicatively decayed) weight.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+
+from ..csg.summary import SummaryGraph
+from ..graph.labeled_graph import EdgeLabel, LabeledGraph, edge_key
+
+DEFAULT_NUM_WALKS = 100
+DEFAULT_WALK_LENGTH = 12
+
+
+def edge_label_document_frequency(
+    graphs: Mapping[int, LabeledGraph]
+) -> dict[EdgeLabel, int]:
+    """For each edge label, the number of graphs containing it."""
+    frequency: dict[EdgeLabel, int] = {}
+    for graph in graphs.values():
+        for label in graph.edge_label_set():
+            frequency[label] = frequency.get(label, 0) + 1
+    return frequency
+
+
+def csg_edge_weights(
+    summary: SummaryGraph,
+    database_frequency: Mapping[EdgeLabel, int],
+    database_size: int,
+) -> dict[tuple[int, int], float]:
+    """``w_e = lcov(e, D) × lcov(e, C)`` for every summary edge.
+
+    The cluster-level coverage comes from the summary's edge → graph-ID
+    annotations: the set of member graphs containing an edge with the
+    same label (union over the summary edges carrying the label).
+    """
+    members = summary.member_ids
+    cluster_size = len(members)
+    if database_size <= 0 or cluster_size == 0:
+        return {edge: 0.0 for edge in summary.edges()}
+    by_label: dict[EdgeLabel, set[int]] = {}
+    for u, v in summary.edges():
+        label = summary.edge_label(u, v)
+        by_label.setdefault(label, set()).update(
+            summary.edge_graph_ids(u, v)
+        )
+    weights: dict[tuple[int, int], float] = {}
+    for u, v in summary.edges():
+        label = summary.edge_label(u, v)
+        lcov_database = database_frequency.get(label, 0) / database_size
+        lcov_cluster = len(by_label[label]) / cluster_size
+        weights[edge_key(u, v)] = lcov_database * lcov_cluster
+    return weights
+
+
+class RandomWalker:
+    """Seeded weighted random walks collecting edge traversal counts."""
+
+    def __init__(
+        self,
+        summary: SummaryGraph,
+        weights: Mapping[tuple[int, int], float],
+        rng: random.Random,
+    ) -> None:
+        self.summary = summary
+        self.weights = dict(weights)
+        self._rng = rng
+
+    def _entry_distribution(self) -> tuple[list[int], list[float]]:
+        vertices = self.summary.vertices()
+        scores = []
+        for vertex in vertices:
+            incident = sum(
+                self.weights.get(edge_key(vertex, n), 0.0)
+                for n in self.summary.neighbors(vertex)
+            )
+            scores.append(incident)
+        total = sum(scores)
+        if total <= 0:
+            scores = [1.0] * len(vertices)
+        return vertices, scores
+
+    def traversal_counts(
+        self,
+        num_walks: int = DEFAULT_NUM_WALKS,
+        walk_length: int = DEFAULT_WALK_LENGTH,
+    ) -> dict[tuple[int, int], int]:
+        """Edge → number of traversals over *num_walks* walks."""
+        counts: dict[tuple[int, int], int] = dict.fromkeys(
+            self.summary.edges(), 0
+        )
+        if self.summary.num_edges == 0:
+            return counts
+        vertices, entry_weights = self._entry_distribution()
+        for _ in range(num_walks):
+            current = self._rng.choices(vertices, weights=entry_weights)[0]
+            for _ in range(walk_length):
+                neighbors = sorted(self.summary.neighbors(current))
+                if not neighbors:
+                    break
+                step_weights = [
+                    self.weights.get(edge_key(current, n), 0.0)
+                    for n in neighbors
+                ]
+                if sum(step_weights) <= 0:
+                    step_weights = [1.0] * len(neighbors)
+                nxt = self._rng.choices(neighbors, weights=step_weights)[0]
+                counts[edge_key(current, nxt)] += 1
+                current = nxt
+        return counts
+
+
+def decay_weights(
+    weights: dict[tuple[int, int], float],
+    selected_edges: set[tuple[int, int]],
+    decay: float = 0.5,
+) -> None:
+    """Multiplicative-weights update after a pattern is selected.
+
+    Edges of the selected pattern lose ``decay`` of their weight so later
+    iterations explore other regions (paper, Section 2.3, citing Arora
+    et al.).  Mutates *weights* in place.
+    """
+    if not 0.0 < decay <= 1.0:
+        raise ValueError("decay must be in (0, 1]")
+    for edge in selected_edges:
+        if edge in weights:
+            weights[edge] *= 1.0 - decay

@@ -1,0 +1,191 @@
+"""Command-line interface for the MIDAS reproduction.
+
+Usage::
+
+    python -m repro demo                      # the quickstart walkthrough
+    python -m repro bench --figure fig12      # regenerate one paper figure
+    python -m repro bench --all               # regenerate every figure
+    python -m repro dataset --profile aids --count 100 --out db.json
+    python -m repro info                      # version + experiment index
+
+The ``bench`` subcommand drives exactly the same experiment code the
+``benchmarks/`` pytest suite uses (:mod:`repro.bench.experiments`), so
+console runs and benchmark runs always agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import __version__
+from .bench import ExperimentScale
+from .bench.experiments import (
+    ablations,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+)
+
+FIGURES = {
+    "fig09": ("Fig 9 — user study (PubChem-like)", fig09.run),
+    "fig10": ("Fig 10 — user-specified queries", fig10.run),
+    "fig11": ("Fig 11 — threshold sweeps", fig11.run),
+    "fig12": ("Fig 12 — FCT & index costs", fig12.run),
+    "fig13": ("Fig 13 — MIDAS vs NoMaintain", fig13.run),
+    "fig14": ("Fig 14 — baselines (AIDS-like)", fig14.run),
+    "fig15": ("Fig 15 — baselines (PubChem-like)", fig15.run),
+    "fig16": ("Fig 16 — scalability", fig16.run),
+    "abl1": ("Ablation 1 — FCT vs FS", ablations.run_fct_vs_fs),
+    "abl2": ("Ablation 2 — pruning on/off", ablations.run_pruning),
+    "abl3": ("Ablation 3 — GFD distances", ablations.run_distance_measures),
+    "abl4": ("Ablation 4 — walks vs FSM", ablations.run_walks_vs_fsm),
+}
+
+SCALES = {
+    "small": ExperimentScale(
+        base_graphs=80,
+        family_batch=30,
+        queries=60,
+        gamma=10,
+        eta_max=7,
+        sample_cap=100,
+        num_clusters=4,
+    ),
+    "medium": ExperimentScale(),
+    "large": ExperimentScale(
+        base_graphs=400,
+        family_batch=120,
+        queries=300,
+        gamma=24,
+        eta_max=10,
+        sample_cap=300,
+        num_clusters=10,
+    ),
+}
+
+
+def _show_tables(result) -> None:
+    tables = result if isinstance(result, tuple) else (result,)
+    for table in tables:
+        print()
+        table.show()
+
+
+def cmd_demo(_: argparse.Namespace) -> int:
+    # Defer the import: examples/ is not a package, so load by path.
+    import runpy
+    from pathlib import Path
+
+    quickstart = (
+        Path(__file__).resolve().parent.parent.parent
+        / "examples"
+        / "quickstart.py"
+    )
+    if quickstart.exists():
+        runpy.run_path(str(quickstart), run_name="__main__")
+        return 0
+    print("examples/quickstart.py not found", file=sys.stderr)
+    return 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    scale = SCALES[args.scale]
+    targets = list(FIGURES) if args.all else [args.figure]
+    if not targets or targets == [None]:
+        print("specify --figure <name> or --all", file=sys.stderr)
+        return 2
+    for name in targets:
+        title, runner = FIGURES[name]
+        print(f"\n### {name}: {title} (scale={args.scale})")
+        start = time.perf_counter()
+        result = runner(scale)
+        elapsed = time.perf_counter() - start
+        _show_tables(result)
+        print(f"  [{name} completed in {elapsed:.1f}s]")
+    return 0
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    from .bench.common import dataset
+    from .graph.io import write_database
+
+    database = dataset(args.profile, args.count, args.seed)
+    write_database(args.out, database)
+    summary = database.summary()
+    print(
+        f"wrote {summary['graphs']} graphs "
+        f"(avg |V|={summary['avg_vertices']:.1f}, "
+        f"avg |E|={summary['avg_edges']:.1f}) to {args.out}"
+    )
+    return 0
+
+
+def cmd_info(_: argparse.Namespace) -> int:
+    print(f"repro {__version__} — MIDAS (SIGMOD 2021) reproduction")
+    print("\nExperiment index (see DESIGN.md):")
+    for name, (title, _) in FIGURES.items():
+        print(f"  {name:<6} {title}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MIDAS canned-pattern maintenance — reproduction CLI",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run the quickstart demo")
+    demo.set_defaults(func=cmd_demo)
+
+    bench = subparsers.add_parser(
+        "bench", help="regenerate paper figures/tables"
+    )
+    bench.add_argument(
+        "--figure", choices=sorted(FIGURES), help="one experiment to run"
+    )
+    bench.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    bench.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="dataset scale (default: small)",
+    )
+    bench.set_defaults(func=cmd_bench)
+
+    dataset_cmd = subparsers.add_parser(
+        "dataset", help="generate a synthetic dataset file"
+    )
+    dataset_cmd.add_argument(
+        "--profile", choices=("aids", "pubchem", "emol"), default="pubchem"
+    )
+    dataset_cmd.add_argument("--count", type=int, default=100)
+    dataset_cmd.add_argument("--seed", type=int, default=0)
+    dataset_cmd.add_argument("--out", default="dataset.json")
+    dataset_cmd.set_defaults(func=cmd_dataset)
+
+    info = subparsers.add_parser("info", help="version and experiment index")
+    info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Clustering substrate: k-means++, MCCS similarity, fine splitting,
+incremental cluster maintenance."""
+
+from .fine import fine_split
+from .kmeans import inertia, kmeans, kmeans_plus_plus_seeds
+from .maintenance import DEFAULT_MAX_CLUSTER_SIZE, ClusterSet
+from .mccs import mccs_edge_count, mccs_mapping, mccs_similarity
+from .quality import mccs_contrast, silhouette_score
+
+__all__ = [
+    "DEFAULT_MAX_CLUSTER_SIZE",
+    "ClusterSet",
+    "fine_split",
+    "inertia",
+    "kmeans",
+    "kmeans_plus_plus_seeds",
+    "mccs_contrast",
+    "mccs_edge_count",
+    "mccs_mapping",
+    "mccs_similarity",
+    "silhouette_score",
+]

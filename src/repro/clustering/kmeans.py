@@ -1,0 +1,99 @@
+"""k-means with k-means++ seeding.
+
+CATAPULT's coarse clustering is feature-vector k-means whose seeds come
+from the k-means++ procedure of Arthur & Vassilvitskii (paper, Section
+2.3, reference [8]).  Implemented here from scratch on numpy arrays with
+an explicit seed so clustering is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+def kmeans_plus_plus_seeds(
+    points: np.ndarray, k: int, rng: random.Random
+) -> np.ndarray:
+    """Choose *k* initial centroids with the k-means++ D² weighting."""
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    first = rng.randrange(n)
+    centroids = [points[first]]
+    squared = np.sum((points - centroids[0]) ** 2, axis=1)
+    for _ in range(1, k):
+        total = float(squared.sum())
+        if total <= 0:
+            # All remaining points coincide with a centroid; pick any.
+            index = rng.randrange(n)
+        else:
+            threshold = rng.random() * total
+            cumulative = np.cumsum(squared)
+            index = int(np.searchsorted(cumulative, threshold, side="right"))
+            index = min(index, n - 1)
+        centroids.append(points[index])
+        squared = np.minimum(
+            squared, np.sum((points - points[index]) ** 2, axis=1)
+        )
+    return np.vstack(centroids)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster *points* into *k* groups.
+
+    Returns ``(assignments, centroids)`` where ``assignments[i]`` is the
+    cluster index of row *i*.  Empty clusters are re-seeded with the point
+    farthest from its centroid, so exactly *k* non-empty clusters are
+    produced whenever ``k <= len(points)``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    n = points.shape[0]
+    if k >= n:
+        # Degenerate: every point its own cluster (ids 0..n-1).
+        return np.arange(n), points.copy()
+    rng = random.Random(seed)
+    centroids = kmeans_plus_plus_seeds(points, k, rng)
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iterations):
+        # Assignment step.
+        distances = np.linalg.norm(
+            points[:, None, :] - centroids[None, :, :], axis=2
+        )
+        new_assignments = distances.argmin(axis=1)
+        # Update step.
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = points[new_assignments == cluster]
+            if len(members):
+                new_centroids[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster with the worst-fitting point.
+                residual = distances[np.arange(n), new_assignments]
+                worst = int(residual.argmax())
+                new_centroids[cluster] = points[worst]
+                new_assignments[worst] = cluster
+        shift = float(np.linalg.norm(new_centroids - centroids))
+        assignments = new_assignments
+        centroids = new_centroids
+        if shift <= tolerance:
+            break
+    return assignments, centroids
+
+
+def inertia(
+    points: np.ndarray, assignments: np.ndarray, centroids: np.ndarray
+) -> float:
+    """Sum of squared distances of points to their assigned centroids."""
+    return float(
+        np.sum((points - centroids[assignments]) ** 2)
+    )

@@ -1,0 +1,103 @@
+"""Clustering quality measures.
+
+Used by the experiment drivers to sanity-check that incremental cluster
+maintenance does not silently degrade the partition relative to
+clustering from scratch: the silhouette coefficient on the feature
+vectors and the intra/inter MCCS-similarity contrast the fine-clustering
+step is defined by (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..graph.labeled_graph import LabeledGraph
+from .maintenance import ClusterSet
+from .mccs import mccs_similarity
+
+
+def silhouette_score(clusters: ClusterSet) -> float:
+    """Mean silhouette coefficient over all clustered graphs.
+
+    Computed on the cluster feature vectors with Euclidean distance.
+    Returns 0.0 when fewer than 2 clusters exist (silhouette undefined).
+    """
+    cluster_ids = clusters.cluster_ids()
+    if len(cluster_ids) < 2:
+        return 0.0
+    vectors: dict[int, np.ndarray] = {}
+    membership: dict[int, int] = {}
+    for cluster_id in cluster_ids:
+        for graph_id in clusters.members(cluster_id):
+            vectors[graph_id] = clusters.feature_space.vector_for_known(
+                graph_id
+            )
+            membership[graph_id] = cluster_id
+    by_cluster = {
+        cid: sorted(clusters.members(cid)) for cid in cluster_ids
+    }
+    scores: list[float] = []
+    for graph_id, vector in vectors.items():
+        own = membership[graph_id]
+        own_members = [g for g in by_cluster[own] if g != graph_id]
+        if not own_members:
+            continue  # singleton clusters contribute no silhouette
+        a = float(
+            np.mean(
+                [np.linalg.norm(vector - vectors[g]) for g in own_members]
+            )
+        )
+        b = min(
+            float(
+                np.mean(
+                    [
+                        np.linalg.norm(vector - vectors[g])
+                        for g in by_cluster[cid]
+                    ]
+                )
+            )
+            for cid in cluster_ids
+            if cid != own
+        )
+        denominator = max(a, b)
+        scores.append(0.0 if denominator == 0 else (b - a) / denominator)
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def mccs_contrast(
+    clusters: ClusterSet,
+    graphs: Mapping[int, LabeledGraph],
+    pairs_per_cluster: int = 10,
+) -> tuple[float, float]:
+    """(mean intra-cluster, mean inter-cluster) MCCS similarity.
+
+    Fine clustering exists to make the first exceed the second; sampled
+    pairs keep the cost bounded.
+    """
+    import random
+
+    rng = random.Random(0)
+    intra: list[float] = []
+    inter: list[float] = []
+    cluster_ids = clusters.cluster_ids()
+    for cluster_id in cluster_ids:
+        members = sorted(clusters.members(cluster_id))
+        if len(members) >= 2:
+            for _ in range(min(pairs_per_cluster, len(members))):
+                a, b = rng.sample(members, 2)
+                intra.append(mccs_similarity(graphs[a], graphs[b]))
+        others = [c for c in cluster_ids if c != cluster_id]
+        if others and members:
+            for _ in range(min(pairs_per_cluster, len(members))):
+                other = rng.choice(others)
+                other_members = sorted(clusters.members(other))
+                if not other_members:
+                    continue
+                a = rng.choice(members)
+                b = rng.choice(other_members)
+                inter.append(mccs_similarity(graphs[a], graphs[b]))
+    mean_intra = float(np.mean(intra)) if intra else 0.0
+    mean_inter = float(np.mean(inter)) if inter else 0.0
+    return mean_intra, mean_inter

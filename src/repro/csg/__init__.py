@@ -1,0 +1,6 @@
+"""Cluster summary graphs: closure-based summaries and their maintenance."""
+
+from .maintenance import CSGSet
+from .summary import SummaryGraph, build_csg
+
+__all__ = ["CSGSet", "SummaryGraph", "build_csg"]

@@ -1,0 +1,108 @@
+"""Maintenance of the CSG set across cluster evolution.
+
+:class:`CSGSet` keeps one :class:`~repro.csg.summary.SummaryGraph` per
+cluster and mirrors cluster evolution (paper, Algorithm 1 line 7 and
+Section 4.4):
+
+* graphs assigned to an existing cluster are integrated into its CSG;
+* graphs removed from a cluster are detached from its CSG;
+* clusters that appear (fine splits) get freshly built CSGs;
+* clusters that disappear drop their CSGs.
+
+The set records which CSGs changed since the last reset so that candidate
+pattern generation (Section 5) can restrict itself to evolved clusters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..graph.labeled_graph import LabeledGraph
+from ..clustering.maintenance import ClusterSet
+from .summary import SummaryGraph, build_csg
+
+
+class CSGSet:
+    """The summary graphs of every cluster, maintained incrementally."""
+
+    def __init__(self) -> None:
+        self._summaries: dict[int, SummaryGraph] = {}
+        #: Cluster IDs whose CSGs changed since the last reset.
+        self.touched: set[int] = set()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, clusters: ClusterSet, graphs: Mapping[int, LabeledGraph]
+    ) -> "CSGSet":
+        """Build CSGs for every cluster from scratch."""
+        instance = cls()
+        for cluster_id in clusters.cluster_ids():
+            instance._summaries[cluster_id] = build_csg(
+                cluster_id, clusters.members(cluster_id), graphs
+            )
+        instance.reset_touched()
+        return instance
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._summaries)
+
+    def __contains__(self, cluster_id: int) -> bool:
+        return cluster_id in self._summaries
+
+    def summary(self, cluster_id: int) -> SummaryGraph:
+        return self._summaries[cluster_id]
+
+    def summaries(self) -> dict[int, SummaryGraph]:
+        return dict(self._summaries)
+
+    def reset_touched(self) -> None:
+        self.touched = set()
+
+    # ------------------------------------------------------------------
+    def integrate(
+        self, cluster_id: int, graph_id: int, graph: LabeledGraph
+    ) -> None:
+        """Record *graph* joining *cluster_id* (Section 4.4 rule 1)."""
+        summary = self._summaries.get(cluster_id)
+        if summary is None:
+            summary = SummaryGraph(cluster_id)
+            self._summaries[cluster_id] = summary
+        summary.add_graph(graph_id, graph)
+        self.touched.add(cluster_id)
+
+    def detach(self, cluster_id: int, graph_id: int) -> None:
+        """Record *graph_id* leaving *cluster_id* (Section 4.4 rule 2)."""
+        summary = self._summaries.get(cluster_id)
+        if summary is None:
+            return
+        summary.remove_graph(graph_id)
+        self.touched.add(cluster_id)
+        if not summary.member_ids:
+            del self._summaries[cluster_id]
+
+    def sync_with_clusters(
+        self, clusters: ClusterSet, graphs: Mapping[int, LabeledGraph]
+    ) -> None:
+        """Reconcile the CSG set with the current cluster partition.
+
+        New clusters (e.g. created by fine splits) get freshly built
+        CSGs; clusters that no longer exist are dropped; clusters whose
+        membership drifted from the recorded CSG members are rebuilt.
+        Cheap membership comparison keeps untouched clusters untouched.
+        """
+        current = set(clusters.cluster_ids())
+        stale = set(self._summaries) - current
+        for cluster_id in stale:
+            del self._summaries[cluster_id]
+            self.touched.add(cluster_id)
+        for cluster_id in current:
+            members = clusters.members(cluster_id)
+            summary = self._summaries.get(cluster_id)
+            if summary is not None and summary.member_ids == members:
+                continue
+            self._summaries[cluster_id] = build_csg(
+                cluster_id, members, graphs
+            )
+            self.touched.add(cluster_id)

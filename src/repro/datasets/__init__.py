@@ -1,0 +1,59 @@
+"""Synthetic datasets: molecule generators, motifs, evolution scenarios."""
+
+from .evolution import (
+    EvolutionScenario,
+    EvolutionStep,
+    family_injection,
+    mixed_update,
+    random_deletions,
+    random_insertions,
+)
+from .molecules import (
+    MoleculeGenerator,
+    MoleculeProfile,
+    aids_like,
+    aids_profile,
+    emol_like,
+    emol_profile,
+    make_molecule_database,
+    pubchem_like,
+    pubchem_profile,
+)
+from .motifs import MOTIFS, Motif, motif
+from .perturbations import (
+    densified_batch,
+    densify_graph,
+    label_swap_mapping,
+    relabel_graph,
+    relabeled_batch,
+    rewire_graph,
+    rewired_batch,
+)
+
+__all__ = [
+    "MOTIFS",
+    "EvolutionScenario",
+    "EvolutionStep",
+    "MoleculeGenerator",
+    "MoleculeProfile",
+    "Motif",
+    "aids_like",
+    "densified_batch",
+    "densify_graph",
+    "aids_profile",
+    "emol_like",
+    "emol_profile",
+    "family_injection",
+    "label_swap_mapping",
+    "make_molecule_database",
+    "mixed_update",
+    "motif",
+    "pubchem_like",
+    "relabel_graph",
+    "relabeled_batch",
+    "rewire_graph",
+    "rewired_batch",
+    "pubchem_profile",
+    "random_deletions",
+    "random_insertions",
+]

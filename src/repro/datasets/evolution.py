@@ -1,0 +1,172 @@
+"""Database evolution scenarios: batch updates that drive maintenance.
+
+The paper's experiments modify the database with random batch additions
+and deletions (+Y% / −Y%, Section 7.1) and motivate maintenance with the
+arrival of a *new compound family* (boronic esters, Example 1.2).  This
+module generates both:
+
+* :func:`random_insertions` / :func:`random_deletions` /
+  :func:`mixed_update` — the +Y%/−Y% batches of the automated study;
+* :func:`family_injection` — a batch of molecules that all carry a motif
+  rare in the base database, shifting graphlet and label distributions
+  (a *major* modification by construction);
+* :class:`EvolutionScenario` — a named, reproducible sequence of batches
+  used by the benchmark drivers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..graph.database import BatchUpdate, GraphDatabase
+from .molecules import MoleculeGenerator, MoleculeProfile
+from .motifs import motif
+
+
+def random_insertions(
+    database: GraphDatabase,
+    percent: float,
+    profile: MoleculeProfile | None = None,
+    seed: int = 0,
+) -> BatchUpdate:
+    """A ``+percent%`` batch of fresh molecules (paper's +Y%)."""
+    if percent < 0:
+        raise ValueError("percent must be non-negative")
+    count = int(round(len(database) * percent / 100.0))
+    generator = MoleculeGenerator(profile=profile, seed=seed)
+    return BatchUpdate.of(insertions=generator.generate_many(count))
+
+
+def random_deletions(
+    database: GraphDatabase, percent: float, seed: int = 0
+) -> BatchUpdate:
+    """A ``−percent%`` batch deleting random existing graphs."""
+    if not 0 <= percent <= 100:
+        raise ValueError("percent must be within [0, 100]")
+    count = int(round(len(database) * percent / 100.0))
+    rng = random.Random(seed)
+    victims = rng.sample(database.ids(), count)
+    return BatchUpdate.of(deletions=victims)
+
+
+def mixed_update(
+    database: GraphDatabase,
+    add_percent: float,
+    delete_percent: float,
+    profile: MoleculeProfile | None = None,
+    seed: int = 0,
+) -> BatchUpdate:
+    """Simultaneous insertions and deletions in one batch."""
+    additions = random_insertions(database, add_percent, profile, seed)
+    deletions = random_deletions(database, delete_percent, seed + 1)
+    return BatchUpdate.of(
+        insertions=additions.insertions, deletions=deletions.deletions
+    )
+
+
+def family_injection(
+    count: int,
+    family_motif: str = "boronic_ester",
+    profile: MoleculeProfile | None = None,
+    seed: int = 0,
+    grafts_per_molecule: int = 1,
+) -> BatchUpdate:
+    """A batch of molecules all carrying *family_motif*.
+
+    Reproduces the paper's boronic-ester scenario: every inserted
+    molecule contains the family's functional group, so the batch skews
+    edge-label and graphlet frequencies and (for a large enough batch)
+    registers as a major modification.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    generator = MoleculeGenerator(profile=profile, seed=seed)
+    fragment = motif(family_motif)
+    molecules = []
+    for _ in range(count):
+        molecule = generator.generate()
+        for _ in range(grafts_per_molecule):
+            generator.graft(molecule, fragment)
+        molecules.append(molecule)
+    return BatchUpdate.of(insertions=molecules)
+
+
+@dataclass(frozen=True)
+class EvolutionStep:
+    """One named batch in a scenario."""
+
+    name: str
+    update: BatchUpdate
+
+
+class EvolutionScenario:
+    """A reproducible sequence of batch updates against one database.
+
+    Example
+    -------
+    >>> from repro.datasets import aids_like
+    >>> db = aids_like(50, seed=1)
+    >>> scenario = EvolutionScenario(db, seed=1)
+    >>> scenario.add_percent("grow", 20).delete_percent("shrink", 10)
+    ... # doctest: +ELLIPSIS
+    <...EvolutionScenario...>
+    >>> [step.name for step in scenario.steps]
+    ['grow', 'shrink']
+    """
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        profile: MoleculeProfile | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._database = database.copy()
+        self._profile = profile
+        self._seed = seed
+        self._counter = 0
+        self.steps: list[EvolutionStep] = []
+
+    def _next_seed(self) -> int:
+        self._counter += 1
+        return self._seed * 7919 + self._counter
+
+    def add_percent(self, name: str, percent: float) -> "EvolutionScenario":
+        update = random_insertions(
+            self._database, percent, self._profile, self._next_seed()
+        )
+        return self._record(name, update)
+
+    def delete_percent(self, name: str, percent: float) -> "EvolutionScenario":
+        update = random_deletions(self._database, percent, self._next_seed())
+        return self._record(name, update)
+
+    def mixed(
+        self, name: str, add_percent: float, delete_percent: float
+    ) -> "EvolutionScenario":
+        update = mixed_update(
+            self._database,
+            add_percent,
+            delete_percent,
+            self._profile,
+            self._next_seed(),
+        )
+        return self._record(name, update)
+
+    def inject_family(
+        self, name: str, count: int, family_motif: str = "boronic_ester"
+    ) -> "EvolutionScenario":
+        update = family_injection(
+            count, family_motif, self._profile, self._next_seed()
+        )
+        return self._record(name, update)
+
+    def _record(self, name: str, update: BatchUpdate) -> "EvolutionScenario":
+        self.steps.append(EvolutionStep(name, update))
+        self._database.apply(update)
+        return self
+
+    @property
+    def final_database(self) -> GraphDatabase:
+        """Database state after all recorded steps (copy)."""
+        return self._database.copy()

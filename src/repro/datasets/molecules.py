@@ -1,0 +1,248 @@
+"""Synthetic molecule-like graph generators.
+
+Stand-ins for the paper's AIDS / PubChem / eMolecule datasets (see
+DESIGN.md, substitution table).  A molecule is grown by
+
+1. sampling a **backbone**: a random labelled tree of heavy atoms whose
+   label distribution is carbon-heavy, as in real compound files;
+2. optionally closing a few rings (bounded cycle rank, like real
+   molecules);
+3. grafting **motifs** from :mod:`repro.datasets.motifs` (rings and
+   functional groups) onto random backbone atoms;
+4. optionally sprinkling explicit hydrogens.
+
+All randomness flows through one :class:`random.Random` instance so
+datasets are reproducible from a seed.  The three dataset profiles
+(``aids_like``, ``pubchem_like``, ``emol_like``) differ in size
+distribution, label alphabet and motif mix, mirroring the qualitative
+differences between the real repositories.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..graph.database import GraphDatabase
+from ..graph.labeled_graph import LabeledGraph
+from .motifs import MOTIFS, Motif
+
+
+@dataclass
+class MoleculeProfile:
+    """Tunable knobs of the molecule generator."""
+
+    #: (label, weight) pairs for backbone heavy atoms.
+    backbone_labels: tuple[tuple[str, float], ...] = (
+        ("C", 0.72),
+        ("N", 0.12),
+        ("O", 0.12),
+        ("S", 0.04),
+    )
+    #: Inclusive range of backbone sizes (heavy atoms).
+    backbone_size: tuple[int, int] = (4, 10)
+    #: Probability of each potential ring-closing edge being added.
+    ring_closure_probability: float = 0.15
+    #: Maximum number of ring-closing edges per molecule.
+    max_ring_closures: int = 2
+    #: (motif name, weight) pairs; weight 0 disables a motif.
+    motif_weights: tuple[tuple[str, float], ...] = (
+        ("benzene", 0.8),
+        ("cyclopentane", 0.3),
+        ("pyridine", 0.25),
+        ("furan", 0.2),
+        ("thiophene", 0.15),
+        ("hydroxyl", 1.0),
+        ("amine", 0.7),
+        ("carboxyl", 0.6),
+        ("carbonyl", 0.6),
+        ("nitro", 0.25),
+        ("sulfonyl", 0.2),
+        ("halide_cl", 0.3),
+        ("thiol", 0.15),
+    )
+    #: Inclusive range of motif graft counts.
+    motifs_per_molecule: tuple[int, int] = (1, 3)
+    #: Probability that a backbone atom receives an explicit hydrogen.
+    hydrogen_probability: float = 0.25
+
+    def motif_population(self) -> tuple[list[Motif], list[float]]:
+        names, weights = [], []
+        for name, weight in self.motif_weights:
+            if weight > 0:
+                names.append(MOTIFS[name])
+                weights.append(weight)
+        return names, weights
+
+
+class MoleculeGenerator:
+    """Seeded generator of molecule-like labelled graphs."""
+
+    def __init__(
+        self, profile: MoleculeProfile | None = None, seed: int = 0
+    ) -> None:
+        self.profile = profile or MoleculeProfile()
+        self._rng = random.Random(seed)
+        self._motifs, self._motif_weights = self.profile.motif_population()
+
+    # ------------------------------------------------------------------
+    def generate(self) -> LabeledGraph:
+        """Produce one molecule."""
+        graph = self._backbone()
+        self._close_rings(graph)
+        motif_count = self._rng.randint(*self.profile.motifs_per_molecule)
+        for _ in range(motif_count):
+            if self._motifs:
+                chosen = self._rng.choices(
+                    self._motifs, weights=self._motif_weights
+                )[0]
+                self.graft(graph, chosen)
+        self._add_hydrogens(graph)
+        return graph
+
+    def generate_many(self, count: int) -> list[LabeledGraph]:
+        return [self.generate() for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    def _sample_backbone_label(self) -> str:
+        labels = [label for label, _ in self.profile.backbone_labels]
+        weights = [weight for _, weight in self.profile.backbone_labels]
+        return self._rng.choices(labels, weights=weights)[0]
+
+    def _backbone(self) -> LabeledGraph:
+        size = self._rng.randint(*self.profile.backbone_size)
+        graph = LabeledGraph()
+        graph.add_vertex(0, self._sample_backbone_label())
+        for vertex in range(1, size):
+            graph.add_vertex(vertex, self._sample_backbone_label())
+            parent = self._rng.randrange(vertex)
+            graph.add_edge(vertex, parent)
+        return graph
+
+    def _close_rings(self, graph: LabeledGraph) -> None:
+        vertices = sorted(graph.vertices(), key=repr)
+        closures = 0
+        for _ in range(len(vertices)):
+            if closures >= self.profile.max_ring_closures:
+                break
+            if self._rng.random() >= self.profile.ring_closure_probability:
+                continue
+            u, v = self._rng.sample(vertices, 2)
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+                closures += 1
+
+    def graft(self, graph: LabeledGraph, motif: Motif) -> None:
+        """Attach one *motif* instance to a random existing vertex."""
+        hosts = [v for v in graph.vertices() if graph.label(v) != "H"]
+        if not hosts:
+            hosts = list(graph.vertices())
+        anchor = self._rng.choice(sorted(hosts, key=repr))
+        base = graph.num_vertices
+        # Vertex ids are dense integers by construction.
+        mapping = {i: base + i for i in range(motif.num_vertices)}
+        for index, label in enumerate(motif.labels):
+            graph.add_vertex(mapping[index], label)
+        for u, v in motif.edges:
+            graph.add_edge(mapping[u], mapping[v])
+        attach_at = self._rng.choice(motif.attachments)
+        graph.add_edge(anchor, mapping[attach_at])
+
+    def _add_hydrogens(self, graph: LabeledGraph) -> None:
+        probability = self.profile.hydrogen_probability
+        if probability <= 0:
+            return
+        for vertex in sorted(graph.vertices(), key=repr):
+            if graph.label(vertex) == "H":
+                continue
+            if self._rng.random() < probability:
+                hydrogen = graph.num_vertices
+                graph.add_vertex(hydrogen, "H")
+                graph.add_edge(vertex, hydrogen)
+
+
+# ----------------------------------------------------------------------
+# dataset profiles
+# ----------------------------------------------------------------------
+def aids_profile() -> MoleculeProfile:
+    """AIDS-antiviral-like: mid-sized, nitrogen-rich molecules."""
+    return MoleculeProfile(
+        backbone_labels=(
+            ("C", 0.66),
+            ("N", 0.16),
+            ("O", 0.13),
+            ("S", 0.05),
+        ),
+        backbone_size=(5, 12),
+        motifs_per_molecule=(1, 3),
+        hydrogen_probability=0.2,
+    )
+
+
+def pubchem_profile() -> MoleculeProfile:
+    """PubChem-like: broader motif mix, slightly larger molecules."""
+    return MoleculeProfile(
+        backbone_labels=(
+            ("C", 0.7),
+            ("N", 0.11),
+            ("O", 0.13),
+            ("S", 0.04),
+            ("P", 0.02),
+        ),
+        backbone_size=(5, 14),
+        motif_weights=(
+            ("benzene", 1.0),
+            ("pyridine", 0.3),
+            ("furan", 0.2),
+            ("thiophene", 0.2),
+            ("hydroxyl", 1.0),
+            ("amine", 0.8),
+            ("carboxyl", 0.7),
+            ("carbonyl", 0.7),
+            ("nitro", 0.3),
+            ("sulfonyl", 0.25),
+            ("phosphate", 0.15),
+            ("halide_cl", 0.35),
+            ("halide_f", 0.25),
+            ("thiol", 0.15),
+        ),
+        motifs_per_molecule=(1, 4),
+        hydrogen_probability=0.3,
+    )
+
+
+def emol_profile() -> MoleculeProfile:
+    """eMolecule-like: smaller fragments, fewer heteroatoms."""
+    return MoleculeProfile(
+        backbone_labels=(
+            ("C", 0.78),
+            ("N", 0.1),
+            ("O", 0.1),
+            ("S", 0.02),
+        ),
+        backbone_size=(3, 8),
+        motifs_per_molecule=(1, 2),
+        hydrogen_probability=0.15,
+    )
+
+
+def make_molecule_database(
+    count: int,
+    profile: MoleculeProfile | None = None,
+    seed: int = 0,
+) -> GraphDatabase:
+    """Generate a database of *count* molecules under *profile*."""
+    generator = MoleculeGenerator(profile=profile, seed=seed)
+    return GraphDatabase(generator.generate_many(count))
+
+
+def aids_like(count: int, seed: int = 0) -> GraphDatabase:
+    return make_molecule_database(count, aids_profile(), seed)
+
+
+def pubchem_like(count: int, seed: int = 0) -> GraphDatabase:
+    return make_molecule_database(count, pubchem_profile(), seed)
+
+
+def emol_like(count: int, seed: int = 0) -> GraphDatabase:
+    return make_molecule_database(count, emol_profile(), seed)

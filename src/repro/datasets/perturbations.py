@@ -1,0 +1,148 @@
+"""Graph perturbations for robustness scenarios.
+
+Beyond the paper's insert/delete batches, deployments see *qualitative*
+drifts: label conventions change, bonds get rewired, noise creeps in.
+These perturbation operators build batches that stress specific parts of
+MIDAS:
+
+* :func:`relabeled_batch` — structure-preserving label substitution.
+  Notably, the graphlet-frequency detector (Section 3.4) is label-blind:
+  graphlets are unlabelled patterns, so a pure relabeling registers a
+  near-zero GFD distance even though every displayed pattern may have
+  become useless.  The test suite pins this blind spot down and
+  DESIGN.md records it as a faithful limitation of the paper's design.
+* :func:`rewired_batch` — degree-biased edge rewiring that changes
+  topology (and therefore the GFD) while keeping the label multiset.
+* :func:`densified_batch` — random chord insertion, pushing graphs
+  toward triangle/clique graphlets.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..graph.database import BatchUpdate, GraphDatabase
+from ..graph.labeled_graph import LabeledGraph
+
+
+def relabel_graph(
+    graph: LabeledGraph, mapping: dict[str, str]
+) -> LabeledGraph:
+    """A copy of *graph* with vertex labels substituted via *mapping*."""
+    clone = LabeledGraph(name=graph.name)
+    for vertex in graph.vertices():
+        label = graph.label(vertex)
+        clone.add_vertex(vertex, mapping.get(label, label))
+    for u, v in graph.edges():
+        clone.add_edge(u, v)
+    return clone
+
+
+def rewire_graph(
+    graph: LabeledGraph, swaps: int, rng: random.Random
+) -> LabeledGraph:
+    """Degree-preserving-ish rewiring: move edge endpoints randomly.
+
+    Keeps the label multiset and edge count; connectivity may change, so
+    callers needing connected graphs should check.
+    """
+    clone = graph.copy()
+    for _ in range(swaps):
+        edges = list(clone.edges())
+        vertices = sorted(clone.vertices(), key=repr)
+        if not edges or len(vertices) < 3:
+            break
+        u, v = rng.choice(sorted(edges))
+        candidates = [
+            w for w in vertices if w != u and not clone.has_edge(u, w)
+        ]
+        if not candidates:
+            continue
+        w = rng.choice(candidates)
+        clone.remove_edge(u, v)
+        clone.add_edge(u, w)
+    return clone
+
+
+def densify_graph(
+    graph: LabeledGraph, chords: int, rng: random.Random
+) -> LabeledGraph:
+    """Add up to *chords* random non-edges (pushes GFD toward cycles)."""
+    clone = graph.copy()
+    vertices = sorted(clone.vertices(), key=repr)
+    attempts = 0
+    added = 0
+    while added < chords and attempts < chords * 10 and len(vertices) >= 2:
+        attempts += 1
+        u, v = rng.sample(vertices, 2)
+        if not clone.has_edge(u, v):
+            clone.add_edge(u, v)
+            added += 1
+    return clone
+
+
+def _pick_victims(
+    database: GraphDatabase, count: int, rng: random.Random
+) -> list[int]:
+    ids = database.ids()
+    count = min(count, len(ids))
+    return rng.sample(ids, count)
+
+
+def relabeled_batch(
+    database: GraphDatabase,
+    count: int,
+    mapping: dict[str, str],
+    seed: int = 0,
+) -> BatchUpdate:
+    """Replace *count* random graphs with relabeled copies (delete+insert)."""
+    rng = random.Random(seed)
+    victims = _pick_victims(database, count, rng)
+    replacements = [
+        relabel_graph(database[gid], mapping) for gid in victims
+    ]
+    return BatchUpdate.of(insertions=replacements, deletions=victims)
+
+
+def rewired_batch(
+    database: GraphDatabase,
+    count: int,
+    swaps_per_graph: int = 3,
+    seed: int = 0,
+) -> BatchUpdate:
+    """Replace *count* random graphs with rewired copies."""
+    rng = random.Random(seed)
+    victims = _pick_victims(database, count, rng)
+    replacements = [
+        rewire_graph(database[gid], swaps_per_graph, rng)
+        for gid in victims
+    ]
+    return BatchUpdate.of(insertions=replacements, deletions=victims)
+
+
+def densified_batch(
+    database: GraphDatabase,
+    count: int,
+    chords_per_graph: int = 2,
+    seed: int = 0,
+) -> BatchUpdate:
+    """Replace *count* random graphs with densified copies."""
+    rng = random.Random(seed)
+    victims = _pick_victims(database, count, rng)
+    replacements = [
+        densify_graph(database[gid], chords_per_graph, rng)
+        for gid in victims
+    ]
+    return BatchUpdate.of(insertions=replacements, deletions=victims)
+
+
+def label_swap_mapping(labels: Sequence[str]) -> dict[str, str]:
+    """A cyclic substitution over *labels* (every label changes)."""
+    ordered = list(labels)
+    if len(ordered) < 2:
+        return {}
+    return {
+        ordered[i]: ordered[(i + 1) % len(ordered)]
+        for i in range(len(ordered))
+    }

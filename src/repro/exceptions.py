@@ -1,0 +1,15 @@
+"""Shared exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for errors raised by the repro framework."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is configured with invalid parameters."""
+
+
+class MaintenanceError(ReproError):
+    """Raised when pattern maintenance cannot proceed."""

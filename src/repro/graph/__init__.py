@@ -1,0 +1,37 @@
+"""Labelled-graph substrate: graphs, canonical forms, databases, IO."""
+
+from .canonical import are_isomorphic, canonical_certificate, canonical_key
+from .database import AppliedUpdate, BatchUpdate, DatabaseError, GraphDatabase
+from .statistics import DatabaseStatistics, database_statistics, describe, label_entropy
+from .labeled_graph import (
+    Edge,
+    EdgeLabel,
+    GraphError,
+    Label,
+    LabeledGraph,
+    VertexId,
+    edge_key,
+    normalize_edge_label,
+)
+
+__all__ = [
+    "AppliedUpdate",
+    "BatchUpdate",
+    "DatabaseError",
+    "DatabaseStatistics",
+    "Edge",
+    "EdgeLabel",
+    "GraphDatabase",
+    "GraphError",
+    "Label",
+    "LabeledGraph",
+    "VertexId",
+    "are_isomorphic",
+    "canonical_certificate",
+    "canonical_key",
+    "database_statistics",
+    "describe",
+    "edge_key",
+    "label_entropy",
+    "normalize_edge_label",
+]

@@ -1,0 +1,217 @@
+"""Graph database and batch updates.
+
+A :class:`GraphDatabase` is a collection of small/medium labelled data
+graphs, each with a unique integer ID (paper, Section 2.1).  Evolution is
+modelled as a :class:`BatchUpdate` — a set of graph insertions (Δ⁺) and
+deletions (Δ⁻) applied atomically (paper, Section 3.1: database changes
+arrive as periodic batches rather than as a stream).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from .labeled_graph import LabeledGraph
+
+
+class DatabaseError(Exception):
+    """Raised for invalid database operations (duplicate/missing IDs...)."""
+
+
+@dataclass(frozen=True)
+class BatchUpdate:
+    """A batch update ΔD: graphs to insert and IDs of graphs to delete.
+
+    Attributes
+    ----------
+    insertions:
+        New data graphs (Δ⁺).  IDs are assigned by the database when the
+        batch is applied.
+    deletions:
+        IDs of existing graphs to remove (Δ⁻).
+    """
+
+    insertions: tuple[LabeledGraph, ...] = ()
+    deletions: tuple[int, ...] = ()
+
+    @classmethod
+    def of(
+        cls,
+        insertions: Iterable[LabeledGraph] = (),
+        deletions: Iterable[int] = (),
+    ) -> "BatchUpdate":
+        return cls(tuple(insertions), tuple(deletions))
+
+    @property
+    def num_insertions(self) -> int:
+        return len(self.insertions)
+
+    @property
+    def num_deletions(self) -> int:
+        return len(self.deletions)
+
+    def is_empty(self) -> bool:
+        return not self.insertions and not self.deletions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BatchUpdate +{len(self.insertions)} -{len(self.deletions)}>"
+
+
+@dataclass
+class AppliedUpdate:
+    """Record of a batch application: which IDs were added and removed."""
+
+    inserted_ids: list[int] = field(default_factory=list)
+    deleted_ids: list[int] = field(default_factory=list)
+    deleted_graphs: dict[int, LabeledGraph] = field(default_factory=dict)
+
+
+class GraphDatabase:
+    """A repository of labelled data graphs indexed by integer ID.
+
+    Examples
+    --------
+    >>> from repro.graph import LabeledGraph
+    >>> db = GraphDatabase()
+    >>> gid = db.add(LabeledGraph.from_edges({0: "C", 1: "O"}, [(0, 1)]))
+    >>> len(db)
+    1
+    >>> db[gid].num_edges
+    1
+    """
+
+    def __init__(self, graphs: Iterable[LabeledGraph] = ()) -> None:
+        self._graphs: dict[int, LabeledGraph] = {}
+        self._next_id = 0
+        for graph in graphs:
+            self.add(graph)
+
+    # ------------------------------------------------------------------
+    # basic container behaviour
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __contains__(self, graph_id: int) -> bool:
+        return graph_id in self._graphs
+
+    def __getitem__(self, graph_id: int) -> LabeledGraph:
+        try:
+            return self._graphs[graph_id]
+        except KeyError:
+            raise DatabaseError(f"no graph with id {graph_id}") from None
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._graphs)
+
+    def ids(self) -> list[int]:
+        """All graph IDs in ascending order."""
+        return sorted(self._graphs)
+
+    def graphs(self) -> Iterator[LabeledGraph]:
+        for graph_id in self.ids():
+            yield self._graphs[graph_id]
+
+    def items(self) -> Iterator[tuple[int, LabeledGraph]]:
+        for graph_id in self.ids():
+            yield graph_id, self._graphs[graph_id]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, graph: LabeledGraph) -> int:
+        """Insert *graph* and return its assigned ID."""
+        graph_id = self._next_id
+        self._next_id += 1
+        named = graph if graph.name else graph.copy(name=f"G{graph_id}")
+        self._graphs[graph_id] = named
+        return graph_id
+
+    def remove(self, graph_id: int) -> LabeledGraph:
+        """Delete and return the graph with *graph_id*."""
+        try:
+            return self._graphs.pop(graph_id)
+        except KeyError:
+            raise DatabaseError(f"no graph with id {graph_id}") from None
+
+    def apply(self, update: BatchUpdate) -> AppliedUpdate:
+        """Apply ΔD in place (``D ← D ⊕ ΔD``) and return the applied record.
+
+        Deletions are validated before anything is mutated so a bad batch
+        leaves the database untouched.
+        """
+        missing = [gid for gid in update.deletions if gid not in self._graphs]
+        if missing:
+            raise DatabaseError(f"cannot delete missing graph ids: {missing}")
+        record = AppliedUpdate()
+        for graph_id in update.deletions:
+            record.deleted_graphs[graph_id] = self._graphs.pop(graph_id)
+            record.deleted_ids.append(graph_id)
+        for graph in update.insertions:
+            record.inserted_ids.append(self.add(graph))
+        return record
+
+    def updated(self, update: BatchUpdate) -> "GraphDatabase":
+        """Return a new database equal to ``D ⊕ ΔD`` without mutating ``D``.
+
+        Graph IDs of surviving graphs are preserved, and newly inserted
+        graphs receive fresh IDs, mirroring :meth:`apply`.
+        """
+        clone = self.copy()
+        clone.apply(update)
+        return clone
+
+    def copy(self) -> "GraphDatabase":
+        """Return a shallow-structural copy (graphs are shared, IDs kept)."""
+        clone = GraphDatabase()
+        clone._graphs = dict(self._graphs)
+        clone._next_id = self._next_id
+        return clone
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def total_vertices(self) -> int:
+        return sum(g.num_vertices for g in self._graphs.values())
+
+    def total_edges(self) -> int:
+        return sum(g.num_edges for g in self._graphs.values())
+
+    def vertex_label_alphabet(self) -> set[str]:
+        alphabet: set[str] = set()
+        for graph in self._graphs.values():
+            alphabet |= graph.vertex_label_set()
+        return alphabet
+
+    def edge_label_document_frequency(self) -> dict[tuple[str, str], int]:
+        """For each edge label, the number of graphs containing it.
+
+        This is the numerator of the paper's label coverage
+        ``lcov(e, D) = |L(e, D)| / |D|``.
+        """
+        frequency: dict[tuple[str, str], int] = {}
+        for graph in self._graphs.values():
+            for edge_label in graph.edge_label_set():
+                frequency[edge_label] = frequency.get(edge_label, 0) + 1
+        return frequency
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate statistics used in logs and experiment headers."""
+        count = len(self._graphs)
+        if count == 0:
+            return {
+                "graphs": 0,
+                "avg_vertices": 0.0,
+                "avg_edges": 0.0,
+                "labels": 0,
+            }
+        return {
+            "graphs": count,
+            "avg_vertices": self.total_vertices() / count,
+            "avg_edges": self.total_edges() / count,
+            "labels": len(self.vertex_label_alphabet()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GraphDatabase |D|={len(self._graphs)}>"

@@ -1,0 +1,192 @@
+"""Serialisation of graphs and databases.
+
+Two plain-text formats are supported:
+
+* **adjacency text** — a line-oriented format mirroring the classic
+  graph-transaction files used by frequent subgraph miners (gSpan-style):
+
+  .. code-block:: text
+
+      t # 0
+      v 0 C
+      v 1 O
+      e 0 1
+
+* **JSON** — a structured format convenient for round-tripping whole
+  databases together with metadata.
+
+Both formats preserve vertex identities (as the integers they are written
+with) and graph order.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from .database import GraphDatabase
+from .labeled_graph import LabeledGraph
+
+
+class FormatError(Exception):
+    """Raised when parsing malformed graph text."""
+
+
+def _vertex_order_key(vertex):
+    """Deterministic vertex ordering: integers numerically, the rest by
+    repr.  Numeric ordering keeps serialisation idempotent for the
+    common dense-integer vertex ids (repr order would interleave
+    "10" between "1" and "2")."""
+    if isinstance(vertex, int):
+        return (0, vertex, "")
+    return (1, 0, repr(vertex))
+
+
+# ----------------------------------------------------------------------
+# gSpan-style transaction format
+# ----------------------------------------------------------------------
+def dumps_transactions(graphs: Iterable[LabeledGraph]) -> str:
+    """Serialise *graphs* in gSpan transaction format."""
+    lines: list[str] = []
+    for index, graph in enumerate(graphs):
+        lines.append(f"t # {index}")
+        order = sorted(graph.vertices(), key=_vertex_order_key)
+        position = {v: i for i, v in enumerate(order)}
+        for vertex in order:
+            lines.append(f"v {position[vertex]} {graph.label(vertex)}")
+        for u, v in sorted(graph.edges(), key=lambda e: (position[e[0]], position[e[1]])):
+            a, b = sorted((position[u], position[v]))
+            lines.append(f"e {a} {b}")
+    lines.append("t # -1")
+    return "\n".join(lines) + "\n"
+
+
+def loads_transactions(text: str) -> list[LabeledGraph]:
+    """Parse gSpan transaction text into a list of graphs."""
+    graphs: list[LabeledGraph] = []
+    current: LabeledGraph | None = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "t":
+            if current is not None and (current.num_vertices or not graphs):
+                graphs.append(current)
+            if parts[-1] == "-1":
+                current = None
+                break
+            current = LabeledGraph(name=f"G{len(graphs)}")
+        elif kind == "v":
+            if current is None:
+                raise FormatError(f"line {line_no}: vertex outside transaction")
+            if len(parts) != 3:
+                raise FormatError(f"line {line_no}: malformed vertex line {line!r}")
+            current.add_vertex(int(parts[1]), parts[2])
+        elif kind == "e":
+            if current is None:
+                raise FormatError(f"line {line_no}: edge outside transaction")
+            if len(parts) != 3:
+                raise FormatError(f"line {line_no}: malformed edge line {line!r}")
+            current.add_edge(int(parts[1]), int(parts[2]))
+        else:
+            raise FormatError(f"line {line_no}: unknown record kind {kind!r}")
+    if current is not None and current.num_vertices:
+        graphs.append(current)
+    return graphs
+
+
+def write_transactions(path: str | Path, graphs: Iterable[LabeledGraph]) -> None:
+    Path(path).write_text(dumps_transactions(graphs))
+
+
+def read_transactions(path: str | Path) -> list[LabeledGraph]:
+    return loads_transactions(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# JSON format
+# ----------------------------------------------------------------------
+def graph_to_dict(graph: LabeledGraph) -> dict:
+    """JSON-ready dict representation of a single graph."""
+    order = sorted(graph.vertices(), key=_vertex_order_key)
+    position = {v: i for i, v in enumerate(order)}
+    return {
+        "name": graph.name,
+        "labels": [graph.label(v) for v in order],
+        "edges": sorted(
+            sorted((position[u], position[v])) for u, v in graph.edges()
+        ),
+    }
+
+
+def graph_from_dict(payload: dict) -> LabeledGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    try:
+        labels = payload["labels"]
+        edges = payload["edges"]
+    except KeyError as exc:
+        raise FormatError(f"missing key in graph payload: {exc}") from None
+    graph = LabeledGraph(name=payload.get("name"))
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def database_to_json(database: GraphDatabase) -> str:
+    payload = {
+        "format": "repro-graphdb-v1",
+        "graphs": {
+            str(graph_id): graph_to_dict(graph)
+            for graph_id, graph in database.items()
+        },
+    }
+    return json.dumps(payload)
+
+
+def database_from_json(text: str) -> GraphDatabase:
+    payload = json.loads(text)
+    if payload.get("format") != "repro-graphdb-v1":
+        raise FormatError(f"unsupported format tag: {payload.get('format')!r}")
+    database = GraphDatabase()
+    entries = sorted(payload["graphs"].items(), key=lambda kv: int(kv[0]))
+    for graph_id_text, graph_payload in entries:
+        graph_id = int(graph_id_text)
+        graph = graph_from_dict(graph_payload)
+        # Re-create IDs faithfully: pad the allocator up to graph_id.
+        while database._next_id < graph_id:  # noqa: SLF001 - intentional
+            database._next_id += 1
+        assigned = database.add(graph)
+        if assigned != graph_id:
+            raise FormatError(
+                f"non-monotonic graph ids in payload near {graph_id}"
+            )
+    return database
+
+
+def write_database(path: str | Path, database: GraphDatabase) -> None:
+    Path(path).write_text(database_to_json(database))
+
+
+def read_database(path: str | Path) -> GraphDatabase:
+    return database_from_json(Path(path).read_text())
+
+
+def iter_graph_chunks(
+    graphs: Iterable[LabeledGraph], chunk_size: int
+) -> Iterator[list[LabeledGraph]]:
+    """Yield graphs in chunks of *chunk_size* (last chunk may be short)."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    chunk: list[LabeledGraph] = []
+    for graph in graphs:
+        chunk.append(graph)
+        if len(chunk) == chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

@@ -1,0 +1,112 @@
+"""Database-level statistics.
+
+Used to validate that the synthetic datasets stand in credibly for the
+paper's chemical repositories (label skew, size distribution, sparsity)
+and by the experiment headers that describe their inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from .database import GraphDatabase
+
+
+@dataclass(frozen=True)
+class DatabaseStatistics:
+    """Aggregate shape statistics of a graph database."""
+
+    num_graphs: int
+    avg_vertices: float
+    avg_edges: float
+    max_vertices: int
+    max_edges: int
+    avg_density: float
+    label_counts: dict[str, int]
+    label_entropy_bits: float
+    avg_degree: float
+    tree_fraction: float
+
+    def dominant_label(self) -> str | None:
+        if not self.label_counts:
+            return None
+        return max(self.label_counts, key=lambda k: self.label_counts[k])
+
+
+def label_entropy(counts: Counter) -> float:
+    """Shannon entropy (bits) of a label multiset."""
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def database_statistics(database: GraphDatabase) -> DatabaseStatistics:
+    """Compute :class:`DatabaseStatistics` in one pass over *database*."""
+    n = len(database)
+    if n == 0:
+        return DatabaseStatistics(
+            num_graphs=0,
+            avg_vertices=0.0,
+            avg_edges=0.0,
+            max_vertices=0,
+            max_edges=0,
+            avg_density=0.0,
+            label_counts={},
+            label_entropy_bits=0.0,
+            avg_degree=0.0,
+            tree_fraction=0.0,
+        )
+    labels: Counter = Counter()
+    total_vertices = 0
+    total_edges = 0
+    max_vertices = 0
+    max_edges = 0
+    density_sum = 0.0
+    trees = 0
+    for graph in database.graphs():
+        total_vertices += graph.num_vertices
+        total_edges += graph.num_edges
+        max_vertices = max(max_vertices, graph.num_vertices)
+        max_edges = max(max_edges, graph.num_edges)
+        density_sum += graph.density()
+        labels.update(graph.labels().values())
+        if graph.is_tree():
+            trees += 1
+    return DatabaseStatistics(
+        num_graphs=n,
+        avg_vertices=total_vertices / n,
+        avg_edges=total_edges / n,
+        max_vertices=max_vertices,
+        max_edges=max_edges,
+        avg_density=density_sum / n,
+        label_counts=dict(labels),
+        label_entropy_bits=label_entropy(labels),
+        avg_degree=(2 * total_edges / total_vertices)
+        if total_vertices
+        else 0.0,
+        tree_fraction=trees / n,
+    )
+
+
+def describe(database: GraphDatabase) -> str:
+    """One-paragraph textual description for experiment headers."""
+    stats = database_statistics(database)
+    if stats.num_graphs == 0:
+        return "empty database"
+    dominant = stats.dominant_label()
+    return (
+        f"{stats.num_graphs} graphs, "
+        f"avg |V|={stats.avg_vertices:.1f} |E|={stats.avg_edges:.1f} "
+        f"(max {stats.max_vertices}/{stats.max_edges}), "
+        f"avg degree {stats.avg_degree:.2f}, "
+        f"{100 * stats.tree_fraction:.0f}% acyclic, "
+        f"{len(stats.label_counts)} labels "
+        f"(dominant {dominant!r}, entropy {stats.label_entropy_bits:.2f} bits)"
+    )

@@ -1,0 +1,23 @@
+"""Graphlet substrate: atlas, exact counting, frequency distributions."""
+
+from .atlas import ATLAS, GRAPHLET_NAMES, Graphlet, graphlet_by_name
+from .counting import count_graphlets, count_graphlets_bruteforce
+from .distribution import (
+    DISTANCE_MEASURES,
+    GraphletDistribution,
+    database_distribution,
+    distribution_distance,
+)
+
+__all__ = [
+    "ATLAS",
+    "DISTANCE_MEASURES",
+    "GRAPHLET_NAMES",
+    "Graphlet",
+    "GraphletDistribution",
+    "count_graphlets",
+    "count_graphlets_bruteforce",
+    "database_distribution",
+    "distribution_distance",
+    "graphlet_by_name",
+]

@@ -1,0 +1,91 @@
+"""The graphlet atlas: connected 2-, 3- and 4-node graphlets.
+
+MIDAS detects whether a batch update is a *major* or *minor* modification
+by comparing graphlet frequency distributions before and after the update
+(paper, Section 3.4).  Graphlets are the small connected unlabelled
+network patterns of Pržulj's catalogue; the relevant ones here are the
+nine connected graphlets on up to four nodes:
+
+====  ===========================  =========
+ id    name                         vertices
+====  ===========================  =========
+ g0    edge                         2
+ g1    path_3 (P3)                  3
+ g2    triangle                     3
+ g3    path_4 (P4)                  4
+ g4    star_3 (claw / S3)           4
+ g5    cycle_4 (C4)                 4
+ g6    tailed_triangle              4
+ g7    diamond (K4 − e)             4
+ g8    clique_4 (K4)                4
+====  ===========================  =========
+
+Lemma 3.5's observation — every canned pattern is built from graphlets
+and edges — is what makes shifts in this distribution a proxy for pattern
+staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.labeled_graph import LabeledGraph
+
+#: Stable ordering of graphlet identifiers; frequency vectors follow it.
+GRAPHLET_NAMES: tuple[str, ...] = (
+    "edge",
+    "path_3",
+    "triangle",
+    "path_4",
+    "star_3",
+    "cycle_4",
+    "tailed_triangle",
+    "diamond",
+    "clique_4",
+)
+
+_EDGE_SETS: dict[str, tuple[tuple[int, int], ...]] = {
+    "edge": ((0, 1),),
+    "path_3": ((0, 1), (1, 2)),
+    "triangle": ((0, 1), (1, 2), (0, 2)),
+    "path_4": ((0, 1), (1, 2), (2, 3)),
+    "star_3": ((0, 1), (0, 2), (0, 3)),
+    "cycle_4": ((0, 1), (1, 2), (2, 3), (0, 3)),
+    "tailed_triangle": ((0, 1), (1, 2), (0, 2), (0, 3)),
+    "diamond": ((0, 1), (1, 2), (0, 2), (0, 3), (1, 3)),
+    "clique_4": ((0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)),
+}
+
+
+@dataclass(frozen=True)
+class Graphlet:
+    """One entry of the atlas."""
+
+    index: int
+    name: str
+    num_vertices: int
+    edges: tuple[tuple[int, int], ...]
+
+    def as_graph(self, label: str = "*") -> LabeledGraph:
+        """Materialise the graphlet as a uniformly-labelled graph."""
+        labels = {v: label for v in range(self.num_vertices)}
+        return LabeledGraph.from_edges(labels, self.edges)
+
+
+def _build_atlas() -> tuple[Graphlet, ...]:
+    atlas = []
+    for index, name in enumerate(GRAPHLET_NAMES):
+        edges = _EDGE_SETS[name]
+        num_vertices = max(max(e) for e in edges) + 1
+        atlas.append(Graphlet(index, name, num_vertices, edges))
+    return tuple(atlas)
+
+
+ATLAS: tuple[Graphlet, ...] = _build_atlas()
+
+
+def graphlet_by_name(name: str) -> Graphlet:
+    for graphlet in ATLAS:
+        if graphlet.name == name:
+            return graphlet
+    raise KeyError(f"unknown graphlet {name!r}")

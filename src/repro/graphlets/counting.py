@@ -1,0 +1,161 @@
+"""Exact induced graphlet counting via combinatorial formulas.
+
+Naive enumeration of 4-vertex subsets is O(|V|⁴) per graph — too slow for
+databases of thousands of graphs, even small ones.  This module counts
+every induced graphlet of the atlas exactly with closed-form corrections
+between non-induced ("subgraph") counts and induced counts, the standard
+technique from the graphlet-counting literature (ORCA-style):
+
+* triangles ``T`` from common-neighbour counts per edge,
+* non-induced stars / paths from degree combinatorics,
+* 4-node counts ordered so that denser graphlets (K4, diamond) are
+  computed first and subtracted out of the sparser ones.
+
+All results were cross-validated against brute-force enumeration (see
+``tests/test_graphlets.py``).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..graph.labeled_graph import LabeledGraph
+from .atlas import GRAPHLET_NAMES
+
+
+def _choose2(n: int) -> int:
+    return n * (n - 1) // 2
+
+
+def _choose3(n: int) -> int:
+    return n * (n - 1) * (n - 2) // 6
+
+
+def count_graphlets(graph: LabeledGraph) -> np.ndarray:
+    """Induced counts of the nine atlas graphlets, in atlas order."""
+    vertices = list(graph.vertices())
+    adjacency = {v: graph.neighbors(v) for v in vertices}
+    degree = {v: len(adjacency[v]) for v in vertices}
+    edges = list(graph.edges())
+    num_edges = len(edges)
+
+    # --- 3-node graphlets -------------------------------------------------
+    # Common neighbour count per edge drives triangles and 4-node counts.
+    common: dict[tuple, int] = {}
+    triangle_triples: int = 0
+    for u, v in edges:
+        c = len(adjacency[u] & adjacency[v])
+        common[(u, v)] = c
+        triangle_triples += c
+    triangles = triangle_triples // 3
+    paths_3 = sum(_choose2(degree[v]) for v in vertices) - 3 * triangles
+
+    # --- dense 4-node graphlets ------------------------------------------
+    # K4: for each edge, pairs of adjacent common neighbours.
+    k4_incidences = 0
+    for u, v in edges:
+        shared = adjacency[u] & adjacency[v]
+        for w, x in combinations(sorted(shared, key=repr), 2):
+            if x in adjacency[w]:
+                k4_incidences += 1
+    cliques_4 = k4_incidences // 6
+
+    # Diamond: pairs of triangles sharing an edge, minus the K4 cases.
+    shared_pairs = sum(_choose2(c) for c in common.values())
+    diamonds = shared_pairs - 6 * cliques_4
+
+    # Non-induced 4-cycles via co-degree of all vertex pairs.
+    codegree_pairs = 0
+    for u, v in combinations(vertices, 2):
+        c = len(adjacency[u] & adjacency[v])
+        codegree_pairs += _choose2(c)
+    cycles_4_all = codegree_pairs // 2
+    cycles_4 = cycles_4_all - diamonds - 3 * cliques_4
+
+    # Tailed triangles: triangle degree-excess, minus dense corrections.
+    tail_incidences = 0
+    for u, v in edges:
+        for w in adjacency[u] & adjacency[v]:
+            # triangle (u, v, w) counted once per edge → three times total
+            tail_incidences += degree[u] + degree[v] + degree[w] - 6
+    tailed_all = tail_incidences // 3
+    tailed_triangles = tailed_all - 4 * diamonds - 12 * cliques_4
+
+    # Claws: central-vertex combinatorics minus every denser shape that
+    # contains a degree-3 vertex within the 4-set.
+    claws_all = sum(_choose3(degree[v]) for v in vertices)
+    stars_3 = (
+        claws_all - tailed_triangles - 2 * diamonds - 4 * cliques_4
+    )
+
+    # Paths on 4 vertices: central-edge combinatorics with corrections.
+    p4_all = 0
+    for u, v in edges:
+        p4_all += (degree[u] - 1) * (degree[v] - 1)
+    p4_all -= 3 * triangles
+    paths_4 = (
+        p4_all
+        - 2 * tailed_triangles
+        - 4 * cycles_4
+        - 6 * diamonds
+        - 12 * cliques_4
+    )
+
+    counts = np.array(
+        [
+            num_edges,
+            paths_3,
+            triangles,
+            paths_4,
+            stars_3,
+            cycles_4,
+            tailed_triangles,
+            diamonds,
+            cliques_4,
+        ],
+        dtype=np.float64,
+    )
+    return counts
+
+
+def count_graphlets_bruteforce(graph: LabeledGraph) -> np.ndarray:
+    """Reference implementation by explicit subset enumeration.
+
+    Exponentially slower than :func:`count_graphlets`; retained for
+    validation in tests.
+    """
+    vertices = sorted(graph.vertices(), key=repr)
+    counts = dict.fromkeys(GRAPHLET_NAMES, 0)
+    counts["edge"] = graph.num_edges
+
+    def induced_edge_count(subset: tuple) -> int:
+        return sum(
+            1 for a, b in combinations(subset, 2) if graph.has_edge(a, b)
+        )
+
+    for triple in combinations(vertices, 3):
+        edges_in = induced_edge_count(triple)
+        sub = graph.subgraph(triple)
+        if not sub.is_connected():
+            continue
+        if edges_in == 2:
+            counts["path_3"] += 1
+        elif edges_in == 3:
+            counts["triangle"] += 1
+    for quad in combinations(vertices, 4):
+        sub = graph.subgraph(quad)
+        if not sub.is_connected():
+            continue
+        edges_in = sub.num_edges
+        degrees = sorted(sub.degree(v) for v in quad)
+        if edges_in == 3:
+            counts["star_3" if degrees == [1, 1, 1, 3] else "path_4"] += 1
+        elif edges_in == 4:
+            counts["cycle_4" if degrees == [2, 2, 2, 2] else "tailed_triangle"] += 1
+        elif edges_in == 5:
+            counts["diamond"] += 1
+        elif edges_in == 6:
+            counts["clique_4"] += 1
+    return np.array([counts[name] for name in GRAPHLET_NAMES], dtype=np.float64)

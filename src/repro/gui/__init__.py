@@ -1,0 +1,19 @@
+"""A simulated visual graph query interface (panel + canvas + sessions)."""
+
+from .canvas import ActionKind, CanvasAction, QueryCanvas
+from .interface import SessionRecord, VisualInterface
+from .panel import PatternPanel
+from .render import ascii_adjacency, linear_notation, render_panel, render_pattern
+
+__all__ = [
+    "ActionKind",
+    "CanvasAction",
+    "PatternPanel",
+    "QueryCanvas",
+    "ascii_adjacency",
+    "linear_notation",
+    "render_panel",
+    "render_pattern",
+    "SessionRecord",
+    "VisualInterface",
+]

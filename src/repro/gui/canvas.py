@@ -1,0 +1,153 @@
+"""The query canvas of the visual interface.
+
+Models Panel 2 of the paper's GUI (Figure 1): the surface on which the
+user constructs a subgraph query.  Every user-visible atomic action —
+adding a vertex, adding an edge, deleting either, or dropping a whole
+canned pattern — is one :class:`CanvasAction` appended to the action log,
+so the log length is exactly the paper's *step* count and the canvas can
+be replayed or undone action by action.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..graph.labeled_graph import GraphError, LabeledGraph, VertexId
+
+
+class ActionKind(enum.Enum):
+    """The atomic interface actions (pattern drop counts as one)."""
+
+    ADD_VERTEX = "add_vertex"
+    ADD_EDGE = "add_edge"
+    DELETE_VERTEX = "delete_vertex"
+    DELETE_EDGE = "delete_edge"
+    PLACE_PATTERN = "place_pattern"
+
+
+@dataclass(frozen=True)
+class CanvasAction:
+    """One logged interface action."""
+
+    kind: ActionKind
+    payload: tuple
+
+
+class QueryCanvas:
+    """A mutable query graph with an action log and undo support."""
+
+    def __init__(self) -> None:
+        self._graph = LabeledGraph(name="canvas")
+        self._log: list[CanvasAction] = []
+        self._next_vertex = 0
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> LabeledGraph:
+        """The current query graph (live view — do not mutate)."""
+        return self._graph
+
+    @property
+    def steps(self) -> int:
+        """Number of atomic actions performed (the paper's steps)."""
+        return len(self._log)
+
+    @property
+    def log(self) -> list[CanvasAction]:
+        return list(self._log)
+
+    def snapshot(self) -> LabeledGraph:
+        """An independent copy of the current query graph."""
+        return self._graph.copy()
+
+    # ------------------------------------------------------------------
+    # atomic actions
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: str) -> VertexId:
+        vertex = self._next_vertex
+        self._next_vertex += 1
+        self._graph.add_vertex(vertex, label)
+        self._log.append(
+            CanvasAction(ActionKind.ADD_VERTEX, (vertex, label))
+        )
+        return vertex
+
+    def add_edge(self, u: VertexId, v: VertexId) -> None:
+        if self._graph.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) already drawn")
+        self._graph.add_edge(u, v)
+        self._log.append(CanvasAction(ActionKind.ADD_EDGE, (u, v)))
+
+    def delete_vertex(self, vertex: VertexId) -> None:
+        label = self._graph.label(vertex)
+        incident = [
+            (vertex, n) for n in sorted(self._graph.neighbors(vertex), key=repr)
+        ]
+        self._graph.remove_vertex(vertex)
+        self._log.append(
+            CanvasAction(
+                ActionKind.DELETE_VERTEX, (vertex, label, tuple(incident))
+            )
+        )
+
+    def delete_edge(self, u: VertexId, v: VertexId) -> None:
+        self._graph.remove_edge(u, v)
+        self._log.append(CanvasAction(ActionKind.DELETE_EDGE, (u, v)))
+
+    def place_pattern(self, pattern: LabeledGraph) -> dict[VertexId, VertexId]:
+        """Drop a canned pattern onto the canvas — one single action.
+
+        Returns the mapping pattern-vertex → fresh canvas-vertex.
+        """
+        mapping: dict[VertexId, VertexId] = {}
+        for vertex in sorted(pattern.vertices(), key=repr):
+            canvas_vertex = self._next_vertex
+            self._next_vertex += 1
+            self._graph.add_vertex(canvas_vertex, pattern.label(vertex))
+            mapping[vertex] = canvas_vertex
+        for u, v in pattern.edges():
+            self._graph.add_edge(mapping[u], mapping[v])
+        self._log.append(
+            CanvasAction(
+                ActionKind.PLACE_PATTERN,
+                (tuple(sorted(mapping.items(), key=repr)),),
+            )
+        )
+        return mapping
+
+    # ------------------------------------------------------------------
+    # undo
+    # ------------------------------------------------------------------
+    def undo(self) -> CanvasAction:
+        """Revert the most recent action (and drop it from the log)."""
+        if not self._log:
+            raise GraphError("nothing to undo")
+        action = self._log.pop()
+        if action.kind is ActionKind.ADD_VERTEX:
+            vertex, _ = action.payload
+            self._graph.remove_vertex(vertex)
+        elif action.kind is ActionKind.ADD_EDGE:
+            u, v = action.payload
+            self._graph.remove_edge(u, v)
+        elif action.kind is ActionKind.DELETE_EDGE:
+            u, v = action.payload
+            self._graph.add_edge(u, v)
+        elif action.kind is ActionKind.DELETE_VERTEX:
+            vertex, label, incident = action.payload
+            self._graph.add_vertex(vertex, label)
+            for u, v in incident:
+                self._graph.add_edge(u, v)
+        elif action.kind is ActionKind.PLACE_PATTERN:
+            (mapping_items,) = action.payload
+            for _, canvas_vertex in mapping_items:
+                self._graph.remove_vertex(canvas_vertex)
+        return action
+
+    def clear(self) -> None:
+        """Reset the canvas and the action log."""
+        self._graph = LabeledGraph(name="canvas")
+        self._log = []
+        self._next_vertex = 0

@@ -1,0 +1,163 @@
+"""The visual graph query interface: panel + canvas + session records.
+
+:class:`VisualInterface` ties the pattern panel and the query canvas
+together and can *execute* a :class:`~repro.workload.formulation
+.FormulationPlan` end to end: each placement drops the planned pattern
+variant on the canvas (one step, plus its deletion edits) and the
+remaining vertices/edges are drawn one at a time.  Executing a plan and
+checking the canvas against the intended query is the strongest
+correctness check the repository has for the planner — it is exercised
+in the test suite and the example scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.canonical import are_isomorphic
+from ..graph.labeled_graph import LabeledGraph, VertexId
+from ..patterns.pattern import PatternSet
+from ..workload.formulation import FormulationPlan, plan_formulation
+from .canvas import QueryCanvas
+from .panel import PatternPanel
+
+
+@dataclass
+class SessionRecord:
+    """Outcome of formulating one query through the interface."""
+
+    query_name: str | None
+    steps: int
+    pattern_uses: int
+    deletions: int
+    vertices_drawn: int
+    edges_drawn: int
+    success: bool
+    scanned: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "query": self.query_name,
+            "steps": self.steps,
+            "pattern_uses": self.pattern_uses,
+            "deletions": self.deletions,
+            "vertices_drawn": self.vertices_drawn,
+            "edges_drawn": self.edges_drawn,
+            "success": self.success,
+            "scanned": self.scanned,
+        }
+
+
+@dataclass
+class VisualInterface:
+    """A simulated direct-manipulation query interface."""
+
+    panel: PatternPanel = field(default_factory=PatternPanel)
+    canvas: QueryCanvas = field(default_factory=QueryCanvas)
+    sessions: list[SessionRecord] = field(default_factory=list)
+
+    @classmethod
+    def with_patterns(cls, patterns: PatternSet) -> "VisualInterface":
+        return cls(panel=PatternPanel(patterns))
+
+    # ------------------------------------------------------------------
+    def refresh_patterns(self, patterns: PatternSet) -> None:
+        """Install a maintained pattern set (the MIDAS hand-off)."""
+        self.panel.refresh(patterns)
+
+    # ------------------------------------------------------------------
+    def execute_plan(
+        self,
+        query: LabeledGraph,
+        plan: FormulationPlan,
+        patterns: list[LabeledGraph] | None = None,
+    ) -> SessionRecord:
+        """Replay *plan* on a fresh canvas and verify the result.
+
+        The canvas is cleared first.  Each placement drops the *original*
+        pattern (one action) and then deletes the pendant vertices the
+        planner trimmed, exactly as a user edits a dropped pattern;
+        after execution the canvas graph must be isomorphic to *query*
+        (recorded in ``success``).
+        """
+        if patterns is None:
+            patterns = [p.graph for p in self.panel.displayed()]
+        self.canvas.clear()
+        scanned_before = self.panel.scanned
+        query_to_canvas: dict[VertexId, VertexId] = {}
+        for placement in plan.placed:
+            if placement.variant is None or placement.embedding is None:
+                raise ValueError(
+                    "plan lacks embeddings; build it with plan_formulation"
+                )
+            # Browsing the panel to locate the pattern.
+            self.panel.scanned += max(self.panel.gamma // 2, 1)
+            self.panel.picked += 1
+            original = patterns[placement.pattern_index]
+            mapping = self.canvas.place_pattern(original)
+            # Edit the dropped pattern: delete the trimmed pendants,
+            # leaves first so each deletion removes one vertex + edge.
+            trimmed = set(original.vertices()) - set(
+                placement.variant.vertices()
+            )
+            pending = {mapping[v] for v in trimmed}
+            while pending:
+                leaf = min(
+                    pending,
+                    key=lambda cv: (self.canvas.graph.degree(cv), repr(cv)),
+                )
+                self.canvas.delete_vertex(leaf)
+                pending.discard(leaf)
+            for pattern_vertex, query_vertex in placement.embedding.items():
+                query_to_canvas[query_vertex] = mapping[pattern_vertex]
+        for query_vertex in plan.remaining_vertices:
+            query_to_canvas[query_vertex] = self.canvas.add_vertex(
+                query.label(query_vertex)
+            )
+        for u, v in plan.remaining_edges:
+            self.canvas.add_edge(query_to_canvas[u], query_to_canvas[v])
+        success = are_isomorphic(self.canvas.graph, query)
+        record = SessionRecord(
+            query_name=query.name,
+            steps=plan.steps,
+            pattern_uses=plan.num_pattern_uses,
+            deletions=plan.num_deletions,
+            vertices_drawn=plan.vertices_added,
+            edges_drawn=plan.edges_added,
+            success=success,
+            scanned=self.panel.scanned - scanned_before,
+        )
+        self.sessions.append(record)
+        return record
+
+    def formulate(
+        self, query: LabeledGraph, max_edits: int = 0
+    ) -> SessionRecord:
+        """Plan and execute the formulation of *query* in one call."""
+        plan = plan_formulation(
+            query,
+            [p.graph for p in self.panel.displayed()],
+            max_edits=max_edits,
+        )
+        return self.execute_plan(query, plan)
+
+    # ------------------------------------------------------------------
+    def session_summary(self) -> dict:
+        """Aggregate statistics over all recorded sessions."""
+        if not self.sessions:
+            return {
+                "sessions": 0,
+                "avg_steps": 0.0,
+                "success_rate": 0.0,
+                "pattern_usage_rate": 0.0,
+            }
+        total = len(self.sessions)
+        return {
+            "sessions": total,
+            "avg_steps": sum(s.steps for s in self.sessions) / total,
+            "success_rate": sum(s.success for s in self.sessions) / total,
+            "pattern_usage_rate": sum(
+                1 for s in self.sessions if s.pattern_uses
+            )
+            / total,
+        }

@@ -1,0 +1,80 @@
+"""The canned-pattern panel of the visual interface.
+
+Models Panel 4 of the paper's GUI (Figure 1): the γ displayed canned
+patterns a user browses before dragging one onto the canvas.  Browsing is
+modelled explicitly (``browse`` yields patterns in display order) because
+the paper's *visual mapping time* (VMT) is exactly the time spent in this
+panel.  The panel is the component MIDAS refreshes: ``refresh`` swaps the
+displayed set in a single update, as Section 6.2 prescribes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..graph.labeled_graph import LabeledGraph
+from ..patterns.pattern import CannedPattern, PatternSet
+
+
+class PatternPanel:
+    """The displayed pattern set plus browsing bookkeeping."""
+
+    def __init__(self, patterns: PatternSet | None = None) -> None:
+        self._patterns = patterns if patterns is not None else PatternSet()
+        #: How many panel entries were visually scanned in this session.
+        self.scanned = 0
+        #: How many patterns were picked (dragged) in this session.
+        self.picked = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def gamma(self) -> int:
+        """Number of displayed patterns."""
+        return len(self._patterns)
+
+    def displayed(self) -> list[CannedPattern]:
+        return list(self._patterns)
+
+    def pattern_set(self) -> PatternSet:
+        return self._patterns
+
+    # ------------------------------------------------------------------
+    def browse(self) -> Iterator[CannedPattern]:
+        """Iterate the panel in display order, counting each scan."""
+        for pattern in self._patterns:
+            self.scanned += 1
+            yield pattern
+
+    def find_usable(
+        self, query: LabeledGraph, max_edits: int = 0
+    ) -> CannedPattern | None:
+        """Browse for the first pattern usable in *query*.
+
+        "Usable" follows the automated-study rule: the pattern (or, with
+        ``max_edits`` > 0, a pendant-trimmed variant) embeds in the query.
+        """
+        from ..workload.formulation import _pattern_variants
+        from ..isomorphism.matcher import contains
+
+        for pattern in self.browse():
+            for variant, _ in _pattern_variants(pattern.graph, max_edits):
+                if contains(query, variant):
+                    self.picked += 1
+                    return pattern
+        return None
+
+    def pick(self, pattern_id: int) -> CannedPattern:
+        """Pick a specific displayed pattern (counts as a scan + pick)."""
+        pattern = self._patterns.get(pattern_id)
+        self.scanned += 1
+        self.picked += 1
+        return pattern
+
+    # ------------------------------------------------------------------
+    def refresh(self, new_patterns: PatternSet) -> None:
+        """Swap the displayed set in one update (maintenance hand-off)."""
+        self._patterns = new_patterns
+
+    def reset_counters(self) -> None:
+        self.scanned = 0
+        self.picked = 0

@@ -1,0 +1,113 @@
+"""Text rendering of patterns and canvases.
+
+The real GUI draws patterns in Panel 4; this reproduction renders them as
+text so examples, logs and test failures stay readable:
+
+* :func:`linear_notation` — a SMILES-flavoured linear string (DFS with
+  ring-closure digits), compact and human-scannable;
+* :func:`ascii_adjacency` — an indented adjacency sketch for structures
+  too branched to read linearly;
+* :func:`render_panel` — the whole pattern panel as a numbered list.
+"""
+
+from __future__ import annotations
+
+from ..graph.labeled_graph import LabeledGraph, VertexId, edge_key
+from ..patterns.pattern import PatternSet
+
+
+def linear_notation(graph: LabeledGraph) -> str:
+    """A SMILES-like linear rendering of a connected labelled graph.
+
+    DFS from the highest-degree vertex; branches are parenthesised and
+    back-edges become numbered ring closures, e.g. a benzene-like ring
+    renders as ``C1-C-C-C-C-C-1``.
+    """
+    if graph.num_vertices == 0:
+        return "(empty)"
+    root = max(sorted(graph.vertices(), key=repr), key=graph.degree)
+    visited: set[VertexId] = set()
+    tree_edges: set[tuple] = set()
+    ring_ids: dict[tuple, int] = {}
+    next_ring = [1]
+
+    def assign_rings(vertex: VertexId, parent: VertexId | None) -> None:
+        visited.add(vertex)
+        for neighbor in sorted(graph.neighbors(vertex), key=repr):
+            key = edge_key(vertex, neighbor)
+            if neighbor == parent or key in tree_edges or key in ring_ids:
+                continue
+            if neighbor in visited:
+                ring_ids[key] = next_ring[0]
+                next_ring[0] += 1
+            else:
+                tree_edges.add(key)
+                assign_rings(neighbor, vertex)
+
+    assign_rings(root, None)
+
+    emitted: set[VertexId] = set()
+
+    def emit(vertex: VertexId, parent: VertexId | None) -> str:
+        emitted.add(vertex)
+        token = graph.label(vertex)
+        for key, ring in sorted(ring_ids.items(), key=lambda kv: kv[1]):
+            if vertex in key:
+                token += str(ring)
+        children = [
+            n
+            for n in sorted(graph.neighbors(vertex), key=repr)
+            if n != parent
+            and edge_key(vertex, n) in tree_edges
+            and n not in emitted
+        ]
+        parts = [token]
+        for i, child in enumerate(children):
+            rendered = emit(child, vertex)
+            if i < len(children) - 1:
+                parts.append(f"(-{rendered})")
+            else:
+                parts.append(f"-{rendered}")
+        return "".join(parts)
+
+    return emit(root, None)
+
+
+def ascii_adjacency(graph: LabeledGraph) -> str:
+    """An adjacency sketch, one vertex per line."""
+    if graph.num_vertices == 0:
+        return "(empty graph)"
+    lines = [f"|V|={graph.num_vertices} |E|={graph.num_edges}"]
+    for vertex in sorted(graph.vertices(), key=repr):
+        neighbors = ", ".join(
+            f"{graph.label(n)}{n}"
+            for n in sorted(graph.neighbors(vertex), key=repr)
+        )
+        lines.append(f"  {graph.label(vertex)}{vertex} — {neighbors or '·'}")
+    return "\n".join(lines)
+
+
+def render_pattern(graph: LabeledGraph, max_linear_vertices: int = 14) -> str:
+    """Pick the best textual rendering for one pattern."""
+    if graph.num_vertices == 0:
+        return "(empty)"
+    if not graph.is_connected():
+        return ascii_adjacency(graph)
+    if graph.num_vertices <= max_linear_vertices:
+        return linear_notation(graph)
+    return ascii_adjacency(graph)
+
+
+def render_panel(patterns: PatternSet) -> str:
+    """The whole pattern panel as a numbered list (Panel 4 in text)."""
+    if len(patterns) == 0:
+        return "(empty panel)"
+    lines = [f"pattern panel — γ = {len(patterns)}"]
+    for pattern in patterns:
+        provenance = f" [{pattern.provenance}]" if pattern.provenance else ""
+        lines.append(
+            f"  #{pattern.pattern_id:<3} "
+            f"({pattern.num_vertices}v/{pattern.num_edges}e){provenance} "
+            f"{render_pattern(pattern.graph)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""A token trie over canonical tree strings.
+
+The FCT-Index stores the canonical strings of frequent closed trees and
+frequent edges in a trie whose terminal nodes point into the TG/TP
+matrices (paper, Definition 5.1, Figure 5(d)).  Tokens are the vertex
+labels and the ``$`` sibling separator produced by
+:func:`repro.trees.canonical.canonical_tokens`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+
+class _TrieNode:
+    __slots__ = ("children", "payload", "terminal")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _TrieNode] = {}
+        self.payload: Hashable | None = None
+        self.terminal = False
+
+
+class TokenTrie:
+    """Insert/lookup/delete token sequences with terminal payloads."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Number of stored sequences."""
+        return self._size
+
+    def insert(self, tokens: Sequence[str], payload: Hashable) -> None:
+        """Store *tokens* with *payload*; re-inserting updates the payload."""
+        node = self._root
+        for token in tokens:
+            node = node.children.setdefault(token, _TrieNode())
+        if not node.terminal:
+            self._size += 1
+        node.terminal = True
+        node.payload = payload
+
+    def lookup(self, tokens: Sequence[str]) -> Hashable | None:
+        """Payload stored at *tokens*, or None."""
+        node = self._root
+        for token in tokens:
+            node = node.children.get(token)
+            if node is None:
+                return None
+        return node.payload if node.terminal else None
+
+    def __contains__(self, tokens: Sequence[str]) -> bool:
+        return self.lookup(tokens) is not None
+
+    def delete(self, tokens: Sequence[str]) -> bool:
+        """Remove *tokens*; prunes now-empty branches.  True if removed."""
+        path: list[tuple[_TrieNode, str]] = []
+        node = self._root
+        for token in tokens:
+            child = node.children.get(token)
+            if child is None:
+                return False
+            path.append((node, token))
+            node = child
+        if not node.terminal:
+            return False
+        node.terminal = False
+        node.payload = None
+        self._size -= 1
+        # Prune empty suffix.
+        for parent, token in reversed(path):
+            child = parent.children[token]
+            if child.terminal or child.children:
+                break
+            del parent.children[token]
+        return True
+
+    # ------------------------------------------------------------------
+    def node_count(self) -> int:
+        """Number of trie nodes (excluding the root)."""
+        count = 0
+        frontier = [self._root]
+        while frontier:
+            node = frontier.pop()
+            count += len(node.children)
+            frontier.extend(node.children.values())
+        return count
+
+    def max_depth(self) -> int:
+        """Length of the longest stored sequence."""
+        best = 0
+        frontier = [(self._root, 0)]
+        while frontier:
+            node, depth = frontier.pop()
+            best = max(best, depth)
+            for child in node.children.values():
+                frontier.append((child, depth + 1))
+        return best
+
+    def payloads(self) -> list[Hashable]:
+        """All stored payloads (unordered semantics, sorted by repr)."""
+        found: list[Hashable] = []
+        frontier = [self._root]
+        while frontier:
+            node = frontier.pop()
+            if node.terminal:
+                found.append(node.payload)
+            frontier.extend(node.children.values())
+        return sorted(found, key=repr)
+
+    @classmethod
+    def from_items(
+        cls, items: Iterable[tuple[Sequence[str], Hashable]]
+    ) -> "TokenTrie":
+        trie = cls()
+        for tokens, payload in items:
+            trie.insert(tokens, payload)
+        return trie

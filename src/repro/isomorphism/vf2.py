@@ -1,0 +1,216 @@
+"""VF2-style subgraph isomorphism for labelled graphs.
+
+The paper relies on (sub)graph isomorphism in many places: subgraph
+coverage (``scov``), cluster coverage, promising-candidate pruning and the
+FCT/IFE index prefilters (it cites the VF2 algorithm of Cordella et al.
+for this purpose, Section 5.1).  This module implements VF2 from scratch
+with:
+
+* vertex-label-aware feasibility rules,
+* both **monomorphism** (non-induced subgraph: every pattern edge must map
+  to a host edge; extra host edges are fine) and **induced** semantics,
+* existence tests, match iteration and embedding counting,
+* an inexpensive invariant prefilter (label multisets, degree sequences)
+  that resolves most negative queries without search.
+
+Monomorphism is the semantics of "query graph contains pattern" in visual
+query formulation: dragging a canned pattern onto the canvas contributes
+its vertices and edges, and the query may add more edges between them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from ..graph.labeled_graph import LabeledGraph, VertexId
+
+Assignment = dict[VertexId, VertexId]
+
+
+class VF2Matcher:
+    """Match a *pattern* graph into a *host* graph.
+
+    Parameters
+    ----------
+    pattern, host:
+        Labelled graphs.  ``pattern`` must not be larger than ``host`` for
+        a match to exist.
+    induced:
+        If True, require an induced embedding (non-edges of the pattern
+        must map to non-edges of the host).  Default False = monomorphism.
+    node_match:
+        Optional custom predicate ``(pattern_label, host_label) -> bool``;
+        defaults to label equality.
+    """
+
+    def __init__(
+        self,
+        pattern: LabeledGraph,
+        host: LabeledGraph,
+        induced: bool = False,
+        node_match: Callable[[str, str], bool] | None = None,
+    ) -> None:
+        self.pattern = pattern
+        self.host = host
+        self.induced = induced
+        self._node_match = node_match or (lambda a, b: a == b)
+        # Candidate order: most-constrained pattern vertices first
+        # (high degree, rare label), then connectivity order so each new
+        # vertex is adjacent to an already-mapped one when possible.
+        self._order = self._matching_order()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def has_match(self) -> bool:
+        """True iff at least one embedding of pattern into host exists."""
+        if not self._prefilter():
+            return False
+        for _ in self._match():
+            return True
+        return False
+
+    def matches(self) -> Iterator[Assignment]:
+        """Yield embeddings as pattern-vertex → host-vertex dicts."""
+        if not self._prefilter():
+            return
+        yield from self._match()
+
+    def count_matches(self, limit: int | None = None) -> int:
+        """Count embeddings, optionally stopping at *limit*."""
+        if not self._prefilter():
+            return 0
+        count = 0
+        for _ in self._match():
+            count += 1
+            if limit is not None and count >= limit:
+                break
+        return count
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _prefilter(self) -> bool:
+        """Cheap necessary conditions for a match to exist."""
+        pattern, host = self.pattern, self.host
+        if pattern.num_vertices > host.num_vertices:
+            return False
+        if pattern.num_edges > host.num_edges:
+            return False
+        host_labels = host.vertex_label_multiset()
+        for label, count in pattern.vertex_label_multiset().items():
+            if host_labels.get(label, 0) < count:
+                return False
+        host_edge_labels = host.edge_label_multiset()
+        for edge_label, count in pattern.edge_label_multiset().items():
+            if host_edge_labels.get(edge_label, 0) < count:
+                return False
+        return True
+
+    def _matching_order(self) -> list[VertexId]:
+        pattern = self.pattern
+        if pattern.num_vertices == 0:
+            return []
+        host_label_counts = self.host.vertex_label_multiset()
+
+        def rarity(vertex: VertexId) -> tuple:
+            return (
+                host_label_counts.get(pattern.label(vertex), 0),
+                -pattern.degree(vertex),
+                repr(vertex),
+            )
+
+        remaining = set(pattern.vertices())
+        order: list[VertexId] = []
+        frontier: set[VertexId] = set()
+        while remaining:
+            if frontier:
+                nxt = min(frontier, key=rarity)
+            else:
+                nxt = min(remaining, key=rarity)
+            order.append(nxt)
+            remaining.discard(nxt)
+            frontier.discard(nxt)
+            frontier |= pattern.neighbors(nxt) & remaining
+        return order
+
+    def _candidates(
+        self, pattern_vertex: VertexId, mapping: Assignment, used: set[VertexId]
+    ) -> Iterator[VertexId]:
+        """Candidate host vertices for *pattern_vertex* given partial map."""
+        pattern, host = self.pattern, self.host
+        mapped_neighbors = [
+            n for n in pattern.neighbors(pattern_vertex) if n in mapping
+        ]
+        if mapped_neighbors:
+            # Intersect host neighbourhoods of already-mapped neighbours.
+            first = mapping[mapped_neighbors[0]]
+            candidate_pool = set(host.neighbors(first))
+            for other in mapped_neighbors[1:]:
+                candidate_pool &= host.neighbors(mapping[other])
+        else:
+            candidate_pool = set(host.vertices())
+        want_label = pattern.label(pattern_vertex)
+        for host_vertex in candidate_pool:
+            if host_vertex in used:
+                continue
+            if not self._node_match(want_label, host.label(host_vertex)):
+                continue
+            yield host_vertex
+
+    def _feasible(
+        self, pattern_vertex: VertexId, host_vertex: VertexId, mapping: Assignment
+    ) -> bool:
+        pattern, host = self.pattern, self.host
+        if pattern.degree(pattern_vertex) > host.degree(host_vertex):
+            return False
+        for neighbor in pattern.neighbors(pattern_vertex):
+            if neighbor in mapping and not host.has_edge(
+                host_vertex, mapping[neighbor]
+            ):
+                return False
+        if self.induced:
+            host_adj = host.neighbors(host_vertex)
+            for mapped_pattern, mapped_host in mapping.items():
+                if mapped_host in host_adj and not pattern.has_edge(
+                    pattern_vertex, mapped_pattern
+                ):
+                    return False
+        return True
+
+    def _match(self) -> Iterator[Assignment]:
+        order = self._order
+        if not order:
+            yield {}
+            return
+        mapping: Assignment = {}
+        used: set[VertexId] = set()
+        # Iterative backtracking over candidate generators; avoids Python
+        # recursion limits on large patterns.
+        stack: list[Iterator[VertexId]] = [
+            self._candidates(order[0], mapping, used)
+        ]
+        while stack:
+            depth = len(stack) - 1
+            pattern_vertex = order[depth]
+            advanced = False
+            for host_vertex in stack[-1]:
+                if not self._feasible(pattern_vertex, host_vertex, mapping):
+                    continue
+                mapping[pattern_vertex] = host_vertex
+                used.add(host_vertex)
+                if depth + 1 == len(order):
+                    yield dict(mapping)
+                    used.discard(host_vertex)
+                    del mapping[pattern_vertex]
+                    continue
+                stack.append(self._candidates(order[depth + 1], mapping, used))
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+                if stack:
+                    prior = order[len(stack) - 1]
+                    if prior in mapping:
+                        used.discard(mapping[prior])
+                        del mapping[prior]

@@ -1,0 +1,111 @@
+"""Calibrating the evolution ratio threshold ε.
+
+The paper fixes ε = 0.1 for its datasets (Exp 1); the right value is
+dataset-dependent because the GFD's sensitivity scales with database
+size and motif homogeneity (this reproduction's synthetic molecules need
+ε ≈ 0.002).  Rather than hand-tuning, :func:`recommend_epsilon`
+calibrates ε empirically:
+
+1. simulate many *routine* batches — random insertions/deletions of the
+   expected periodic size, drawn from the database's own graphs — and
+   record their GFD distances;
+2. return a high percentile of that null distribution.
+
+Batches of routine churn then classify as minor, while anything that
+shifts topology more than routine churn ever does (a new compound
+family, densification) classifies as major.  This is a standard
+null-distribution threshold construction layered on the paper's
+detector; the sweep benchmark (E-FIG11) shows behaviour is flat around
+the recommendation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..graph.database import GraphDatabase
+from ..graphlets.distribution import (
+    GraphletDistribution,
+    distribution_distance,
+)
+from ..utils.stats import percentile
+
+
+@dataclass(frozen=True)
+class EpsilonRecommendation:
+    """The calibration outcome."""
+
+    epsilon: float
+    null_distances: tuple[float, ...]
+    batch_fraction: float
+    trials: int
+
+    @property
+    def null_max(self) -> float:
+        return max(self.null_distances) if self.null_distances else 0.0
+
+
+def _null_distance(
+    database: GraphDatabase,
+    distribution: GraphletDistribution,
+    batch_fraction: float,
+    rng: random.Random,
+    measure: str,
+) -> float:
+    """GFD distance of one simulated routine batch (resampled churn)."""
+    ids = database.ids()
+    batch_size = max(1, int(round(len(ids) * batch_fraction)))
+    removed = set(rng.sample(ids, min(batch_size, len(ids) - 1)))
+    # Routine insertions are modelled by resampling existing graphs —
+    # "more of the same" content, the definition of a minor batch.
+    inserted_sources = [rng.choice(ids) for _ in range(batch_size)]
+    after = distribution.copy()
+    for graph_id in removed:
+        after.remove(graph_id)
+    for offset, source in enumerate(inserted_sources):
+        after.add(10_000_000 + offset, database[source])
+    return distribution_distance(
+        distribution.frequencies(), after.frequencies(), measure=measure
+    )
+
+
+def recommend_epsilon(
+    database: GraphDatabase,
+    batch_fraction: float = 0.1,
+    trials: int = 50,
+    q: float = 95.0,
+    measure: str = "euclidean",
+    seed: int = 0,
+) -> EpsilonRecommendation:
+    """Recommend ε as the *q*-th percentile of routine-churn distances.
+
+    Parameters
+    ----------
+    batch_fraction:
+        Expected periodic batch size relative to |D| (e.g. 0.1 for
+        ±10 % updates).
+    trials:
+        Number of simulated routine batches.
+    q:
+        Percentile of the null distribution used as the threshold;
+        95 gives a ~5 % false-major rate on routine churn.
+    """
+    if len(database) < 2:
+        raise ValueError("calibration needs at least 2 graphs")
+    if not 0.0 < batch_fraction <= 1.0:
+        raise ValueError("batch_fraction must be in (0, 1]")
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    rng = random.Random(seed)
+    distribution = GraphletDistribution(dict(database.items()))
+    distances = tuple(
+        _null_distance(database, distribution, batch_fraction, rng, measure)
+        for _ in range(trials)
+    )
+    return EpsilonRecommendation(
+        epsilon=float(percentile(list(distances), q)),
+        null_distances=distances,
+        batch_fraction=batch_fraction,
+        trials=trials,
+    )

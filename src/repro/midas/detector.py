@@ -1,0 +1,94 @@
+"""Major/minor modification detection via graphlet distributions.
+
+MIDAS compares the graphlet frequency distribution ψ of ``D`` with that
+of ``D ⊕ ΔD`` (paper, Section 3.4): a batch is a **major** (Type 1)
+modification when ``dist(ψ_D, ψ_{D⊕ΔD}) ≥ ε`` and **minor** (Type 2)
+otherwise.  Only major modifications trigger pattern maintenance; minor
+ones still maintain clusters, CSGs and indices.
+
+:class:`ModificationDetector` keeps the per-graph graphlet counts cached
+so a classification costs one counting pass over the *modified* graphs
+only.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..graph.labeled_graph import LabeledGraph
+from ..graphlets.distribution import (
+    GraphletDistribution,
+    distribution_distance,
+)
+
+
+class ModificationType(enum.Enum):
+    """The two degrees of database modification (Section 3.4)."""
+
+    MAJOR = "major"
+    MINOR = "minor"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Outcome of classifying one batch update."""
+
+    kind: ModificationType
+    distance: float
+    epsilon: float
+
+    @property
+    def is_major(self) -> bool:
+        return self.kind is ModificationType.MAJOR
+
+
+class ModificationDetector:
+    """Tracks ψ_D incrementally and classifies batch updates."""
+
+    def __init__(
+        self,
+        graphs: Mapping[int, LabeledGraph],
+        epsilon: float,
+        measure: str = "euclidean",
+    ) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.epsilon = epsilon
+        self.measure = measure
+        self._distribution = GraphletDistribution(graphs)
+
+    @property
+    def distribution(self) -> GraphletDistribution:
+        return self._distribution
+
+    def classify(
+        self,
+        added: Mapping[int, LabeledGraph],
+        removed_ids: set[int],
+        commit: bool = True,
+    ) -> Classification:
+        """Classify the batch (Δ⁺ = *added*, Δ⁻ = *removed_ids*).
+
+        With ``commit=True`` (the default) the tracked distribution is
+        advanced to the post-batch state; otherwise the classification is
+        a dry run.
+        """
+        before = self._distribution.frequencies()
+        after = self._distribution.copy()
+        for graph_id in removed_ids:
+            after.remove(graph_id)
+        for graph_id, graph in added.items():
+            after.add(graph_id, graph)
+        distance = distribution_distance(
+            before, after.frequencies(), measure=self.measure
+        )
+        kind = (
+            ModificationType.MAJOR
+            if distance >= self.epsilon
+            else ModificationType.MINOR
+        )
+        if commit:
+            self._distribution = after
+        return Classification(kind, distance, self.epsilon)

@@ -1,0 +1,106 @@
+"""Maintenance history: longitudinal bookkeeping across rounds.
+
+Deployments run MIDAS for months (the paper's motivation is daily batch
+arrivals); :class:`MaintenanceHistory` accumulates the per-round
+:class:`~repro.midas.maintainer.MaintenanceReport` objects together with
+quality snapshots, and answers the questions an operator asks: how often
+were batches major, how much time does maintenance cost, is quality
+drifting, which rounds swapped patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..utils.stats import mean
+from .maintainer import MaintenanceReport
+
+
+@dataclass
+class HistoryEntry:
+    """One maintenance round's record."""
+
+    round_number: int
+    label: str
+    report: MaintenanceReport
+    quality: dict[str, float] = field(default_factory=dict)
+    database_size: int = 0
+
+
+class MaintenanceHistory:
+    """Accumulates rounds and summarises maintenance behaviour."""
+
+    def __init__(self) -> None:
+        self._entries: list[HistoryEntry] = []
+
+    def record(
+        self,
+        report: MaintenanceReport,
+        label: str = "",
+        quality: dict[str, float] | None = None,
+        database_size: int = 0,
+    ) -> HistoryEntry:
+        entry = HistoryEntry(
+            round_number=len(self._entries),
+            label=label or f"round {len(self._entries)}",
+            report=report,
+            quality=dict(quality or {}),
+            database_size=database_size,
+        )
+        self._entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[HistoryEntry]:
+        return list(self._entries)
+
+    def major_rounds(self) -> list[HistoryEntry]:
+        return [e for e in self._entries if e.report.is_major]
+
+    @property
+    def major_fraction(self) -> float:
+        if not self._entries:
+            return 0.0
+        return len(self.major_rounds()) / len(self._entries)
+
+    @property
+    def total_swaps(self) -> int:
+        return sum(e.report.num_swaps for e in self._entries)
+
+    @property
+    def total_maintenance_seconds(self) -> float:
+        return sum(
+            e.report.pattern_maintenance_seconds for e in self._entries
+        )
+
+    def average_pmt(self) -> float:
+        return mean(
+            [e.report.pattern_maintenance_seconds for e in self._entries]
+        )
+
+    def quality_series(self, measure: str) -> list[float]:
+        """The per-round values of one quality measure (gaps skipped)."""
+        return [
+            e.quality[measure]
+            for e in self._entries
+            if measure in e.quality
+        ]
+
+    def quality_trend(self, measure: str) -> float:
+        """Last-minus-first value of a measure (positive = improving)."""
+        series = self.quality_series(measure)
+        if len(series) < 2:
+            return 0.0
+        return series[-1] - series[0]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "rounds": float(len(self._entries)),
+            "major_fraction": self.major_fraction,
+            "total_swaps": float(self.total_swaps),
+            "avg_pmt_seconds": self.average_pmt(),
+            "total_pmt_seconds": self.total_maintenance_seconds,
+        }

@@ -1,0 +1,295 @@
+"""The MIDAS maintainer — Algorithm 1 of the paper.
+
+:class:`Midas` owns the full maintained state: the database snapshot, the
+FCT pool, the graph clusters, the CSG set, the FCT/IFE indices, the lazy
+sample, the graphlet-distribution detector and the displayed pattern
+set.  ``bootstrap`` builds that state with one CATAPULT++ run;
+``apply_update`` then processes each batch ΔD:
+
+1. remove deleted graphs from their clusters and CSGs (lines 2, 7);
+2. maintain the FCT pool incrementally (line 5) and refresh the
+   clustering feature space;
+3. assign inserted graphs to nearest clusters and integrate them into
+   the CSGs (lines 1, 6–7), fine-splitting oversized clusters;
+4. classify the batch by graphlet-distribution distance (lines 3–4, 8);
+5. on a **major** modification, generate candidates from the evolved
+   CSGs with coverage-based pruning and run the multi-scan swap
+   (lines 9–11, Sections 5–6);
+6. maintain the indices and the sample either way (line 12).
+
+``apply_update`` returns a :class:`MaintenanceReport` with the paper's
+performance measures: PMT (total maintenance time), PGT (candidate
+generation + swap time), the classification, and the executed swaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..catapult.candidate import CandidateGenerator
+from ..catapult.pipeline import CatapultPlusPlus, CatapultResult
+from ..graph.database import BatchUpdate, GraphDatabase
+from ..graph.labeled_graph import LabeledGraph
+from ..patterns.metrics import CoverageOracle
+from ..patterns.pattern import PatternSet
+from ..trees.features import FeatureSpace
+from ..utils.timing import Stopwatch
+from .config import MidasConfig
+from .detector import Classification, ModificationDetector
+from .pruning import PruningContext
+from .small_patterns import SmallPatternTray
+from .swap import MultiScanSwapper, SwapOutcome
+
+
+@dataclass
+class MaintenanceReport:
+    """Everything measured during one ``apply_update`` round."""
+
+    classification: Classification
+    swap_outcome: SwapOutcome | None
+    stopwatch: Stopwatch
+    inserted_ids: list[int] = field(default_factory=list)
+    deleted_ids: list[int] = field(default_factory=list)
+    candidates_generated: int = 0
+    candidates_promising: int = 0
+
+    @property
+    def is_major(self) -> bool:
+        return self.classification.is_major
+
+    @property
+    def pattern_maintenance_seconds(self) -> float:
+        """PMT — total wall-clock time of the maintenance round."""
+        return self.stopwatch.total()
+
+    @property
+    def pattern_generation_seconds(self) -> float:
+        """PGT — candidate generation plus swapping time."""
+        return self.stopwatch.get("candidates") + self.stopwatch.get("swap")
+
+    @property
+    def cluster_maintenance_seconds(self) -> float:
+        return self.stopwatch.get("clusters") + self.stopwatch.get("csg")
+
+    @property
+    def num_swaps(self) -> int:
+        return self.swap_outcome.num_swaps if self.swap_outcome else 0
+
+
+class Midas:
+    """Maintains a canned pattern set as the database evolves."""
+
+    name = "midas"
+
+    def __init__(
+        self,
+        config: MidasConfig,
+        database: GraphDatabase,
+        state: CatapultResult,
+    ) -> None:
+        self.config = config
+        self.database = database
+        self.patterns = state.patterns
+        self.fct_set = state.fct_set
+        self.clusters = state.clusters
+        self.csgs = state.csgs
+        self.index_pair = state.index_pair
+        self.sampler = state.sampler
+        self.oracle = state.oracle
+        self.detector = ModificationDetector(
+            dict(database.items()),
+            epsilon=config.epsilon,
+            measure=config.distance_measure,
+        )
+        # Optional η ≤ 2 tray (Section 3.1 remark): maintained from exact
+        # frequency counters, independent of the swap machinery.
+        self.small_tray: SmallPatternTray | None = None
+        if config.tray_edges > 0 or config.tray_paths > 0:
+            self.small_tray = SmallPatternTray(
+                dict(database.items()),
+                num_edges=config.tray_edges,
+                num_paths=config.tray_paths,
+            )
+        if self.index_pair is not None:
+            self.index_pair.sync_patterns(self.patterns.graphs())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def bootstrap(
+        cls, database: GraphDatabase, config: MidasConfig | None = None
+    ) -> "Midas":
+        """Build the initial state with one CATAPULT++ run."""
+        config = config or MidasConfig()
+        snapshot = database.copy()
+        state = CatapultPlusPlus(config).run(snapshot)
+        return cls(config, snapshot, state)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def apply_update(self, update: BatchUpdate) -> MaintenanceReport:
+        """Process one batch ΔD, maintaining patterns opportunely."""
+        config = self.config
+        stopwatch = Stopwatch()
+        self.clusters.reset_touched()
+        self.csgs.reset_touched()
+
+        record = self.database.apply(update)
+        graphs = dict(self.database.items())
+        added = {gid: graphs[gid] for gid in record.inserted_ids}
+        removed_ids = set(record.deleted_ids)
+
+        # η ≤ 2 tray maintenance: exact counter updates.
+        if self.small_tray is not None:
+            self.small_tray.remove_graphs(record.deleted_graphs.values())
+            self.small_tray.add_graphs(added.values())
+
+        # Lines 3-4 + 8: classify by graphlet distribution shift.
+        with stopwatch.measure("detect"):
+            classification = self.detector.classify(
+                added, removed_ids, commit=True
+            )
+
+        # Line 2: deletions leave clusters and CSGs.
+        with stopwatch.measure("clusters"):
+            for graph_id in record.deleted_ids:
+                cluster_id = self.clusters.remove(graph_id)
+                self.csgs.detach(cluster_id, graph_id)
+
+        # Line 5: FCT maintenance (relax, mine Δ, merge, restore).
+        with stopwatch.measure("fct"):
+            self.fct_set.apply(added=added, removed=removed_ids)
+            features = self.fct_set.fcts() or self.fct_set.pool()
+            feature_space = FeatureSpace(features)
+            self.clusters.refresh_feature_space(feature_space)
+
+        # Lines 1 + 6-7: insertions join clusters and CSGs.
+        with stopwatch.measure("clusters"):
+            assignments: dict[int, int] = {}
+            for graph_id, graph in added.items():
+                assignments[graph_id] = self.clusters.assign(
+                    graph_id, graph, graphs
+                )
+        with stopwatch.measure("csg"):
+            live = set(self.clusters.cluster_ids())
+            for graph_id, cluster_id in assignments.items():
+                # Integrate incrementally unless a fine split dissolved
+                # the target cluster; splits are reconciled below.
+                if (
+                    cluster_id in live
+                    and cluster_id in self.csgs
+                    and graph_id in self.clusters.members(cluster_id)
+                ):
+                    self.csgs.integrate(
+                        cluster_id, graph_id, graphs[graph_id]
+                    )
+            # Rebuild CSGs of clusters created/destroyed by fine splits.
+            self.csgs.sync_with_clusters(self.clusters, graphs)
+
+        # Line 9 (GetIndices): the indices must reflect D ⊕ ΔD *before*
+        # they back any coverage computation — a stale TG/EG column for a
+        # just-inserted graph would silently exclude it from every cover.
+        if self.index_pair is not None:
+            with stopwatch.measure("index"):
+                self.index_pair.apply_update(
+                    self.fct_set,
+                    graphs,
+                    added_ids=record.inserted_ids,
+                    removed_ids=removed_ids,
+                    patterns=self.patterns.graphs(),
+                )
+
+        # Sample and oracle follow the database.
+        with stopwatch.measure("sample"):
+            self.sampler.remove_ids(removed_ids)
+            self.sampler.add_ids(record.inserted_ids)
+            sample_graphs = {
+                gid: graphs[gid] for gid in self.sampler.sample_ids
+            }
+            self.oracle = CoverageOracle(
+                sample_graphs, index_pair=self.index_pair
+            )
+
+        swap_outcome: SwapOutcome | None = None
+        candidates_generated = 0
+        candidates_promising = 0
+        if classification.is_major and len(self.patterns) > 0:
+            # Lines 9-10: pruned candidate generation from evolved CSGs.
+            with stopwatch.measure("candidates"):
+                pruning = PruningContext(
+                    self.oracle,
+                    [p.graph for p in self.patterns],
+                    config.kappa,
+                    index_pair=self.index_pair,
+                )
+                generator = CandidateGenerator(
+                    graphs,
+                    config.budget,
+                    seed=config.seed,
+                    num_walks=config.num_walks,
+                    walk_length=config.walk_length,
+                )
+                evolved = self.csgs.touched | self.clusters.touched_added
+                summaries = {
+                    cluster_id: summary
+                    for cluster_id, summary in self.csgs.summaries().items()
+                    if not evolved or cluster_id in evolved
+                }
+                if not summaries:
+                    summaries = self.csgs.summaries()
+                raw = generator.generate(
+                    summaries,
+                    edge_gate=pruning.edge_gate,
+                    edge_priority=pruning.edge_priority,
+                )
+                candidates_generated = len(raw)
+                promising = [
+                    c.graph
+                    for c in raw
+                    if pruning.is_promising(c.graph)
+                    and not self.patterns.has_isomorphic(c.graph)
+                ]
+                candidates_promising = len(promising)
+            # Line 10 continued + Section 6: multi-scan swap.
+            with stopwatch.measure("swap"):
+                swap_outcome = self._run_swap(promising)
+
+        # Line 12: reconcile the pattern-side (TP/EP) columns with the
+        # possibly-swapped pattern set.
+        if self.index_pair is not None:
+            with stopwatch.measure("index"):
+                self.index_pair.sync_patterns(self.patterns.graphs())
+
+        return MaintenanceReport(
+            classification=classification,
+            swap_outcome=swap_outcome,
+            stopwatch=stopwatch,
+            inserted_ids=list(record.inserted_ids),
+            deleted_ids=list(record.deleted_ids),
+            candidates_generated=candidates_generated,
+            candidates_promising=candidates_promising,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_swap(self, promising: list[LabeledGraph]) -> SwapOutcome:
+        """The pattern-update strategy; subclasses may override
+        (e.g. the Random baseline replaces it with random swapping)."""
+        config = self.config
+        swapper = MultiScanSwapper(
+            self.oracle,
+            kappa=config.kappa,
+            lambda_=config.lambda_,
+            ged_method=config.ged_method,
+            ks_alpha=config.ks_alpha,
+            max_scans=config.max_scans,
+            adaptive_kappa=config.adaptive_kappa,
+            sigma_initial=config.sigma_initial,
+        )
+        return swapper.run(self.patterns, promising, provenance=self.name)
+
+    # ------------------------------------------------------------------
+    def pattern_graphs(self) -> list[LabeledGraph]:
+        return [p.graph for p in self.patterns]
+
+    def pattern_set(self) -> PatternSet:
+        return self.patterns

@@ -1,0 +1,121 @@
+"""Coverage-based candidate pruning (Section 5.2).
+
+MIDAS exploits its knowledge of the existing pattern set ``P`` to prune
+unpromising candidates early:
+
+* **Promising FCP** (Definition 5.5): a candidate is promising when its
+  marginal subgraph coverage beats ``(1 + κ)`` times the *smallest*
+  unique coverage of any displayed pattern — otherwise no swap it could
+  participate in would satisfy sw1.
+* **Early termination** (Equation 2): while a candidate is being grown
+  edge by edge, an edge whose own marginal coverage is already below the
+  same bound cannot rescue the candidate (coverage is anti-monotone in
+  pattern growth), so generation stops — this is the ``edge_gate``
+  consumed by :mod:`repro.catapult.candidate`.
+
+Edge-level covers come from the FCT-/IFE-indices when available (frequent
+edges via the TG-matrix, infrequent via the EG-matrix) and from a direct
+edge-label scan of the oracle's sample otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..graph.labeled_graph import EdgeLabel, LabeledGraph
+from ..index.maintenance import IndexPair
+from ..patterns.metrics import CoverageOracle
+
+
+class PruningContext:
+    """Precomputed covers shared by the gate and the promising-FCP test."""
+
+    def __init__(
+        self,
+        oracle: CoverageOracle,
+        patterns: Iterable[LabeledGraph],
+        kappa: float,
+        index_pair: IndexPair | None = None,
+    ) -> None:
+        if not 0.0 <= kappa <= 1.0:
+            raise ValueError("kappa must be in [0, 1]")
+        self.oracle = oracle
+        self.kappa = kappa
+        self._index_pair = index_pair
+        self._patterns = list(patterns)
+        self._union_cover = oracle.union_cover(self._patterns)
+        self._min_unique = self._minimum_unique_cover()
+        self._edge_cover_cache: dict[EdgeLabel, frozenset[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _minimum_unique_cover(self) -> int:
+        """``min_p |G_scov(p) ∖ ⋃_{p'≠p} G_scov(p')|`` over displayed P."""
+        if not self._patterns:
+            return 0
+        smallest = None
+        for i, pattern in enumerate(self._patterns):
+            others = self._patterns[:i] + self._patterns[i + 1 :]
+            unique = len(self.oracle.unique_cover(pattern, others))
+            if smallest is None or unique < smallest:
+                smallest = unique
+            if smallest == 0:
+                break
+        return smallest or 0
+
+    @property
+    def threshold(self) -> float:
+        """``(1 + κ) × min_p |unique cover|`` — the Equation 2 bound.
+
+        Floored at 1: when some displayed pattern has zero unique
+        coverage the raw bound degenerates to 0 and every candidate —
+        including ones covering nothing new — would count as promising.
+        Requiring at least one uncovered graph keeps swaps meaningful
+        (a swap with zero benefit and zero loss is wasted work).
+        """
+        return max((1.0 + self.kappa) * self._min_unique, 1.0)
+
+    # ------------------------------------------------------------------
+    def edge_cover(self, label: EdgeLabel) -> frozenset[int]:
+        """``G_scov(e)`` restricted to the oracle's sample."""
+        cached = self._edge_cover_cache.get(label)
+        if cached is not None:
+            return cached
+        cover: set[int] | None = None
+        if self._index_pair is not None:
+            indexed = self._index_pair.graphs_covering_edge(label)
+            if indexed is not None:
+                cover = indexed & self.oracle.graph_ids()
+        if cover is None:
+            cover = self.oracle.graphs_with_edge_label(label)
+        result = frozenset(cover)
+        self._edge_cover_cache[label] = result
+        return result
+
+    def edge_gate(self, label: EdgeLabel) -> bool:
+        """Equation 2: admit the edge unless its marginal cover is low."""
+        marginal = len(self.edge_cover(label) - self._union_cover)
+        return marginal >= self.threshold
+
+    def edge_priority(self, label: EdgeLabel) -> float:
+        """How specific an edge is to the *uncovered* part of the sample.
+
+        ``|G_scov(e) ∖ ⋃ G_scov(P)| / |G_scov(e)|`` ∈ [0, 1]: 1 means the
+        edge only occurs in graphs the displayed patterns miss (e.g. a
+        newly arrived family's functional group), 0 means it adds
+        nothing.  Section 5.2 motivates coverage-based pruning as a way
+        to *guide the FCP generation process towards candidates with
+        greater potential of replacing existing patterns* — this is the
+        guidance signal: the candidate generator biases walk seeds and
+        growth toward high-priority edges, complementing the hard gate.
+        """
+        cover = self.edge_cover(label)
+        if not cover:
+            return 0.0
+        marginal = len(cover - self._union_cover)
+        return marginal / len(cover)
+
+    # ------------------------------------------------------------------
+    def is_promising(self, candidate: LabeledGraph) -> bool:
+        """Definition 5.5: candidate's marginal cover beats the bound."""
+        marginal = len(self.oracle.cover(candidate) - self._union_cover)
+        return marginal >= self.threshold

@@ -1,0 +1,130 @@
+"""Maintenance of small canned patterns (η ≤ 2).
+
+The main CPM machinery targets patterns with ``η_min > 2``; the paper
+notes (Section 3.1 remark) that maintaining the *small* patterns —
+single edges and 2-edge paths shown in a separate GUI tray — is
+straightforward, and defers it to the technical report.  The reason is
+that small patterns have no interesting structure: their value is purely
+their frequency, so the optimal tray is simply the top-k most frequent
+edge labels / 2-path label triples, both of which are maintainable from
+exact counters.
+
+:class:`SmallPatternTray` keeps those counters incrementally:
+
+* per edge label, the number of graphs containing it (document
+  frequency) — updated in O(|ΔD| · |E|);
+* per 2-path label triple (centre label, sorted end labels), likewise.
+
+``refresh`` then materialises the current top-k of each kind.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from ..graph.labeled_graph import EdgeLabel, LabeledGraph
+
+PathLabel = tuple[str, tuple[str, str]]  # (centre label, sorted end labels)
+
+
+def _two_path_labels(graph: LabeledGraph) -> set[PathLabel]:
+    """Distinct 2-path label triples present in *graph*."""
+    found: set[PathLabel] = set()
+    for center in graph.vertices():
+        neighbors = sorted(graph.neighbors(center), key=repr)
+        center_label = graph.label(center)
+        for i, u in enumerate(neighbors):
+            for v in neighbors[i + 1 :]:
+                ends = tuple(sorted((graph.label(u), graph.label(v))))
+                found.add((center_label, ends))
+    return found
+
+
+class SmallPatternTray:
+    """Top-k frequent 1-edge and 2-edge patterns, exactly maintained."""
+
+    def __init__(
+        self,
+        graphs: Mapping[int, LabeledGraph],
+        num_edges: int = 5,
+        num_paths: int = 5,
+    ) -> None:
+        if num_edges < 0 or num_paths < 0:
+            raise ValueError("tray sizes must be non-negative")
+        self.num_edges = num_edges
+        self.num_paths = num_paths
+        self._edge_frequency: dict[EdgeLabel, int] = {}
+        self._path_frequency: dict[PathLabel, int] = {}
+        self._db_size = 0
+        for graph in graphs.values():
+            self._count(graph, +1)
+            self._db_size += 1
+
+    # ------------------------------------------------------------------
+    def _count(self, graph: LabeledGraph, delta: int) -> None:
+        for label in graph.edge_label_set():
+            updated = self._edge_frequency.get(label, 0) + delta
+            if updated > 0:
+                self._edge_frequency[label] = updated
+            else:
+                self._edge_frequency.pop(label, None)
+        for label in _two_path_labels(graph):
+            updated = self._path_frequency.get(label, 0) + delta
+            if updated > 0:
+                self._path_frequency[label] = updated
+            else:
+                self._path_frequency.pop(label, None)
+
+    def add_graphs(self, graphs: Iterable[LabeledGraph]) -> None:
+        for graph in graphs:
+            self._count(graph, +1)
+            self._db_size += 1
+
+    def remove_graphs(self, graphs: Iterable[LabeledGraph]) -> None:
+        for graph in graphs:
+            self._count(graph, -1)
+            self._db_size -= 1
+
+    # ------------------------------------------------------------------
+    @property
+    def db_size(self) -> int:
+        return self._db_size
+
+    def edge_frequency(self, label: EdgeLabel) -> int:
+        return self._edge_frequency.get(label, 0)
+
+    def path_frequency(self, label: PathLabel) -> int:
+        return self._path_frequency.get(label, 0)
+
+    def top_edges(self) -> list[tuple[EdgeLabel, int]]:
+        ranked = sorted(
+            self._edge_frequency.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return ranked[: self.num_edges]
+
+    def top_paths(self) -> list[tuple[PathLabel, int]]:
+        ranked = sorted(
+            self._path_frequency.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return ranked[: self.num_paths]
+
+    def refresh(self) -> list[LabeledGraph]:
+        """Materialise the tray as graphs (edges first, then 2-paths)."""
+        tray: list[LabeledGraph] = []
+        for (label_a, label_b), _ in self.top_edges():
+            pattern = LabeledGraph(name=f"edge:{label_a}-{label_b}")
+            pattern.add_vertex(0, label_a)
+            pattern.add_vertex(1, label_b)
+            pattern.add_edge(0, 1)
+            tray.append(pattern)
+        for (center, (end_a, end_b)), _ in self.top_paths():
+            pattern = LabeledGraph(
+                name=f"path:{end_a}-{center}-{end_b}"
+            )
+            pattern.add_vertex(0, center)
+            pattern.add_vertex(1, end_a)
+            pattern.add_vertex(2, end_b)
+            pattern.add_edge(0, 1)
+            pattern.add_edge(0, 2)
+            tray.append(pattern)
+        return tray

@@ -1,0 +1,38 @@
+"""Canned patterns: containers, budgets and quality metrics."""
+
+from .budget import PatternBudget
+from .metrics import (
+    CoverageOracle,
+    catapult_pattern_score,
+    cognitive_load,
+    diversity,
+    label_cover,
+    label_coverage,
+    midas_pattern_score,
+    pattern_set_quality,
+)
+from .pattern import CannedPattern, PatternSet
+from .serialization import (
+    dumps_pattern_set,
+    loads_pattern_set,
+    read_pattern_set,
+    write_pattern_set,
+)
+
+__all__ = [
+    "CannedPattern",
+    "CoverageOracle",
+    "PatternBudget",
+    "PatternSet",
+    "catapult_pattern_score",
+    "dumps_pattern_set",
+    "loads_pattern_set",
+    "read_pattern_set",
+    "write_pattern_set",
+    "cognitive_load",
+    "diversity",
+    "label_cover",
+    "label_coverage",
+    "midas_pattern_score",
+    "pattern_set_quality",
+]

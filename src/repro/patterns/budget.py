@@ -1,0 +1,67 @@
+"""The pattern budget ``b = (η_min, η_max, γ)``.
+
+Definition 3.1: η_min/η_max bound pattern sizes (in edges), γ is the
+number of patterns displayed, and at most ``⌈γ / (η_max − η_min + 1)⌉``
+patterns of each size are shown so the display spans the size range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PatternBudget:
+    """Size and count constraints on the displayed pattern set."""
+
+    eta_min: int = 3
+    eta_max: int = 12
+    gamma: int = 30
+
+    def __post_init__(self) -> None:
+        if self.eta_min <= 2:
+            raise ValueError(
+                "eta_min must exceed 2 (the paper handles <=2 separately)"
+            )
+        if self.eta_max < self.eta_min:
+            raise ValueError("eta_max must be >= eta_min")
+        if self.gamma < 1:
+            raise ValueError("gamma must be positive")
+
+    @property
+    def num_sizes(self) -> int:
+        return self.eta_max - self.eta_min + 1
+
+    @property
+    def per_size_cap(self) -> int:
+        """Maximum number of displayed patterns of any single size."""
+        return math.ceil(self.gamma / self.num_sizes)
+
+    def sizes(self) -> range:
+        """The admissible pattern sizes (in edges)."""
+        return range(self.eta_min, self.eta_max + 1)
+
+    def admits_size(self, num_edges: int) -> bool:
+        return self.eta_min <= num_edges <= self.eta_max
+
+    def size_quota(self) -> dict[int, int]:
+        """Per-size display quota honouring both γ and the per-size cap.
+
+        Quotas are distributed round-robin from the smallest size so that
+        they sum to exactly γ and no quota exceeds :attr:`per_size_cap`.
+        """
+        quota = dict.fromkeys(self.sizes(), 0)
+        remaining = self.gamma
+        while remaining > 0:
+            progressed = False
+            for size in self.sizes():
+                if remaining == 0:
+                    break
+                if quota[size] < self.per_size_cap:
+                    quota[size] += 1
+                    remaining -= 1
+                    progressed = True
+            if not progressed:
+                break
+        return quota

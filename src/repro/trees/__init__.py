@@ -1,0 +1,43 @@
+"""Tree substrate: canonical forms, (closed) subtree mining, maintenance."""
+
+from .canonical import (
+    SIBLING_SEPARATOR,
+    canonical_root,
+    canonical_string,
+    canonical_tokens,
+    rooted_code,
+    tree_centers,
+    tree_certificate,
+    tree_from_tokens,
+)
+from .features import FeatureSpace
+from .maintenance import FCTSet
+from .mining import (
+    DEFAULT_EMBEDDING_CAP,
+    DEFAULT_MAX_EDGES,
+    MinedTree,
+    TreeMiner,
+    mine_closed_trees,
+    mine_frequent_trees,
+)
+from .treenat import TreeNatMiner
+
+__all__ = [
+    "DEFAULT_EMBEDDING_CAP",
+    "DEFAULT_MAX_EDGES",
+    "FCTSet",
+    "FeatureSpace",
+    "MinedTree",
+    "SIBLING_SEPARATOR",
+    "TreeMiner",
+    "TreeNatMiner",
+    "canonical_root",
+    "canonical_string",
+    "canonical_tokens",
+    "mine_closed_trees",
+    "mine_frequent_trees",
+    "rooted_code",
+    "tree_centers",
+    "tree_certificate",
+    "tree_from_tokens",
+]

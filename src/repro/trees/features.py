@@ -1,0 +1,81 @@
+"""Feature vectors for graph clustering.
+
+CATAPULT's coarse clustering runs k-means on per-graph feature vectors
+whose dimensions are frequent subtrees; CATAPULT++/MIDAS use frequent
+closed trees instead (paper, Sections 2.3 and 3.3).  Because the miners
+in :mod:`repro.trees.mining` track exact cover sets, building the binary
+occurrence matrix is a lookup, and vectors for *new* graphs (cluster
+assignment during maintenance, Algorithm 1 line 1) need only
+|features| containment tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..graph.labeled_graph import LabeledGraph
+from ..isomorphism.matcher import contains
+from .mining import MinedTree
+
+
+class FeatureSpace:
+    """A fixed, ordered list of tree features defining a vector space.
+
+    Parameters
+    ----------
+    features:
+        Mined trees (FS or FCT) in a stable order; the i-th feature is
+        the i-th vector dimension.
+    """
+
+    def __init__(self, features: Sequence[MinedTree]) -> None:
+        self._features = list(features)
+        self._index = {feature.key: i for i, feature in enumerate(features)}
+        if len(self._index) != len(self._features):
+            raise ValueError("duplicate feature keys in feature space")
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    @property
+    def features(self) -> list[MinedTree]:
+        return list(self._features)
+
+    def vector_for_known(self, graph_id: int) -> np.ndarray:
+        """Vector of a graph already covered by the mined cover sets."""
+        vector = np.zeros(len(self._features), dtype=np.float64)
+        for i, feature in enumerate(self._features):
+            if graph_id in feature.cover:
+                vector[i] = 1.0
+        return vector
+
+    def vector_for_graph(self, graph: LabeledGraph) -> np.ndarray:
+        """Vector of an arbitrary graph via containment tests."""
+        vector = np.zeros(len(self._features), dtype=np.float64)
+        for i, feature in enumerate(self._features):
+            if contains(graph, feature.tree):
+                vector[i] = 1.0
+        return vector
+
+    def matrix_for_known(self, graph_ids: Sequence[int]) -> np.ndarray:
+        """Stacked vectors (rows follow *graph_ids* order)."""
+        matrix = np.zeros(
+            (len(graph_ids), len(self._features)), dtype=np.float64
+        )
+        for row, graph_id in enumerate(graph_ids):
+            for col, feature in enumerate(self._features):
+                if graph_id in feature.cover:
+                    matrix[row, col] = 1.0
+        return matrix
+
+    def matrix_for_graphs(
+        self, graphs: Mapping[int, LabeledGraph]
+    ) -> tuple[list[int], np.ndarray]:
+        """IDs (sorted) and matrix for graphs not in the cover sets."""
+        ids = sorted(graphs)
+        matrix = np.zeros((len(ids), len(self._features)), dtype=np.float64)
+        for row, graph_id in enumerate(ids):
+            matrix[row] = self.vector_for_graph(graphs[graph_id])
+        return ids, matrix

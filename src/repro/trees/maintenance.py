@@ -1,0 +1,232 @@
+"""Incremental maintenance of frequent closed trees (FCT).
+
+MIDAS replaces CATAPULT's frequent subtrees with frequent *closed* trees
+because closed trees admit an efficient maintenance strategy (paper,
+Sections 3.3 and 4.2; Lemmas 3.4 and 4.5):
+
+1. the pool is mined once at a **relaxed** threshold ``sup_min / 2`` so
+   that trees whose support rises after deletions (support inflation is
+   bounded by 2× while less than half of the database is deleted) are
+   already present;
+2. on a batch insertion Δ⁺, only Δ⁺ is mined (again at the relaxed
+   threshold); trees already pooled get their exact cover sets extended
+   by containment tests against the new graphs only, and genuinely new
+   trees get their historic cover computed by a single scan — the classic
+   CTMiningAdd merge;
+3. on a batch deletion Δ⁻, cover sets simply shed the removed IDs — the
+   CTMiningDelete step;
+4. closedness is recomputed inside the pool: a tree is non-closed iff an
+   equal-support proper supertree exists, and any such supertree chain
+   terminates at a pooled tree (support anti-monotonicity keeps every
+   intermediate tree at the same support, hence pooled).
+
+The pool stores *all* frequent trees at the relaxed threshold rather than
+closed ones only; this costs a little memory but makes the closedness
+recomputation self-contained and exact with respect to the mined
+universe (trees up to ``max_edges``).  ``fcts()`` reports the frequent
+closed trees at the original threshold, and ``frequent_edges()`` /
+``infrequent_edge_labels()`` feed the FCT-/IFE-indices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from ..graph.labeled_graph import LabeledGraph
+from ..isomorphism.matcher import contains
+from .canonical import TreeCode
+from .mining import DEFAULT_MAX_EDGES, MinedTree, TreeMiner
+
+
+class FCTSet:
+    """A maintained pool of frequent (closed) trees with exact covers.
+
+    Parameters
+    ----------
+    graphs:
+        The initial database content as a mapping graph-ID → graph.
+    sup_min:
+        The FCT support threshold; the pool is mined at ``sup_min / 2``.
+    max_edges:
+        Largest tree size mined (matches :class:`TreeMiner`).
+    """
+
+    def __init__(
+        self,
+        graphs: Mapping[int, LabeledGraph],
+        sup_min: float,
+        max_edges: int = DEFAULT_MAX_EDGES,
+    ) -> None:
+        if not 0.0 < sup_min <= 1.0:
+            raise ValueError(f"sup_min must be in (0, 1], got {sup_min}")
+        self.sup_min = sup_min
+        self.max_edges = max_edges
+        self._graphs: dict[int, LabeledGraph] = dict(graphs)
+        self._pool: dict[TreeCode, MinedTree] = {}
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def db_size(self) -> int:
+        return len(self._graphs)
+
+    @property
+    def relaxed_threshold(self) -> float:
+        return self.sup_min / 2.0
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._pool)
+
+    def _min_count(self, threshold: float) -> int:
+        count = self.db_size * threshold
+        rounded = int(count)
+        return rounded if rounded == count else rounded + 1
+
+    def pool(self) -> list[MinedTree]:
+        """Every pooled tree (frequent at the relaxed threshold)."""
+        return sorted(
+            self._pool.values(), key=lambda t: (t.num_edges, repr(t.key))
+        )
+
+    def frequent(self) -> list[MinedTree]:
+        """Trees frequent at the original ``sup_min`` threshold."""
+        minimum = self._min_count(self.sup_min)
+        return [t for t in self.pool() if t.support_count >= minimum]
+
+    def fcts(self) -> list[MinedTree]:
+        """Frequent **closed** trees at ``sup_min`` — the FCT features."""
+        return [t for t in self.frequent() if t.closed]
+
+    def frequent_edges(self) -> list[MinedTree]:
+        """Single-edge frequent trees (the ``E_freq`` of the FCT-Index)."""
+        return [t for t in self.frequent() if t.num_edges == 1]
+
+    def infrequent_edge_labels(self) -> set[tuple[str, str]]:
+        """Edge labels below ``sup_min`` (the ``E_inf`` of the IFE-Index)."""
+        minimum = self._min_count(self.sup_min)
+        document_frequency: dict[tuple[str, str], int] = {}
+        for graph in self._graphs.values():
+            for edge_label in graph.edge_label_set():
+                document_frequency[edge_label] = (
+                    document_frequency.get(edge_label, 0) + 1
+                )
+        return {
+            label
+            for label, frequency in document_frequency.items()
+            if frequency < minimum
+        }
+
+    def support_of(self, key: TreeCode) -> int:
+        """Exact cover size of a pooled tree (KeyError if not pooled)."""
+        return self._pool[key].support_count
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Re-mine the pool from scratch at the relaxed threshold."""
+        if self._graphs:
+            miner = TreeMiner(
+                self._graphs, self.relaxed_threshold, self.max_edges
+            )
+            self._pool = miner.mine()
+        else:
+            self._pool = {}
+        self._recompute_closedness()
+
+    def add_graphs(self, new_graphs: Mapping[int, LabeledGraph]) -> None:
+        """CTMiningAdd: merge the trees of Δ⁺ into the pool.
+
+        Existing pool trees are updated by containment tests against the
+        *new graphs only*; trees discovered in Δ⁺ that are not yet pooled
+        get their historic cover from one scan over the old database.
+        """
+        if not new_graphs:
+            return
+        duplicate_ids = set(new_graphs) & set(self._graphs)
+        if duplicate_ids:
+            raise ValueError(f"graph ids already present: {sorted(duplicate_ids)}")
+        old_graphs = dict(self._graphs)
+        # 1. Extend covers of pooled trees over the new graphs.
+        for entry in self._pool.values():
+            for graph_id, graph in new_graphs.items():
+                if contains(graph, entry.tree):
+                    entry.cover.add(graph_id)
+        # 2. Mine Δ⁺ at the relaxed threshold and merge novel trees.
+        delta_miner = TreeMiner(
+            new_graphs, self.relaxed_threshold, self.max_edges
+        )
+        for key, mined in delta_miner.mine().items():
+            if key in self._pool:
+                continue  # cover already extended in step 1
+            historic_cover = {
+                graph_id
+                for graph_id, graph in old_graphs.items()
+                if contains(graph, mined.tree)
+            }
+            mined.cover |= historic_cover
+            self._pool[key] = mined
+        self._graphs.update(new_graphs)
+        self._prune()
+        self._recompute_closedness()
+
+    def remove_graphs(self, graph_ids: Iterable[int]) -> None:
+        """CTMiningDelete: shed deleted IDs from every cover set."""
+        removed = set(graph_ids)
+        missing = removed - set(self._graphs)
+        if missing:
+            raise ValueError(f"graph ids not present: {sorted(missing)}")
+        if not removed:
+            return
+        for graph_id in removed:
+            del self._graphs[graph_id]
+        for entry in self._pool.values():
+            entry.cover -= removed
+        self._prune()
+        self._recompute_closedness()
+
+    def apply(
+        self,
+        added: Mapping[int, LabeledGraph] | None = None,
+        removed: Iterable[int] | None = None,
+    ) -> None:
+        """Apply a batch update (deletions first, as in Algorithm 1)."""
+        if removed:
+            self.remove_graphs(removed)
+        if added:
+            self.add_graphs(added)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _prune(self) -> None:
+        minimum = self._min_count(self.relaxed_threshold)
+        self._pool = {
+            key: entry
+            for key, entry in self._pool.items()
+            if entry.support_count >= minimum and entry.support_count > 0
+        }
+
+    def _recompute_closedness(self) -> None:
+        """Mark each pooled tree closed iff no equal-support one-edge
+        supertree exists in the pool.
+
+        Any equal-support proper supertree chain passes through an
+        equal-support tree with exactly one more edge, and that tree is
+        frequent at the relaxed threshold, hence pooled (up to the
+        ``max_edges`` mining frontier).
+        """
+        by_size: dict[int, list[MinedTree]] = {}
+        for entry in self._pool.values():
+            by_size.setdefault(entry.num_edges, []).append(entry)
+        for entry in self._pool.values():
+            entry.closed = True
+            for candidate in by_size.get(entry.num_edges + 1, ()):
+                if candidate.support_count != entry.support_count:
+                    continue
+                if contains(candidate.tree, entry.tree):
+                    entry.closed = False
+                    break

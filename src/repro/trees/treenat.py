@@ -1,0 +1,120 @@
+"""A recursive TreeNat-style closed-tree miner.
+
+The paper generates closed trees "by leveraging the TREENAT approach":
+a recursive framework that, at each step, checks the support of all
+one-step extensions of the current subtree, recurses into the frequent
+ones, and admits the current subtree as closed only when no extension
+matches its support (Section 4.2, citing Balcázar–Bifet–Lozano).
+
+:mod:`repro.trees.mining` implements the same semantics level-wise (it
+is the production miner because its cover bookkeeping feeds the
+FCT-Index); this module is the faithful *recursive* formulation.  The
+two are cross-checked against each other in the test suite — an
+algorithm-level redundancy that guards both implementations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..graph.labeled_graph import LabeledGraph, normalize_edge_label
+from ..isomorphism.matcher import contains, find_embeddings
+from .canonical import TreeCode, tree_certificate
+from .mining import DEFAULT_MAX_EDGES, MinedTree
+
+
+class TreeNatMiner:
+    """Depth-first closed-tree mining with recursive extension checks."""
+
+    def __init__(
+        self,
+        graphs: Mapping[int, LabeledGraph],
+        min_support: float,
+        max_edges: int = DEFAULT_MAX_EDGES,
+    ) -> None:
+        if not 0.0 < min_support <= 1.0:
+            raise ValueError(f"min_support must be in (0, 1], got {min_support}")
+        if max_edges < 1:
+            raise ValueError("max_edges must be >= 1")
+        self._graphs = dict(graphs)
+        self.min_support = min_support
+        self.max_edges = max_edges
+        self._results: dict[TreeCode, MinedTree] = {}
+        self._visited: set[TreeCode] = set()
+
+    # ------------------------------------------------------------------
+    def _min_count(self) -> int:
+        count = len(self._graphs) * self.min_support
+        rounded = int(count)
+        return rounded if rounded == count else rounded + 1
+
+    def _cover(self, tree: LabeledGraph) -> set[int]:
+        """Transactional cover via VF2 (label prefilters make this cheap)."""
+        return {
+            graph_id
+            for graph_id, graph in self._graphs.items()
+            if contains(graph, tree)
+        }
+
+    def _extensions(self, tree: LabeledGraph) -> dict[TreeCode, LabeledGraph]:
+        """All one-pendant-edge extensions present in the database."""
+        extensions: dict[TreeCode, LabeledGraph] = {}
+        new_vertex = tree.num_vertices
+        for host in self._graphs.values():
+            for embedding in find_embeddings(host, tree, limit=256):
+                used = set(embedding.values())
+                for pattern_vertex, host_vertex in embedding.items():
+                    for neighbor in host.neighbors(host_vertex) - used:
+                        grown = tree.copy()
+                        grown.add_vertex(new_vertex, host.label(neighbor))
+                        grown.add_edge(pattern_vertex, new_vertex)
+                        key = tree_certificate(grown)
+                        extensions.setdefault(key, grown.relabeled())
+        return extensions
+
+    def _recurse(self, tree: LabeledGraph, cover: set[int]) -> None:
+        key = tree_certificate(tree)
+        if key in self._visited:
+            return
+        self._visited.add(key)
+        closed = True
+        if tree.num_edges < self.max_edges:
+            for _, extension in sorted(
+                self._extensions(tree).items(), key=lambda kv: repr(kv[0])
+            ):
+                extension_cover = self._cover(extension)
+                if len(extension_cover) == len(cover):
+                    closed = False  # equal-support supertree exists
+                if len(extension_cover) >= self._min_count():
+                    self._recurse(extension, extension_cover)
+        entry = MinedTree(
+            tree=tree.relabeled(),
+            key=key,
+            cover=set(cover),
+            closed=closed,
+        )
+        self._results[key] = entry
+
+    # ------------------------------------------------------------------
+    def mine_closed(self) -> list[MinedTree]:
+        """All frequent closed trees, depth-first."""
+        self._results = {}
+        self._visited = set()
+        minimum = self._min_count()
+        seeds: dict[TreeCode, LabeledGraph] = {}
+        for graph in self._graphs.values():
+            for u, v in graph.edges():
+                la, lb = normalize_edge_label(graph.label(u), graph.label(v))
+                edge_tree = LabeledGraph()
+                edge_tree.add_vertex(0, la)
+                edge_tree.add_vertex(1, lb)
+                edge_tree.add_edge(0, 1)
+                seeds.setdefault(tree_certificate(edge_tree), edge_tree)
+        for _, seed in sorted(seeds.items(), key=lambda kv: repr(kv[0])):
+            cover = self._cover(seed)
+            if len(cover) >= minimum:
+                self._recurse(seed, cover)
+        return sorted(
+            (t for t in self._results.values() if t.closed),
+            key=lambda t: (t.num_edges, repr(t.key)),
+        )

@@ -1,0 +1,15 @@
+"""Shared utilities: sampling, statistics, timing."""
+
+from .sampling import LazySampler
+from .stats import ks_similarity, mean, percentile, stddev
+from .timing import Stopwatch, timed
+
+__all__ = [
+    "LazySampler",
+    "Stopwatch",
+    "ks_similarity",
+    "mean",
+    "percentile",
+    "stddev",
+    "timed",
+]

@@ -1,0 +1,84 @@
+"""Lazy database sampling.
+
+Computing subgraph coverage over the full database is prohibitively
+expensive at scale, so CATAPULT/MIDAS estimate ``scov`` over a sampled
+database ``D_s ⊂ D`` (paper, Section 6.1).  :class:`LazySampler` draws a
+reproducible uniform sample whose membership is *stable under database
+evolution*: surviving graphs keep their in/out status, deleted graphs
+drop out, and new graphs are admitted with the sampling probability —
+so estimates before and after a batch are comparable.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+
+class LazySampler:
+    """A persistent, evolution-aware uniform sample of graph IDs."""
+
+    def __init__(
+        self,
+        ids: Iterable[int],
+        max_size: int = 500,
+        seed: int = 0,
+    ) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be positive")
+        self._rng = random.Random(seed)
+        self.max_size = max_size
+        universe = sorted(ids)
+        self._universe: set[int] = set(universe)
+        if len(universe) <= max_size:
+            self._sample: set[int] = set(universe)
+        else:
+            self._sample = set(self._rng.sample(universe, max_size))
+
+    # ------------------------------------------------------------------
+    @property
+    def sample_ids(self) -> set[int]:
+        return set(self._sample)
+
+    @property
+    def sample_size(self) -> int:
+        return len(self._sample)
+
+    @property
+    def universe_size(self) -> int:
+        return len(self._universe)
+
+    def __contains__(self, graph_id: int) -> bool:
+        return graph_id in self._sample
+
+    # ------------------------------------------------------------------
+    def add_ids(self, ids: Iterable[int]) -> None:
+        """Admit new graphs, keeping the sample uniform-ish.
+
+        Each new ID enters with probability ``max_size / universe``; when
+        the sample is below capacity it enters unconditionally.
+        """
+        for graph_id in sorted(ids):
+            if graph_id in self._universe:
+                continue
+            self._universe.add(graph_id)
+            if len(self._sample) < self.max_size:
+                self._sample.add(graph_id)
+            else:
+                # Reservoir-style replacement keeps inclusion uniform.
+                if self._rng.random() < self.max_size / len(self._universe):
+                    victim = self._rng.choice(sorted(self._sample))
+                    self._sample.discard(victim)
+                    self._sample.add(graph_id)
+
+    def remove_ids(self, ids: Iterable[int]) -> None:
+        """Drop deleted graphs from both universe and sample."""
+        for graph_id in ids:
+            self._universe.discard(graph_id)
+            self._sample.discard(graph_id)
+
+    def scale_to_universe(self, sample_count: float) -> float:
+        """Convert a sample count to a universe-level fraction."""
+        if not self._sample:
+            return 0.0
+        return sample_count / len(self._sample)

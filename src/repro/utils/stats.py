@@ -1,0 +1,61 @@
+"""Small statistics helpers.
+
+The multi-scan swap of MIDAS checks that a swap does not significantly
+change the pattern-size distribution with a Kolmogorov–Smirnov test
+(paper, Section 6.2).  scipy provides the test; this module wraps it
+with sensible handling of the tiny samples involved (γ ≈ 30 patterns)
+and adds the summary helpers used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from scipy import stats as _scipy_stats
+
+
+def ks_similarity(
+    first: Sequence[float],
+    second: Sequence[float],
+    alpha: float = 0.05,
+) -> bool:
+    """True when the two samples are plausibly from one distribution.
+
+    A two-sample KS test at significance *alpha*: returns True (similar)
+    when the null hypothesis is **not** rejected.  Empty inputs compare
+    equal only to empty inputs.
+    """
+    if not first or not second:
+        return not first and not second
+    result = _scipy_stats.ks_2samp(list(first), list(second))
+    return bool(result.pvalue >= alpha)
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def stddev(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * q / 100.0
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(ordered[low])
+    fraction = position - low
+    return float(ordered[low] * (1 - fraction) + ordered[high] * fraction)

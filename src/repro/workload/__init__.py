@@ -1,0 +1,49 @@
+"""Query workloads, formulation planning and the simulated user study."""
+
+from .evaluation import (
+    WorkloadResult,
+    compare_step_reduction,
+    edge_mode_result,
+    evaluate_patterns,
+    run_user_study,
+)
+from .formulation import (
+    FormulationPlan,
+    PlacedPattern,
+    edge_at_a_time_steps,
+    plan_formulation,
+    reduction_ratio,
+)
+from .queries import (
+    balanced_query_set,
+    generate_queries,
+    random_connected_subgraph,
+    study_query_sets,
+)
+from .user_model import (
+    FormulationOutcome,
+    SimulatedUser,
+    UserProfile,
+    panel_average,
+)
+
+__all__ = [
+    "FormulationOutcome",
+    "FormulationPlan",
+    "PlacedPattern",
+    "SimulatedUser",
+    "UserProfile",
+    "WorkloadResult",
+    "balanced_query_set",
+    "compare_step_reduction",
+    "edge_at_a_time_steps",
+    "edge_mode_result",
+    "evaluate_patterns",
+    "generate_queries",
+    "panel_average",
+    "plan_formulation",
+    "random_connected_subgraph",
+    "reduction_ratio",
+    "run_user_study",
+    "study_query_sets",
+]

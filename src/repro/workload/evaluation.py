@@ -1,0 +1,115 @@
+"""Workload-level evaluation of pattern sets.
+
+Computes the paper's automated performance measures over a query set
+(Section 7.1):
+
+* **MP** — missed percentage: fraction of queries for which no displayed
+  pattern is usable at all;
+* average minimum formulation **steps** under the greedy planner;
+* **μ** — the reduction ratio of one approach against another;
+
+plus the user-study aggregates (QFT / steps / VMT per approach) via the
+simulated user.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from ..graph.labeled_graph import LabeledGraph
+from .formulation import (
+    edge_at_a_time_steps,
+    plan_formulation,
+    reduction_ratio,
+)
+from .user_model import SimulatedUser, panel_average
+
+
+@dataclass
+class WorkloadResult:
+    """Automated-study metrics of one approach on one query set."""
+
+    approach: str
+    missed_percentage: float
+    average_steps: float
+    per_query_steps: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WorkloadResult {self.approach}: MP={self.missed_percentage:.1f}% "
+            f"steps={self.average_steps:.1f}>"
+        )
+
+
+def evaluate_patterns(
+    approach: str,
+    patterns: list[LabeledGraph],
+    queries: list[LabeledGraph],
+    max_edits: int = 0,
+) -> WorkloadResult:
+    """MP and average steps of *patterns* on *queries*."""
+    if not queries:
+        return WorkloadResult(approach, 0.0, 0.0, [])
+    steps: list[int] = []
+    missed = 0
+    for query in queries:
+        plan = plan_formulation(query, patterns, max_edits=max_edits)
+        steps.append(plan.steps)
+        if not plan.used_patterns:
+            missed += 1
+    return WorkloadResult(
+        approach=approach,
+        missed_percentage=100.0 * missed / len(queries),
+        average_steps=sum(steps) / len(steps),
+        per_query_steps=steps,
+    )
+
+
+def compare_step_reduction(
+    baseline: WorkloadResult, subject: WorkloadResult
+) -> float:
+    """Average per-query μ of *subject* against *baseline*.
+
+    Positive values mean the subject needed fewer steps.
+    """
+    pairs = list(zip(baseline.per_query_steps, subject.per_query_steps))
+    if not pairs:
+        return 0.0
+    ratios = [reduction_ratio(b, s) for b, s in pairs if b > 0]
+    return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+def edge_mode_result(queries: list[LabeledGraph]) -> WorkloadResult:
+    """The edge-at-a-time control row."""
+    steps = [edge_at_a_time_steps(q) for q in queries]
+    return WorkloadResult(
+        approach="edge-at-a-time",
+        missed_percentage=100.0,
+        average_steps=sum(steps) / len(steps) if steps else 0.0,
+        per_query_steps=steps,
+    )
+
+
+def run_user_study(
+    pattern_sets: Mapping[str, list[LabeledGraph]],
+    queries: list[LabeledGraph],
+    trials_per_query: int = 5,
+    seed: int = 0,
+    max_edits: int = 2,
+) -> dict[str, dict[str, float]]:
+    """Simulated user study: avg QFT / steps / VMT per approach.
+
+    Each query is formulated ``trials_per_query`` times (the paper has 5
+    different participants formulate each query); per-trial latencies
+    differ through the seeded noise model.
+    """
+    results: dict[str, dict[str, float]] = {}
+    for approach, patterns in pattern_sets.items():
+        outcomes = []
+        for trial in range(trials_per_query):
+            user = SimulatedUser(seed=seed + trial, max_edits=max_edits)
+            for query in queries:
+                outcomes.append(user.formulate(query, patterns, trial))
+        results[approach] = panel_average(outcomes)
+    return results

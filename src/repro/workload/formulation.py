@@ -1,0 +1,207 @@
+"""Visual query formulation planning.
+
+This module computes the *minimum number of formulation steps* for a
+query under the two construction modes of the paper:
+
+* **edge-at-a-time** — every vertex and every edge is one atomic action:
+  ``steps = |V_Q| + |E_Q|``;
+* **pattern-at-a-time** — a canned pattern contributes all its vertices
+  and edges in a single drag action; remaining vertices/edges are added
+  one at a time, and (in the user-study variant) extra pattern elements
+  may be deleted at one step each.
+
+The planner is the greedy maximiser used by the automated study
+(Section 7.1): repeatedly place the largest pattern embeddable in the
+*uncovered* part of the query, with embeddings pairwise vertex-disjoint
+(the paper's simplifying assumption 2).  The user-study variant
+(Section 7.2) relaxes this by allowing bounded pattern *editing*:
+a pattern may be placed after deleting up to ``max_edits`` pendant
+vertices, at one deletion step per removed vertex+edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.labeled_graph import LabeledGraph, edge_key
+from ..isomorphism.vf2 import VF2Matcher
+
+
+@dataclass
+class PlacedPattern:
+    """One pattern use within a formulation plan."""
+
+    pattern_index: int
+    vertices_covered: int
+    edges_covered: int
+    deletions: int = 0
+    #: The (possibly edited) pattern variant actually placed.
+    variant: LabeledGraph | None = None
+    #: Embedding variant-vertex → query-vertex for this placement.
+    embedding: dict | None = None
+
+
+@dataclass
+class FormulationPlan:
+    """A full construction plan for one query."""
+
+    steps: int
+    placed: list[PlacedPattern] = field(default_factory=list)
+    vertices_added: int = 0
+    edges_added: int = 0
+    #: Query vertices not covered by any placement (added one at a time).
+    remaining_vertices: list = field(default_factory=list)
+    #: Query edges not covered by any placement (added one at a time).
+    remaining_edges: list = field(default_factory=list)
+
+    @property
+    def used_patterns(self) -> bool:
+        return bool(self.placed)
+
+    @property
+    def num_pattern_uses(self) -> int:
+        return len(self.placed)
+
+    @property
+    def num_deletions(self) -> int:
+        return sum(p.deletions for p in self.placed)
+
+
+def edge_at_a_time_steps(query: LabeledGraph) -> int:
+    """Steps to build *query* one vertex / one edge at a time."""
+    return query.num_vertices + query.num_edges
+
+
+def _pattern_variants(
+    pattern: LabeledGraph, max_edits: int
+) -> list[tuple[LabeledGraph, int]]:
+    """The pattern plus its pendant-deletion edits, largest first.
+
+    Each variant removes up to *max_edits* degree-1 vertices (with their
+    edges); the edit count is the number of deletion steps incurred.
+    """
+    from ..graph.canonical import canonical_key
+
+    variants: list[tuple[LabeledGraph, int]] = [(pattern, 0)]
+    frontier = [(pattern, 0)]
+    seen = {canonical_key(pattern)}
+    while frontier:
+        current, edits = frontier.pop()
+        if edits >= max_edits:
+            continue
+        for vertex in sorted(current.vertices(), key=repr):
+            if current.degree(vertex) != 1 or current.num_vertices <= 3:
+                continue
+            trimmed = current.copy()
+            trimmed.remove_vertex(vertex)
+            if not trimmed.is_connected():
+                continue
+            fingerprint = canonical_key(trimmed)
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            variants.append((trimmed, edits + 1))
+            frontier.append((trimmed, edits + 1))
+    variants.sort(key=lambda item: (-item[0].num_edges, item[1]))
+    return variants
+
+
+def _disjoint_embedding(
+    query: LabeledGraph,
+    pattern: LabeledGraph,
+    used_vertices: set,
+) -> dict | None:
+    """An embedding of *pattern* into *query* avoiding *used_vertices*."""
+    available = set(query.vertices()) - used_vertices
+    if pattern.num_vertices > len(available):
+        return None
+    host = query.subgraph(available)
+    matcher = VF2Matcher(pattern, host)
+    for assignment in matcher.matches():
+        return assignment
+    return None
+
+
+def plan_formulation(
+    query: LabeledGraph,
+    patterns: list[LabeledGraph],
+    max_edits: int = 0,
+) -> FormulationPlan:
+    """Greedy minimum-step construction plan for *query*.
+
+    With ``max_edits=0`` this is the automated study's exact-containment
+    planner; positive ``max_edits`` enables the user-study behaviour of
+    dragging a pattern and deleting up to that many pendant vertices.
+    """
+    placed: list[PlacedPattern] = []
+    used_vertices: set = set()
+    covered_edges: set = set()
+    # Try patterns (and their edit variants) largest-first.
+    queue: list[tuple[LabeledGraph, int, int]] = []
+    for index, pattern in enumerate(patterns):
+        for variant, edits in _pattern_variants(pattern, max_edits):
+            if variant.num_edges >= 2:
+                queue.append((variant, edits, index))
+    queue.sort(key=lambda item: (-(item[0].num_edges - item[1]), item[1]))
+
+    progress = True
+    while progress:
+        progress = False
+        for variant, edits, index in queue:
+            # Usefulness guard: a placement must beat building the same
+            # vertices/edges atomically (1 drag + deletions < |V|+|E|).
+            if 1 + edits >= variant.num_vertices + variant.num_edges:
+                continue
+            assignment = _disjoint_embedding(
+                query, variant, used_vertices
+            )
+            if assignment is None:
+                continue
+            mapped = set(assignment.values())
+            used_vertices |= mapped
+            for u, v in variant.edges():
+                covered_edges.add(edge_key(assignment[u], assignment[v]))
+            placed.append(
+                PlacedPattern(
+                    pattern_index=index,
+                    vertices_covered=variant.num_vertices,
+                    edges_covered=variant.num_edges,
+                    deletions=edits,
+                    variant=variant,
+                    embedding=dict(assignment),
+                )
+            )
+            progress = True
+            break
+
+    remaining_vertices = sorted(
+        (v for v in query.vertices() if v not in used_vertices), key=repr
+    )
+    remaining_edges = sorted(
+        (e for e in query.edges() if edge_key(*e) not in covered_edges),
+        key=repr,
+    )
+    steps = (
+        len(placed)
+        + sum(p.deletions for p in placed)
+        + len(remaining_vertices)
+        + len(remaining_edges)
+    )
+    return FormulationPlan(
+        steps=steps,
+        placed=placed,
+        vertices_added=len(remaining_vertices),
+        edges_added=len(remaining_edges),
+        remaining_vertices=remaining_vertices,
+        remaining_edges=remaining_edges,
+    )
+
+
+def reduction_ratio(steps_baseline: int, steps_subject: int) -> float:
+    """``μ = (step_X − step_subject) / step_X`` (Section 7.1).
+
+    Positive μ means the subject needed fewer steps than baseline X.
+    """
+    if steps_baseline <= 0:
+        return 0.0
+    return (steps_baseline - steps_subject) / steps_baseline

@@ -1,0 +1,142 @@
+"""Subgraph query workloads.
+
+The automated study evaluates pattern sets on query sets of random
+connected subgraphs drawn from the data graphs (paper, Section 7.1):
+1000 queries of sizes 4–40, *balanced* so that when a batch inserted
+graphs, half the queries come from Δ⁺ and half from the surviving
+database — stale pattern sets should visibly struggle on the Δ⁺ half.
+The user study (Section 7.2) uses smaller query sets with three mixes
+(all-old, mixed, all-new), reproduced by :func:`study_query_sets`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+
+from ..graph.database import GraphDatabase
+from ..graph.labeled_graph import LabeledGraph, edge_key
+
+
+def random_connected_subgraph(
+    graph: LabeledGraph,
+    num_edges: int,
+    rng: random.Random,
+) -> LabeledGraph | None:
+    """A uniformly-grown connected edge-subgraph with *num_edges* edges.
+
+    Grows from a random seed edge, repeatedly adding a random frontier
+    edge.  Returns None when the graph has fewer than *num_edges* edges
+    reachable from the seed.
+    """
+    edges = list(graph.edges())
+    if not edges or num_edges < 1:
+        return None
+    seed_edge = rng.choice(sorted(edges))
+    chosen = {edge_key(*seed_edge)}
+    vertices = {seed_edge[0], seed_edge[1]}
+    while len(chosen) < num_edges:
+        frontier = []
+        for vertex in vertices:
+            for neighbor in graph.neighbors(vertex):
+                key = edge_key(vertex, neighbor)
+                if key not in chosen:
+                    frontier.append(key)
+        if not frontier:
+            return None
+        nxt = rng.choice(sorted(set(frontier)))
+        chosen.add(nxt)
+        vertices.update(nxt)
+    return graph.edge_subgraph(chosen).relabeled()
+
+
+def generate_queries(
+    graphs: Mapping[int, LabeledGraph],
+    count: int,
+    size_range: tuple[int, int] = (4, 40),
+    seed: int = 0,
+) -> list[LabeledGraph]:
+    """*count* random connected subgraph queries from *graphs*."""
+    if not graphs:
+        return []
+    rng = random.Random(seed)
+    source_ids = sorted(graphs)
+    queries: list[LabeledGraph] = []
+    attempts = 0
+    max_attempts = count * 30
+    while len(queries) < count and attempts < max_attempts:
+        attempts += 1
+        graph = graphs[rng.choice(source_ids)]
+        if graph.num_edges == 0:
+            continue
+        lo, hi = size_range
+        target = rng.randint(lo, min(hi, graph.num_edges))
+        if target < 1:
+            continue
+        query = random_connected_subgraph(graph, target, rng)
+        if query is not None and query.num_edges >= lo:
+            query.name = f"Q{len(queries)}"
+            queries.append(query)
+    return queries
+
+
+def balanced_query_set(
+    database: GraphDatabase,
+    delta_plus_ids: Sequence[int],
+    count: int = 1000,
+    size_range: tuple[int, int] = (4, 40),
+    seed: int = 0,
+) -> list[LabeledGraph]:
+    """The paper's balanced workload.
+
+    When ``|Δ⁺| > 0``, half the queries are derived from the inserted
+    graphs and half from the rest of the (already updated) database;
+    otherwise all queries come from ``D ⊕ ΔD``.
+    """
+    all_graphs = dict(database.items())
+    new_ids = [gid for gid in delta_plus_ids if gid in all_graphs]
+    if not new_ids:
+        return generate_queries(all_graphs, count, size_range, seed)
+    new_graphs = {gid: all_graphs[gid] for gid in new_ids}
+    old_graphs = {
+        gid: g for gid, g in all_graphs.items() if gid not in set(new_ids)
+    }
+    half = count // 2
+    queries = generate_queries(new_graphs, half, size_range, seed)
+    queries += generate_queries(
+        old_graphs or all_graphs, count - len(queries), size_range, seed + 1
+    )
+    return queries
+
+
+def study_query_sets(
+    database: GraphDatabase,
+    delta_plus_ids: Sequence[int],
+    queries_per_set: int = 5,
+    size_range: tuple[int, int] = (19, 45),
+    seed: int = 0,
+) -> dict[str, list[LabeledGraph]]:
+    """The user study's three query mixes (Section 7.2).
+
+    * ``Qs1`` — all queries from the original database;
+    * ``Qs2`` — a mix (⌈2/5⌉ old, rest from Δ⁺);
+    * ``Qs3`` — all queries from Δ⁺.
+    """
+    all_graphs = dict(database.items())
+    new_ids = set(gid for gid in delta_plus_ids if gid in all_graphs)
+    old_graphs = {g: v for g, v in all_graphs.items() if g not in new_ids}
+    new_graphs = {g: v for g, v in all_graphs.items() if g in new_ids}
+    if not new_graphs:
+        raise ValueError("study_query_sets requires a non-empty Δ⁺")
+    old_in_mix = max(1, (2 * queries_per_set) // 5)
+    qs2 = generate_queries(old_graphs, old_in_mix, size_range, seed + 10)
+    qs2 += generate_queries(
+        new_graphs, queries_per_set - len(qs2), size_range, seed + 11
+    )
+    return {
+        "Qs1": generate_queries(old_graphs, queries_per_set, size_range, seed),
+        "Qs2": qs2,
+        "Qs3": generate_queries(
+            new_graphs, queries_per_set, size_range, seed + 20
+        ),
+    }

@@ -1,0 +1,144 @@
+"""A simulated user of the visual query interface.
+
+The paper's user study (Section 7.2) measures, for human participants,
+the query formulation time (QFT), the number of steps and the visual
+mapping time (VMT — time spent browsing the pattern panel before picking
+a pattern).  Humans are not available to this reproduction, so this
+module substitutes a latency model layered over the exact step planner
+of :mod:`repro.workload.formulation` (see DESIGN.md, substitution table):
+
+* the *step counts* are computed exactly by the planner with pattern
+  editing enabled (users may delete pattern elements, Section 7.2);
+* each atomic action draws a seeded lognormal latency whose medians are
+  calibrated to the paper's worked example (Example 1.1: 41
+  edge-at-a-time steps ≈ 145 s → ≈3.5 s/step; 20 pattern-at-a-time steps
+  ≈ 102 s → ≈5.1 s/step including pattern search);
+* VMT accrues per pattern use: the user scans on average half the γ
+  displayed patterns before recognising the one they need.
+
+Because latencies are per-action noise around the planner's exact step
+counts, QFT/steps/VMT inherit the comparative shape of the figures —
+which is what the reproduction targets.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from ..graph.labeled_graph import LabeledGraph
+from .formulation import FormulationPlan, plan_formulation
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Median per-action latencies in seconds."""
+
+    vertex_add: float = 2.2
+    edge_add: float = 3.2
+    deletion: float = 2.0
+    pattern_drag: float = 2.6
+    #: Seconds spent evaluating one displayed pattern while browsing.
+    pattern_scan: float = 0.45
+    #: Lognormal sigma of per-action noise (0 disables noise).
+    noise_sigma: float = 0.25
+
+
+@dataclass
+class FormulationOutcome:
+    """One simulated query formulation."""
+
+    plan: FormulationPlan
+    qft_seconds: float
+    vmt_seconds: float
+
+    @property
+    def steps(self) -> int:
+        return self.plan.steps
+
+
+@dataclass
+class SimulatedUser:
+    """Drives the interface according to a :class:`UserProfile`."""
+
+    profile: UserProfile = field(default_factory=UserProfile)
+    seed: int = 0
+    max_edits: int = 2
+
+    def _rng_for(self, query: LabeledGraph, salt: int) -> random.Random:
+        # zlib.crc32 is stable across processes (str hashing is not).
+        token = f"{self.seed}|{query.name}|{salt}".encode()
+        return random.Random(zlib.crc32(token))
+
+    def _latency(self, median: float, rng: random.Random) -> float:
+        sigma = self.profile.noise_sigma
+        if sigma <= 0:
+            return median
+        return median * math.exp(rng.gauss(0.0, sigma))
+
+    # ------------------------------------------------------------------
+    def formulate(
+        self,
+        query: LabeledGraph,
+        patterns: list[LabeledGraph],
+        trial: int = 0,
+    ) -> FormulationOutcome:
+        """Simulate constructing *query* with *patterns* displayed."""
+        rng = self._rng_for(query, trial)
+        plan = plan_formulation(query, patterns, max_edits=self.max_edits)
+        profile = self.profile
+        qft = 0.0
+        vmt = 0.0
+        gamma = max(len(patterns), 1)
+        for placement in plan.placed:
+            # Browsing: scan about half the panel before recognising the
+            # pattern (uniform position of the target pattern).
+            scanned = rng.randint(1, gamma)
+            browse = sum(
+                self._latency(profile.pattern_scan, rng)
+                for _ in range(scanned)
+            )
+            vmt += browse
+            qft += browse
+            qft += self._latency(profile.pattern_drag, rng)
+            for _ in range(placement.deletions):
+                qft += self._latency(profile.deletion, rng)
+        for _ in range(plan.vertices_added):
+            qft += self._latency(profile.vertex_add, rng)
+        for _ in range(plan.edges_added):
+            qft += self._latency(profile.edge_add, rng)
+        return FormulationOutcome(plan=plan, qft_seconds=qft, vmt_seconds=vmt)
+
+    def formulate_edge_at_a_time(
+        self, query: LabeledGraph, trial: int = 0
+    ) -> FormulationOutcome:
+        """The no-pattern control: pure vertex/edge construction."""
+        rng = self._rng_for(query, trial + 1_000_003)
+        profile = self.profile
+        qft = 0.0
+        for _ in range(query.num_vertices):
+            qft += self._latency(profile.vertex_add, rng)
+        for _ in range(query.num_edges):
+            qft += self._latency(profile.edge_add, rng)
+        plan = FormulationPlan(
+            steps=query.num_vertices + query.num_edges,
+            placed=[],
+            vertices_added=query.num_vertices,
+            edges_added=query.num_edges,
+        )
+        return FormulationOutcome(plan=plan, qft_seconds=qft, vmt_seconds=0.0)
+
+
+def panel_average(
+    outcomes: list[FormulationOutcome],
+) -> dict[str, float]:
+    """Average QFT / steps / VMT over a set of formulations."""
+    if not outcomes:
+        return {"qft": 0.0, "steps": 0.0, "vmt": 0.0}
+    return {
+        "qft": sum(o.qft_seconds for o in outcomes) / len(outcomes),
+        "steps": sum(o.steps for o in outcomes) / len(outcomes),
+        "vmt": sum(o.vmt_seconds for o in outcomes) / len(outcomes),
+    }

@@ -1,0 +1,88 @@
+"""Unit tests for the benchmark harness and shared experiment scaffolding."""
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_SCALE,
+    ExperimentTable,
+    batch_grid,
+    dataset,
+    default_config,
+    scaled,
+    series_summary,
+)
+
+
+class TestExperimentTable:
+    def test_add_row_validates_width(self):
+        table = ExperimentTable("t", ["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_contains_everything(self):
+        table = ExperimentTable("My Experiment", ["name", "value"])
+        table.add_row("alpha", 0.51239)
+        table.add_row("beta", 1234.5)
+        table.add_note("a note")
+        text = table.render()
+        assert "My Experiment" in text
+        assert "alpha" in text
+        assert "0.5124" in text  # 4-decimal small floats
+        assert "1234" in text    # big floats rounded
+        assert "a note" in text
+
+    def test_column_values(self):
+        table = ExperimentTable("t", ["x", "y"])
+        table.add_row(1, "p")
+        table.add_row(2, "q")
+        assert table.column_values("x") == [1, 2]
+        with pytest.raises(ValueError):
+            table.column_values("nope")
+
+    def test_show_prints(self, capsys):
+        table = ExperimentTable("t", ["x"])
+        table.add_row(3)
+        table.show()
+        assert "t" in capsys.readouterr().out
+
+    def test_series_summary(self):
+        text = series_summary("pmt", [1.0, 2.0, 3.0])
+        assert "min=1.000" in text and "max=3.000" in text
+        assert "(empty)" in series_summary("x", [])
+
+
+class TestCommon:
+    def test_scaled_overrides(self):
+        scale = scaled(base_graphs=10)
+        assert scale.base_graphs == 10
+        assert scale.gamma == DEFAULT_SCALE.gamma
+
+    def test_default_config_from_scale(self):
+        scale = scaled(gamma=6, eta_min=3, eta_max=5)
+        config = default_config(scale)
+        assert config.budget.gamma == 6
+        assert config.budget.eta_max == 5
+
+    def test_default_config_override(self):
+        config = default_config(DEFAULT_SCALE, epsilon=0.5)
+        assert config.epsilon == 0.5
+
+    def test_dataset_profiles(self):
+        for name in ("aids", "pubchem", "emol"):
+            db = dataset(name, 5, seed=1)
+            assert len(db) == 5
+        with pytest.raises(KeyError):
+            dataset("zinc", 5, seed=1)
+
+    def test_batch_grid_shape(self):
+        scale = scaled(base_graphs=20, batch_percent=20.0, family_batch=5)
+        db = dataset("aids", 20, seed=2)
+        grid = batch_grid(db, scale, "aids")
+        names = [name for name, _ in grid]
+        assert len(grid) == 4
+        assert "family" in names
+        insertion_batch = dict(grid)["+20%"]
+        assert insertion_batch.num_insertions == 4
+        deletion_batch = dict(grid)["-10%"]
+        assert deletion_batch.num_deletions == 2

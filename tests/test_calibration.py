@@ -1,0 +1,70 @@
+"""Unit tests for ε calibration."""
+
+import pytest
+
+from repro.datasets import aids_like, family_injection, random_insertions
+from repro.graph import GraphDatabase
+from repro.graphlets import database_distribution, distribution_distance
+from repro.midas.calibration import recommend_epsilon
+
+from .conftest import make_graph
+
+
+class TestRecommendEpsilon:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return aids_like(60, seed=51)
+
+    def test_validation(self, db):
+        tiny = GraphDatabase([make_graph("CO", [(0, 1)])])
+        with pytest.raises(ValueError):
+            recommend_epsilon(tiny)
+        with pytest.raises(ValueError):
+            recommend_epsilon(db, batch_fraction=0.0)
+        with pytest.raises(ValueError):
+            recommend_epsilon(db, trials=0)
+
+    def test_deterministic(self, db):
+        a = recommend_epsilon(db, trials=20, seed=7)
+        b = recommend_epsilon(db, trials=20, seed=7)
+        assert a.epsilon == b.epsilon
+        assert a.null_distances == b.null_distances
+
+    def test_recommendation_positive_and_bounded(self, db):
+        rec = recommend_epsilon(db, trials=30, seed=3)
+        assert rec.epsilon >= 0.0
+        assert rec.epsilon <= rec.null_max + 1e-12
+        assert rec.trials == 30
+
+    def test_routine_churn_classified_minor(self, db):
+        """Most random batches of the calibrated size must fall below
+        the recommended ε (that is the construction's point)."""
+        rec = recommend_epsilon(
+            db, batch_fraction=0.1, trials=40, q=95.0, seed=5
+        )
+        base = database_distribution(dict(db.items()))
+        minor = 0
+        trials = 10
+        for seed in range(trials):
+            update = random_insertions(db, 10, seed=100 + seed)
+            updated = db.updated(update)
+            after = database_distribution(dict(updated.items()))
+            if distribution_distance(base, after) < rec.epsilon:
+                minor += 1
+        assert minor >= trials // 2
+
+    def test_family_batch_classified_major(self, db):
+        """A genuine family shift should exceed the calibrated ε."""
+        rec = recommend_epsilon(
+            db, batch_fraction=0.1, trials=40, q=95.0, seed=5
+        )
+        base = database_distribution(dict(db.items()))
+        update = family_injection(30, seed=9)
+        updated = db.updated(update)
+        after = database_distribution(dict(updated.items()))
+        assert distribution_distance(base, after) >= rec.epsilon
+
+    def test_percentile_monotone(self, db):
+        low = recommend_epsilon(db, trials=30, q=50.0, seed=2)
+        high = recommend_epsilon(db, trials=30, q=99.0, seed=2)
+        assert high.epsilon >= low.epsilon

@@ -1,0 +1,85 @@
+"""Unit tests for repro.graph.canonical (graph canonical forms)."""
+
+import random
+
+from repro.graph import (
+    LabeledGraph,
+    are_isomorphic,
+    canonical_certificate,
+    canonical_key,
+)
+
+from .conftest import make_graph
+
+
+def shuffled_copy(graph: LabeledGraph, seed: int) -> LabeledGraph:
+    """An isomorphic copy with permuted vertex identities."""
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices(), key=repr)
+    permuted = list(vertices)
+    rng.shuffle(permuted)
+    mapping = dict(zip(vertices, permuted))
+    clone = LabeledGraph()
+    for v in vertices:
+        clone.add_vertex(mapping[v], graph.label(v))
+    for u, v in graph.edges():
+        clone.add_edge(mapping[u], mapping[v])
+    return clone
+
+
+class TestCertificate:
+    def test_empty_graph(self):
+        assert canonical_certificate(LabeledGraph()) == ((), ())
+
+    def test_single_vertex(self):
+        g = make_graph("C", [])
+        labels, edges = canonical_certificate(g)
+        assert labels == ("C",)
+        assert edges == ()
+
+    def test_isomorphic_graphs_same_certificate(self):
+        g1 = make_graph("CONC", [(0, 1), (1, 2), (2, 3), (3, 0)])
+        for seed in range(5):
+            g2 = shuffled_copy(g1, seed)
+            assert canonical_certificate(g1) == canonical_certificate(g2)
+
+    def test_label_difference_changes_certificate(self):
+        g1 = make_graph("CO", [(0, 1)])
+        g2 = make_graph("CN", [(0, 1)])
+        assert canonical_certificate(g1) != canonical_certificate(g2)
+
+    def test_structure_difference_changes_certificate(self, triangle, path3):
+        assert canonical_certificate(triangle) != canonical_certificate(path3)
+
+    def test_regular_graph_with_same_labels(self):
+        # C6 cycle vs two C3 triangles: same degree sequence and labels.
+        c6 = make_graph("CCCCCC", [(i, (i + 1) % 6) for i in range(6)])
+        two_triangles = make_graph(
+            "CCCCCC",
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        )
+        assert canonical_certificate(c6) != canonical_certificate(two_triangles)
+
+    def test_key_is_string(self):
+        g = make_graph("CO", [(0, 1)])
+        assert isinstance(canonical_key(g), str)
+
+
+class TestAreIsomorphic:
+    def test_identical(self, triangle):
+        assert are_isomorphic(triangle, triangle.copy())
+
+    def test_random_molecules_self_isomorphic(self):
+        from repro.datasets import MoleculeGenerator
+
+        generator = MoleculeGenerator(seed=3)
+        for seed, molecule in enumerate(generator.generate_many(10)):
+            assert are_isomorphic(molecule, shuffled_copy(molecule, seed))
+
+    def test_non_isomorphic_fast_reject(self, triangle, path3):
+        assert not are_isomorphic(triangle, path3)
+
+    def test_automorphic_structures(self):
+        # Star with identical leaves has many automorphisms.
+        star = make_graph("COOO", [(0, 1), (0, 2), (0, 3)])
+        assert are_isomorphic(star, shuffled_copy(star, 4))

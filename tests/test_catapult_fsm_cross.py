@@ -1,0 +1,59 @@
+"""Cross-cutting checks between the candidate sources.
+
+The random-walk generator and the FSM miner approach candidates from
+opposite ends (sampled traversal vs exhaustive enumeration); these tests
+pin the relationship between them on a fixed database.
+"""
+
+import pytest
+
+from repro.catapult import CandidateGenerator, SubgraphMiner, fsm_candidates
+from repro.csg import build_csg
+from repro.graph import canonical_certificate
+from repro.isomorphism import contains
+from repro.patterns import PatternBudget
+
+
+@pytest.fixture
+def setting(molecule_db):
+    graphs = dict(molecule_db.items())
+    summary = build_csg(0, list(graphs), graphs)
+    return graphs, summary
+
+
+class TestCrossChecks:
+    def test_walk_candidates_within_fsm_universe_support(self, setting):
+        """Every walk candidate that actually occurs in data graphs has
+        a well-defined support; FSM at the same threshold must find all
+        candidates whose support clears it."""
+        graphs, summary = setting
+        budget = PatternBudget(3, 4, 6)
+        generator = CandidateGenerator(graphs, budget, seed=1)
+        walk = generator.generate({0: summary})
+        mined_keys = {
+            repr(m.key)
+            for m in SubgraphMiner(graphs, 0.3, max_edges=4).mine()
+        }
+        for candidate in walk:
+            cover = sum(
+                1 for g in graphs.values() if contains(g, candidate.graph)
+            )
+            if cover / len(graphs) >= 0.3:
+                assert repr(canonical_certificate(candidate.graph)) in (
+                    mined_keys
+                ), "FSM missed a frequent walk candidate"
+
+    def test_fsm_candidates_connected_and_sized(self, setting):
+        graphs, _ = setting
+        for candidate in fsm_candidates(graphs, 0.4, (3, 4), max_candidates=10):
+            assert candidate.is_connected()
+            assert 3 <= candidate.num_edges <= 4
+
+    def test_walk_candidates_come_from_csg(self, setting):
+        """Walk candidates are subgraphs of the CSG they were grown on."""
+        graphs, summary = setting
+        budget = PatternBudget(3, 5, 6)
+        generator = CandidateGenerator(graphs, budget, seed=2)
+        host = summary.as_labeled_graph()
+        for candidate in generator.generate({0: summary}):
+            assert contains(host, candidate.graph)

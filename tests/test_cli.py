@@ -1,0 +1,66 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, SCALES, build_parser, main
+
+
+class TestParser:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        for name in FIGURES:
+            assert name in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bench_requires_target(self, capsys):
+        assert main(["bench"]) == 2
+
+    def test_bench_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--figure", "fig99"])
+
+    def test_scales_defined(self):
+        assert set(SCALES) == {"small", "medium", "large"}
+
+
+class TestDatasetCommand:
+    def test_writes_database(self, tmp_path, capsys):
+        out = tmp_path / "db.json"
+        code = main(
+            [
+                "dataset",
+                "--profile",
+                "emol",
+                "--count",
+                "12",
+                "--seed",
+                "3",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        from repro.graph.io import read_database
+
+        database = read_database(out)
+        assert len(database) == 12
+
+
+class TestBenchCommand:
+    def test_runs_cheap_ablation(self, capsys):
+        code = main(["bench", "--figure", "abl3", "--scale", "small"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ablation 3" in out
+        assert "completed in" in out

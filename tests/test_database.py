@@ -1,0 +1,110 @@
+"""Unit tests for repro.graph.database."""
+
+import pytest
+
+from repro.graph import BatchUpdate, DatabaseError, GraphDatabase
+
+from .conftest import make_graph
+
+
+class TestContainer:
+    def test_empty(self):
+        db = GraphDatabase()
+        assert len(db) == 0
+        assert db.ids() == []
+
+    def test_add_assigns_sequential_ids(self):
+        db = GraphDatabase()
+        first = db.add(make_graph("CO", [(0, 1)]))
+        second = db.add(make_graph("CN", [(0, 1)]))
+        assert (first, second) == (0, 1)
+        assert 0 in db and 1 in db
+
+    def test_getitem_missing_raises(self):
+        db = GraphDatabase()
+        with pytest.raises(DatabaseError):
+            db[3]
+
+    def test_iteration_orders_by_id(self, paper_db):
+        assert list(paper_db) == sorted(paper_db.ids())
+        assert [gid for gid, _ in paper_db.items()] == paper_db.ids()
+
+    def test_graph_names_assigned(self):
+        db = GraphDatabase([make_graph("CO", [(0, 1)])])
+        assert db[0].name == "G0"
+
+
+class TestBatchUpdate:
+    def test_of_constructor(self):
+        update = BatchUpdate.of(insertions=[make_graph("CO", [(0, 1)])])
+        assert update.num_insertions == 1
+        assert update.num_deletions == 0
+        assert not update.is_empty()
+
+    def test_empty_batch(self):
+        assert BatchUpdate().is_empty()
+
+    def test_apply_insertions_and_deletions(self, paper_db):
+        before = len(paper_db)
+        update = BatchUpdate.of(
+            insertions=[make_graph("CP", [(0, 1)])], deletions=[0, 1]
+        )
+        record = paper_db.apply(update)
+        assert len(paper_db) == before - 1
+        assert record.inserted_ids == [before]
+        assert sorted(record.deleted_ids) == [0, 1]
+        assert set(record.deleted_graphs) == {0, 1}
+
+    def test_apply_missing_deletion_is_atomic(self, paper_db):
+        before = len(paper_db)
+        update = BatchUpdate.of(
+            insertions=[make_graph("CP", [(0, 1)])], deletions=[999]
+        )
+        with pytest.raises(DatabaseError):
+            paper_db.apply(update)
+        assert len(paper_db) == before  # nothing applied
+
+    def test_updated_does_not_mutate(self, paper_db):
+        before = len(paper_db)
+        update = BatchUpdate.of(deletions=[0])
+        new_db = paper_db.updated(update)
+        assert len(paper_db) == before
+        assert len(new_db) == before - 1
+        assert 0 in paper_db and 0 not in new_db
+
+    def test_updated_preserves_surviving_ids(self, paper_db):
+        update = BatchUpdate.of(deletions=[2])
+        new_db = paper_db.updated(update)
+        assert new_db[5].name == paper_db[5].name
+
+    def test_ids_never_reused_after_deletion(self):
+        db = GraphDatabase([make_graph("CO", [(0, 1)])])
+        db.remove(0)
+        new_id = db.add(make_graph("CN", [(0, 1)]))
+        assert new_id == 1
+
+
+class TestStatistics:
+    def test_totals(self, paper_db):
+        assert paper_db.total_vertices() == sum(
+            g.num_vertices for g in paper_db.graphs()
+        )
+        assert paper_db.total_edges() == sum(
+            g.num_edges for g in paper_db.graphs()
+        )
+
+    def test_label_alphabet(self, paper_db):
+        assert paper_db.vertex_label_alphabet() == {"C", "O", "S", "N"}
+
+    def test_edge_label_document_frequency(self, paper_db):
+        frequency = paper_db.edge_label_document_frequency()
+        assert frequency[("C", "O")] == 8  # every graph but G4 (C-N)
+        assert frequency[("C", "N")] == 2
+
+    def test_summary_keys(self, paper_db):
+        summary = paper_db.summary()
+        assert set(summary) == {"graphs", "avg_vertices", "avg_edges", "labels"}
+        assert summary["graphs"] == 9
+
+    def test_summary_empty(self):
+        assert GraphDatabase().summary()["graphs"] == 0

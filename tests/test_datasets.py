@@ -1,0 +1,137 @@
+"""Unit tests for repro.datasets (generators, motifs, evolution)."""
+
+import pytest
+
+from repro.datasets import (
+    MOTIFS,
+    EvolutionScenario,
+    MoleculeGenerator,
+    MoleculeProfile,
+    aids_like,
+    emol_like,
+    family_injection,
+    make_molecule_database,
+    mixed_update,
+    motif,
+    pubchem_like,
+    random_deletions,
+    random_insertions,
+)
+from repro.isomorphism import contains
+
+
+class TestMotifs:
+    def test_all_motifs_instantiable(self):
+        for name, m in MOTIFS.items():
+            graph = m.instantiate()
+            assert graph.num_vertices == m.num_vertices, name
+            assert graph.num_edges == len(m.edges), name
+
+    def test_attachments_valid(self):
+        for m in MOTIFS.values():
+            for attachment in m.attachments:
+                assert 0 <= attachment < m.num_vertices
+
+    def test_boronic_motifs_present(self):
+        assert "B" in motif("boronic_acid").labels
+        assert "B" in motif("boronic_ester").labels
+
+    def test_unknown_motif(self):
+        with pytest.raises(KeyError):
+            motif("unobtainium")
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = MoleculeGenerator(seed=4).generate_many(5)
+        b = MoleculeGenerator(seed=4).generate_many(5)
+        for g1, g2 in zip(a, b):
+            assert g1.labels() == g2.labels()
+            assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_molecules_connected(self):
+        for molecule in MoleculeGenerator(seed=1).generate_many(20):
+            assert molecule.is_connected()
+
+    def test_profile_size_bounds(self):
+        profile = MoleculeProfile(
+            backbone_size=(3, 5),
+            motifs_per_molecule=(0, 0),
+            hydrogen_probability=0.0,
+            ring_closure_probability=0.0,
+        )
+        for molecule in MoleculeGenerator(profile, seed=2).generate_many(10):
+            assert 3 <= molecule.num_vertices <= 5
+            assert molecule.is_tree()
+
+    def test_carbon_dominates(self):
+        db = make_molecule_database(30, seed=3)
+        counts: dict[str, int] = {}
+        for graph in db.graphs():
+            for label in graph.labels().values():
+                counts[label] = counts.get(label, 0) + 1
+        assert counts["C"] == max(counts.values())
+
+    def test_dataset_profiles_distinct(self):
+        aids = aids_like(20, seed=1)
+        emol = emol_like(20, seed=1)
+        pubchem = pubchem_like(20, seed=1)
+        assert emol.summary()["avg_vertices"] < aids.summary()["avg_vertices"]
+        assert pubchem.summary()["graphs"] == 20
+
+
+class TestEvolution:
+    def test_random_insertions_size(self):
+        db = aids_like(50, seed=2)
+        update = random_insertions(db, 20, seed=1)
+        assert update.num_insertions == 10
+        assert update.num_deletions == 0
+
+    def test_random_insertions_negative_percent(self):
+        db = aids_like(10, seed=2)
+        with pytest.raises(ValueError):
+            random_insertions(db, -5)
+
+    def test_random_deletions(self):
+        db = aids_like(50, seed=2)
+        update = random_deletions(db, 10, seed=1)
+        assert update.num_deletions == 5
+        assert set(update.deletions) <= set(db.ids())
+
+    def test_random_deletions_bounds(self):
+        db = aids_like(10, seed=2)
+        with pytest.raises(ValueError):
+            random_deletions(db, 150)
+
+    def test_mixed_update(self):
+        db = aids_like(40, seed=2)
+        update = mixed_update(db, 10, 10, seed=1)
+        assert update.num_insertions == 4
+        assert update.num_deletions == 4
+
+    def test_family_injection_contains_motif(self):
+        update = family_injection(8, "boronic_ester", seed=5)
+        fragment = motif("boronic_ester").instantiate()
+        for molecule in update.insertions:
+            assert contains(molecule, fragment)
+
+    def test_family_injection_negative_count(self):
+        with pytest.raises(ValueError):
+            family_injection(-1)
+
+    def test_scenario_accumulates(self):
+        db = aids_like(30, seed=1)
+        scenario = (
+            EvolutionScenario(db, seed=1)
+            .add_percent("grow", 20)
+            .delete_percent("shrink", 10)
+            .inject_family("family", 5)
+        )
+        assert [s.name for s in scenario.steps] == ["grow", "shrink", "family"]
+        final = scenario.final_database
+        assert len(final) == 30 + 6 - 4 + 5
+
+    def test_scenario_does_not_mutate_input(self):
+        db = aids_like(20, seed=1)
+        EvolutionScenario(db, seed=1).add_percent("grow", 50)
+        assert len(db) == 20

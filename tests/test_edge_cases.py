@@ -1,0 +1,179 @@
+"""Edge-case and failure-injection tests across the stack.
+
+Degenerate databases (tiny, homogeneous, label-poor), extreme
+configurations and hostile update sequences — the places incremental
+maintenance logic typically breaks.
+"""
+
+import pytest
+
+from repro import Midas, MidasConfig, PatternBudget
+from repro.catapult import Catapult, CatapultConfig
+from repro.graph import BatchUpdate, GraphDatabase
+from repro.trees import FCTSet
+
+from .conftest import make_graph
+
+
+def tiny_db(count: int = 3) -> GraphDatabase:
+    graphs = [
+        make_graph("CCCO", [(0, 1), (1, 2), (2, 3)]) for _ in range(count)
+    ]
+    return GraphDatabase(graphs)
+
+
+class TestDegenerateDatabases:
+    def test_catapult_on_two_graphs(self):
+        config = CatapultConfig(
+            budget=PatternBudget(3, 4, 2),
+            sup_min=0.5,
+            num_clusters=1,
+            sample_cap=5,
+        )
+        result = Catapult(config).run(tiny_db(2))
+        # Selection succeeds (may select fewer than γ patterns).
+        assert len(result.patterns) <= 2
+
+    def test_catapult_on_identical_graphs(self):
+        config = CatapultConfig(
+            budget=PatternBudget(3, 3, 3),
+            sup_min=0.5,
+            num_clusters=2,
+            sample_cap=5,
+        )
+        result = Catapult(config).run(tiny_db(6))
+        # All graphs identical: at most one distinct size-3 pattern.
+        assert len(result.patterns) <= 3
+
+    def test_midas_bootstrap_tiny(self):
+        config = MidasConfig(
+            budget=PatternBudget(3, 4, 2),
+            sup_min=0.5,
+            num_clusters=1,
+            sample_cap=5,
+            epsilon=0.01,
+        )
+        midas = Midas.bootstrap(tiny_db(3), config)
+        report = midas.apply_update(
+            BatchUpdate.of(insertions=[make_graph("CCCO", [(0, 1), (1, 2), (2, 3)])])
+        )
+        assert midas.fct_set.db_size == 4
+        assert report.pattern_maintenance_seconds >= 0
+
+    def test_delete_everything_then_regrow(self):
+        config = MidasConfig(
+            budget=PatternBudget(3, 4, 2),
+            sup_min=0.5,
+            num_clusters=1,
+            sample_cap=5,
+            epsilon=1e9,  # force minor: no pattern machinery on empties
+        )
+        midas = Midas.bootstrap(tiny_db(3), config)
+        midas.apply_update(BatchUpdate.of(deletions=[0, 1, 2]))
+        assert len(midas.database) == 0
+        assert midas.clusters.total_graphs() == 0
+        midas.apply_update(
+            BatchUpdate.of(
+                insertions=[
+                    make_graph("CCN", [(0, 1), (1, 2)]) for _ in range(3)
+                ]
+            )
+        )
+        assert len(midas.database) == 3
+        assert midas.clusters.total_graphs() == 3
+
+    def test_single_label_database(self):
+        graphs = [
+            make_graph("CCCC", [(0, 1), (1, 2), (2, 3)]) for _ in range(4)
+        ]
+        fct = FCTSet(dict(GraphDatabase(graphs).items()), sup_min=0.5)
+        assert fct.fcts()  # the C-chain trees are frequent and closed
+        assert fct.infrequent_edge_labels() == set()
+
+
+class TestHostileSequences:
+    def test_alternating_add_delete_consistency(self):
+        config = MidasConfig(
+            budget=PatternBudget(3, 4, 3),
+            sup_min=0.5,
+            num_clusters=2,
+            sample_cap=20,
+            epsilon=1e9,
+        )
+        from repro.datasets import aids_like
+
+        base = aids_like(20, seed=31)
+        midas = Midas.bootstrap(base, config)
+        for round_number in range(4):
+            from repro.datasets import MoleculeGenerator
+
+            new = MoleculeGenerator(seed=round_number).generate_many(3)
+            victims = midas.database.ids()[:3]
+            midas.apply_update(
+                BatchUpdate.of(insertions=new, deletions=victims)
+            )
+        # Structural invariants survive the churn.
+        assert midas.fct_set.db_size == len(midas.database)
+        clustered = set()
+        for cid in midas.clusters.cluster_ids():
+            clustered |= midas.clusters.members(cid)
+        assert clustered == set(midas.database.ids())
+        for cid in midas.clusters.cluster_ids():
+            assert midas.csgs.summary(cid).member_ids == (
+                midas.clusters.members(cid)
+            )
+
+    def test_same_batch_reapplied_raises(self):
+        db = tiny_db(3)
+        update = BatchUpdate.of(deletions=[0])
+        db.apply(update)
+        with pytest.raises(Exception):
+            db.apply(update)  # graph 0 no longer exists
+
+
+class TestExtremeConfigs:
+    def test_gamma_one(self):
+        config = CatapultConfig(
+            budget=PatternBudget(3, 6, 1),
+            sup_min=0.5,
+            num_clusters=2,
+            sample_cap=10,
+        )
+        from repro.datasets import aids_like
+
+        result = Catapult(config).run(aids_like(15, seed=1))
+        assert len(result.patterns) <= 1
+
+    def test_tight_size_window(self):
+        config = CatapultConfig(
+            budget=PatternBudget(4, 4, 4),
+            sup_min=0.5,
+            num_clusters=2,
+            sample_cap=10,
+        )
+        from repro.datasets import aids_like
+
+        result = Catapult(config).run(aids_like(15, seed=2))
+        for pattern in result.patterns:
+            assert pattern.num_edges == 4
+
+    def test_very_high_support_threshold(self):
+        fct = FCTSet(dict(tiny_db(4).items()), sup_min=1.0)
+        # Identical graphs: everything has support 1.0 and survives.
+        assert fct.fcts()
+
+    def test_epsilon_zero_always_major(self):
+        config = MidasConfig(
+            budget=PatternBudget(3, 4, 2),
+            sup_min=0.5,
+            num_clusters=1,
+            sample_cap=5,
+            epsilon=0.0,
+        )
+        midas = Midas.bootstrap(tiny_db(3), config)
+        report = midas.apply_update(
+            BatchUpdate.of(
+                insertions=[make_graph("NNN", [(0, 1), (1, 2)])]
+            )
+        )
+        assert report.is_major  # distance 0 >= epsilon 0

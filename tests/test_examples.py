@@ -1,0 +1,38 @@
+"""Smoke tests for the example scripts.
+
+The fast example runs end to end; the expensive ones are compiled and
+import-checked so a broken API surfaces here rather than for a user.
+"""
+
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in ALL_EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize(
+    "path", ALL_EXAMPLES, ids=lambda p: p.name
+)
+def test_examples_compile(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_interface_session_runs(capsys):
+    import runpy
+
+    runpy.run_path(
+        str(EXAMPLES_DIR / "interface_session.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "pattern-at-a-time" in out
+    assert "success=True" in out

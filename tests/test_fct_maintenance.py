@@ -1,0 +1,163 @@
+"""Unit tests for repro.trees.maintenance (incremental FCT pool).
+
+The gold standard throughout: maintained state must match mining from
+scratch on the updated database (same FCTs, same supports).
+"""
+
+import pytest
+
+from repro.trees import FCTSet
+
+from .conftest import make_graph
+
+
+def fct_snapshot(fct_set: FCTSet) -> set[tuple[str, int]]:
+    return {(repr(t.key), t.support_count) for t in fct_set.fcts()}
+
+
+@pytest.fixture
+def graphs(paper_db):
+    return dict(paper_db.items())
+
+
+@pytest.fixture
+def fct_set(graphs):
+    return FCTSet(graphs, sup_min=3 / 9, max_edges=3)
+
+
+DELTA = {
+    100: make_graph("COS", [(0, 1), (1, 2)]),
+    101: make_graph("CSO", [(0, 1), (0, 2)]),
+    102: make_graph("CO", [(0, 1)]),
+}
+
+
+class TestConstruction:
+    def test_invalid_sup_min(self, graphs):
+        with pytest.raises(ValueError):
+            FCTSet(graphs, sup_min=0.0)
+
+    def test_pool_mined_at_relaxed_threshold(self, fct_set):
+        assert fct_set.relaxed_threshold == pytest.approx(1 / 6)
+        assert fct_set.pool_size >= len(fct_set.fcts())
+
+    def test_fcts_are_closed_and_frequent(self, fct_set):
+        minimum = 3
+        for tree in fct_set.fcts():
+            assert tree.closed
+            assert tree.support_count >= minimum
+
+    def test_frequent_edges_are_single_edges(self, fct_set):
+        for tree in fct_set.frequent_edges():
+            assert tree.num_edges == 1
+
+    def test_infrequent_edge_labels(self, fct_set):
+        labels = fct_set.infrequent_edge_labels()
+        assert ("C", "N") in labels      # support 2 < 3
+        assert ("C", "O") not in labels  # support 8
+
+    def test_empty_database(self):
+        empty = FCTSet({}, sup_min=0.5)
+        assert empty.fcts() == []
+
+
+class TestAdditions:
+    def test_matches_scratch_after_add(self, graphs, fct_set):
+        fct_set.add_graphs(DELTA)
+        merged = dict(graphs)
+        merged.update(DELTA)
+        scratch = FCTSet(merged, sup_min=3 / 9, max_edges=3)
+        assert fct_snapshot(fct_set) == fct_snapshot(scratch)
+
+    def test_duplicate_ids_rejected(self, fct_set):
+        with pytest.raises(ValueError):
+            fct_set.add_graphs({0: make_graph("CO", [(0, 1)])})
+
+    def test_add_empty_is_noop(self, fct_set):
+        before = fct_snapshot(fct_set)
+        fct_set.add_graphs({})
+        assert fct_snapshot(fct_set) == before
+
+    def test_new_family_appears(self, graphs, fct_set):
+        family = {
+            200 + i: make_graph("BO", [(0, 1)]) for i in range(10)
+        }
+        fct_set.add_graphs(family)
+        labels = {
+            t.tree.edge_label(*next(t.tree.edges()))
+            for t in fct_set.frequent_edges()
+        }
+        assert ("B", "O") in labels
+
+    def test_db_size_tracked(self, fct_set):
+        fct_set.add_graphs(DELTA)
+        assert fct_set.db_size == 12
+
+
+class TestDeletions:
+    def test_matches_scratch_after_delete(self, graphs, fct_set):
+        fct_set.remove_graphs([3, 5])
+        remaining = {g: v for g, v in graphs.items() if g not in (3, 5)}
+        scratch = FCTSet(remaining, sup_min=3 / 9, max_edges=3)
+        assert fct_snapshot(fct_set) == fct_snapshot(scratch)
+
+    def test_missing_ids_rejected(self, fct_set):
+        with pytest.raises(ValueError):
+            fct_set.remove_graphs([999])
+
+    def test_remove_empty_is_noop(self, fct_set):
+        before = fct_snapshot(fct_set)
+        fct_set.remove_graphs([])
+        assert fct_snapshot(fct_set) == before
+
+
+class TestMixedAndSequences:
+    def test_apply_add_and_remove(self, graphs, fct_set):
+        fct_set.apply(added=DELTA, removed=[3, 5])
+        merged = {g: v for g, v in graphs.items() if g not in (3, 5)}
+        merged.update(DELTA)
+        scratch = FCTSet(merged, sup_min=3 / 9, max_edges=3)
+        assert fct_snapshot(fct_set) == fct_snapshot(scratch)
+
+    def test_paper_example_4_7_sequence(self, graphs, fct_set):
+        """Example 4.7: add G10-G12, then delete two graphs; the FCT set
+        stays consistent with from-scratch mining throughout."""
+        fct_set.add_graphs(DELTA)
+        fct_set.remove_graphs([3, 5])
+        merged = {g: v for g, v in graphs.items() if g not in (3, 5)}
+        merged.update(DELTA)
+        scratch = FCTSet(merged, sup_min=3 / 9, max_edges=3)
+        assert fct_snapshot(fct_set) == fct_snapshot(scratch)
+
+    def test_randomised_sequences_match_scratch(self, molecule_db):
+        import random
+
+        rng = random.Random(3)
+        graphs = dict(molecule_db.items())
+        live = dict(graphs)
+        fct_set = FCTSet(live, sup_min=0.5, max_edges=3)
+        from repro.datasets import MoleculeGenerator
+
+        generator = MoleculeGenerator(seed=77)
+        next_id = max(live) + 1
+        for round_number in range(3):
+            additions = {
+                next_id + i: g
+                for i, g in enumerate(generator.generate_many(5))
+            }
+            next_id += len(additions)
+            victims = rng.sample(sorted(live), 3)
+            fct_set.apply(added=additions, removed=victims)
+            for victim in victims:
+                del live[victim]
+            live.update(additions)
+            scratch = FCTSet(live, sup_min=0.5, max_edges=3)
+            assert fct_snapshot(fct_set) == fct_snapshot(scratch), (
+                f"divergence at round {round_number}"
+            )
+
+    def test_rebuild_restores_consistency(self, fct_set, graphs):
+        fct_set.add_graphs(DELTA)
+        before = fct_snapshot(fct_set)
+        fct_set.rebuild()
+        assert fct_snapshot(fct_set) == before

@@ -1,0 +1,85 @@
+"""Unit tests for the frequent connected subgraph miner."""
+
+import pytest
+
+from repro.catapult.fsm import SubgraphMiner, fsm_candidates
+from repro.isomorphism import covered_graphs
+
+from .conftest import make_graph
+
+
+@pytest.fixture
+def ring_db():
+    from repro.graph import GraphDatabase
+
+    return GraphDatabase(
+        [
+            make_graph("CCC", [(0, 1), (1, 2), (0, 2)]),
+            make_graph("CCC", [(0, 1), (1, 2), (0, 2)]),
+            make_graph("CCCC", [(0, 1), (1, 2), (2, 3), (0, 3)]),
+            make_graph("CCO", [(0, 1), (1, 2)]),
+        ]
+    )
+
+
+class TestSubgraphMiner:
+    def test_parameter_validation(self, ring_db):
+        graphs = dict(ring_db.items())
+        with pytest.raises(ValueError):
+            SubgraphMiner(graphs, 0.0)
+        with pytest.raises(ValueError):
+            SubgraphMiner(graphs, 0.5, max_edges=0)
+
+    def test_cyclic_patterns_mined(self, ring_db):
+        graphs = dict(ring_db.items())
+        mined = SubgraphMiner(graphs, 2 / 4, max_edges=3).mine()
+        cyclic = [m for m in mined if not m.graph.is_tree()]
+        assert cyclic, "triangle should be mined"
+        triangle = cyclic[0]
+        assert triangle.num_edges == 3
+        assert triangle.support_count == 2
+
+    def test_supports_exact(self, ring_db):
+        graphs = dict(ring_db.items())
+        mined = SubgraphMiner(graphs, 1 / 4, max_edges=3).mine()
+        for entry in mined:
+            assert entry.cover == covered_graphs(ring_db, entry.graph)
+
+    def test_superset_of_tree_miner(self, paper_db):
+        """Every frequent tree is also a frequent subgraph."""
+        from repro.trees import TreeMiner
+
+        graphs = dict(paper_db.items())
+        trees = TreeMiner(graphs, 3 / 9, max_edges=3).mine_frequent()
+        subgraphs = SubgraphMiner(graphs, 3 / 9, max_edges=3).mine()
+        subgraph_keys = {repr(s.key) for s in subgraphs}
+        from repro.graph import canonical_certificate
+
+        for tree in trees:
+            assert repr(canonical_certificate(tree.tree)) in subgraph_keys
+
+    def test_connectivity_invariant(self, ring_db):
+        graphs = dict(ring_db.items())
+        for entry in SubgraphMiner(graphs, 1 / 4, max_edges=4).mine():
+            assert entry.graph.is_connected()
+
+    def test_empty_database(self):
+        assert SubgraphMiner({}, 0.5).mine() == []
+
+
+class TestFsmCandidates:
+    def test_size_window(self, ring_db):
+        graphs = dict(ring_db.items())
+        candidates = fsm_candidates(graphs, 1 / 4, (2, 3))
+        assert candidates
+        for candidate in candidates:
+            assert 2 <= candidate.num_edges <= 3
+
+    def test_ranked_by_support_and_capped(self, ring_db):
+        graphs = dict(ring_db.items())
+        all_candidates = fsm_candidates(graphs, 1 / 4, (1, 3))
+        capped = fsm_candidates(graphs, 1 / 4, (1, 3), max_candidates=2)
+        assert len(capped) == 2
+        assert [repr(c.signature()) for c in capped] == [
+            repr(c.signature()) for c in all_candidates[:2]
+        ]

@@ -1,0 +1,152 @@
+"""Unit tests for repro.ged — bounds must bracket the exact distance."""
+
+import random
+
+import pytest
+
+from repro.ged import (
+    ged,
+    ged_bipartite_upper_bound,
+    ged_exact,
+    ged_label_lower_bound,
+    ged_tight_lower_bound,
+    relaxed_edge_count,
+    vertex_term,
+)
+from repro.graph import LabeledGraph
+
+from .conftest import make_graph
+
+
+def random_graph(n, p, labels, rng):
+    g = LabeledGraph()
+    for v in range(n):
+        g.add_vertex(v, rng.choice(labels))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+class TestLowerBounds:
+    def test_identical_graphs(self, triangle):
+        assert ged_label_lower_bound(triangle, triangle) == 0
+        assert ged_tight_lower_bound(triangle, triangle) == 0
+
+    def test_vertex_term_label_mismatch(self):
+        g1 = make_graph("CC", [(0, 1)])
+        g2 = make_graph("CO", [(0, 1)])
+        assert vertex_term(g1, g2) == 1
+
+    def test_size_difference(self, triangle, path3):
+        assert ged_label_lower_bound(triangle, path3) == 1
+
+    def test_relaxed_edges(self):
+        g1 = make_graph("CCO", [(0, 1), (1, 2)])   # C-C, C-O
+        g2 = make_graph("CNN", [(0, 1), (1, 2)])   # C-N, N-N
+        assert relaxed_edge_count(g1, g2) == 2
+
+    def test_tight_bound_dominates(self):
+        rng = random.Random(5)
+        for _ in range(30):
+            g1 = random_graph(rng.randint(2, 6), 0.5, "CNO", rng)
+            g2 = random_graph(rng.randint(2, 6), 0.5, "CNO", rng)
+            assert ged_tight_lower_bound(g1, g2) >= ged_label_lower_bound(
+                g1, g2
+            )
+
+    def test_symmetry(self):
+        rng = random.Random(9)
+        for _ in range(20):
+            g1 = random_graph(rng.randint(2, 5), 0.5, "CN", rng)
+            g2 = random_graph(rng.randint(2, 5), 0.5, "CN", rng)
+            assert ged_tight_lower_bound(g1, g2) == ged_tight_lower_bound(
+                g2, g1
+            )
+
+    def test_symmetry_on_equal_sized_graphs(self):
+        """Regression: with |E_A| = |E_B| the 'smaller graph' tie-break
+        used to make GED'_l asymmetric, which let the swap strategy's
+        sw3 check disagree with post-hoc diversity audits."""
+        rng = random.Random(31)
+        checked = 0
+        for _ in range(300):
+            n = rng.randint(2, 5)
+            g1 = random_graph(n, 0.5, "CNO", rng)
+            g2 = random_graph(n, 0.5, "CNO", rng)
+            if g1.num_edges != g2.num_edges:
+                continue
+            checked += 1
+            assert ged_tight_lower_bound(g1, g2) == (
+                ged_tight_lower_bound(g2, g1)
+            )
+        assert checked > 20  # the tie-break path was actually exercised
+
+
+class TestExact:
+    def test_identical(self, triangle):
+        assert ged_exact(triangle, triangle.copy()) == 0
+
+    def test_single_edge_removal(self, triangle, path3):
+        assert ged_exact(triangle, path3) == 1
+
+    def test_label_substitution(self):
+        g1 = make_graph("CO", [(0, 1)])
+        g2 = make_graph("CN", [(0, 1)])
+        assert ged_exact(g1, g2) == 1
+
+    def test_empty_vs_graph(self, triangle):
+        assert ged_exact(LabeledGraph(), triangle) == 6  # 3 V + 3 E
+        assert ged_exact(triangle, LabeledGraph()) == 6
+
+    def test_vertex_addition(self):
+        g1 = make_graph("CC", [(0, 1)])
+        g2 = make_graph("CCC", [(0, 1), (1, 2)])
+        assert ged_exact(g1, g2) == 2  # one vertex + one edge
+
+    def test_limit_caps_search(self, triangle):
+        big = make_graph("NNNNN", [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert ged_exact(triangle, big, limit=2) == 2
+
+    def test_symmetry_small(self):
+        rng = random.Random(2)
+        for _ in range(10):
+            g1 = random_graph(rng.randint(1, 4), 0.6, "CN", rng)
+            g2 = random_graph(rng.randint(1, 4), 0.6, "CN", rng)
+            assert ged_exact(g1, g2) == ged_exact(g2, g1)
+
+
+class TestBracketing:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_bounds_sandwich_exact(self, seed):
+        rng = random.Random(seed)
+        g1 = random_graph(rng.randint(2, 5), 0.5, "CNO", rng)
+        g2 = random_graph(rng.randint(2, 5), 0.5, "CNO", rng)
+        exact = ged_exact(g1, g2)
+        assert ged_label_lower_bound(g1, g2) <= exact
+        assert ged_tight_lower_bound(g1, g2) <= exact
+        assert ged_bipartite_upper_bound(g1, g2) >= exact
+
+
+class TestBipartite:
+    def test_identical(self, triangle):
+        assert ged_bipartite_upper_bound(triangle, triangle.copy()) == 0
+
+    def test_empty_cases(self, triangle):
+        assert ged_bipartite_upper_bound(LabeledGraph(), LabeledGraph()) == 0
+        assert ged_bipartite_upper_bound(LabeledGraph(), triangle) == 6
+        assert ged_bipartite_upper_bound(triangle, LabeledGraph()) == 6
+
+
+class TestDispatcher:
+    def test_all_methods(self, triangle, path3):
+        for method in ("lower", "tight_lower", "bipartite", "exact"):
+            assert ged(triangle, path3, method=method) >= 0
+
+    def test_unknown_method(self, triangle, path3):
+        with pytest.raises(ValueError):
+            ged(triangle, path3, method="nope")
+
+    def test_default_is_tight_lower(self, triangle, path3):
+        assert ged(triangle, path3) == ged_tight_lower_bound(triangle, path3)

@@ -1,0 +1,159 @@
+"""Unit tests for repro.graphlets."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.graph import LabeledGraph
+from repro.graphlets import (
+    ATLAS,
+    DISTANCE_MEASURES,
+    GRAPHLET_NAMES,
+    GraphletDistribution,
+    count_graphlets,
+    count_graphlets_bruteforce,
+    database_distribution,
+    distribution_distance,
+    graphlet_by_name,
+)
+
+from .conftest import make_graph
+
+
+def random_unlabeled(n, p, rng):
+    g = LabeledGraph()
+    for v in range(n):
+        g.add_vertex(v, "X")
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+class TestAtlas:
+    def test_nine_graphlets(self):
+        assert len(ATLAS) == 9
+        assert len(GRAPHLET_NAMES) == 9
+
+    def test_vertex_counts(self):
+        sizes = [g.num_vertices for g in ATLAS]
+        assert sizes == [2, 3, 3, 4, 4, 4, 4, 4, 4]
+
+    def test_as_graph_connected(self):
+        for graphlet in ATLAS:
+            materialised = graphlet.as_graph()
+            assert materialised.is_connected()
+            assert materialised.num_edges == len(graphlet.edges)
+
+    def test_lookup(self):
+        assert graphlet_by_name("triangle").index == 2
+        with pytest.raises(KeyError):
+            graphlet_by_name("pentagon")
+
+
+class TestCounting:
+    def test_each_graphlet_counts_itself_once(self):
+        for graphlet in ATLAS:
+            counts = count_graphlets(graphlet.as_graph())
+            assert counts[graphlet.index] == 1, graphlet.name
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        g = random_unlabeled(rng.randint(2, 9), rng.uniform(0.2, 0.8), rng)
+        assert np.array_equal(
+            count_graphlets(g), count_graphlets_bruteforce(g)
+        )
+
+    def test_empty_graph(self):
+        assert count_graphlets(LabeledGraph()).sum() == 0
+
+    def test_counts_nonnegative(self):
+        rng = random.Random(99)
+        for _ in range(10):
+            g = random_unlabeled(8, 0.5, rng)
+            assert (count_graphlets(g) >= 0).all()
+
+
+class TestDistribution:
+    def test_add_remove_roundtrip(self, paper_db):
+        graphs = dict(paper_db.items())
+        dist = GraphletDistribution(graphs)
+        before = dist.totals()
+        extra = make_graph("CCC", [(0, 1), (1, 2), (0, 2)])
+        dist.add(100, extra)
+        dist.remove(100)
+        assert np.allclose(dist.totals(), before)
+
+    def test_duplicate_add_rejected(self, paper_db):
+        dist = GraphletDistribution(dict(paper_db.items()))
+        with pytest.raises(ValueError):
+            dist.add(0, make_graph("CO", [(0, 1)]))
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            GraphletDistribution().remove(5)
+
+    def test_frequencies_normalised(self, paper_db):
+        dist = database_distribution(dict(paper_db.items()))
+        assert dist.frequencies().sum() == pytest.approx(1.0)
+
+    def test_empty_distribution_zero(self):
+        assert GraphletDistribution().frequencies().sum() == 0.0
+
+    def test_as_dict_keys(self, paper_db):
+        dist = database_distribution(dict(paper_db.items()))
+        assert set(dist.as_dict()) == set(GRAPHLET_NAMES)
+
+    def test_copy_independent(self, paper_db):
+        dist = database_distribution(dict(paper_db.items()))
+        clone = dist.copy()
+        clone.remove(0)
+        assert dist.num_graphs == 9
+        assert clone.num_graphs == 8
+
+
+class TestDistances:
+    def test_identity_is_zero(self, paper_db):
+        dist = database_distribution(dict(paper_db.items()))
+        for measure in DISTANCE_MEASURES:
+            assert distribution_distance(dist, dist, measure) == pytest.approx(
+                0.0
+            )
+
+    def test_unknown_measure(self, paper_db):
+        dist = database_distribution(dict(paper_db.items()))
+        with pytest.raises(ValueError):
+            distribution_distance(dist, dist, "chebyshev")
+
+    def test_accepts_raw_vectors(self):
+        a = [0.5, 0.5] + [0.0] * 7
+        b = [1.0, 0.0] + [0.0] * 7
+        assert distribution_distance(a, b) == pytest.approx(
+            np.sqrt(0.5)
+        )
+
+    def test_symmetry(self, paper_db, molecule_db):
+        d1 = database_distribution(dict(paper_db.items()))
+        d2 = database_distribution(dict(molecule_db.items()))
+        for measure in DISTANCE_MEASURES:
+            assert distribution_distance(d1, d2, measure) == pytest.approx(
+                distribution_distance(d2, d1, measure)
+            )
+
+    def test_family_shift_larger_than_random(self):
+        from repro.datasets import aids_like, family_injection, random_insertions
+
+        db = aids_like(80, seed=3)
+        base = database_distribution(dict(db.items()))
+        family = database_distribution(
+            dict(db.updated(family_injection(30, seed=5)).items())
+        )
+        random_batch = database_distribution(
+            dict(db.updated(random_insertions(db, 10, seed=5)).items())
+        )
+        assert distribution_distance(base, family) > distribution_distance(
+            base, random_batch
+        )

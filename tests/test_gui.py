@@ -1,0 +1,199 @@
+"""Unit + integration tests for repro.gui (canvas, panel, interface).
+
+The end-to-end property here is the strongest planner check in the
+suite: executing a formulation plan on the canvas must reconstruct a
+graph isomorphic to the query, with the step count the plan promised.
+"""
+
+import pytest
+
+from repro.graph import GraphError, are_isomorphic
+from repro.gui import ActionKind, PatternPanel, QueryCanvas, VisualInterface
+from repro.patterns import PatternSet
+from repro.workload import generate_queries, plan_formulation
+
+from .conftest import make_graph
+
+
+class TestCanvas:
+    def test_vertex_and_edge_actions(self):
+        canvas = QueryCanvas()
+        a = canvas.add_vertex("C")
+        b = canvas.add_vertex("O")
+        canvas.add_edge(a, b)
+        assert canvas.steps == 3
+        assert canvas.graph.num_edges == 1
+
+    def test_duplicate_edge_rejected(self):
+        canvas = QueryCanvas()
+        a = canvas.add_vertex("C")
+        b = canvas.add_vertex("O")
+        canvas.add_edge(a, b)
+        with pytest.raises(GraphError):
+            canvas.add_edge(b, a)
+
+    def test_place_pattern_single_step(self, triangle):
+        canvas = QueryCanvas()
+        mapping = canvas.place_pattern(triangle)
+        assert canvas.steps == 1
+        assert len(mapping) == 3
+        assert are_isomorphic(canvas.graph, triangle)
+
+    def test_delete_vertex_logs_incident_edges(self, triangle):
+        canvas = QueryCanvas()
+        mapping = canvas.place_pattern(triangle)
+        victim = mapping[0]
+        canvas.delete_vertex(victim)
+        assert canvas.graph.num_vertices == 2
+        assert canvas.graph.num_edges == 1
+
+    def test_undo_round_trip(self, triangle):
+        canvas = QueryCanvas()
+        a = canvas.add_vertex("C")
+        b = canvas.add_vertex("O")
+        canvas.add_edge(a, b)
+        mapping = canvas.place_pattern(triangle)
+        canvas.delete_edge(a, b)
+        canvas.delete_vertex(mapping[0])
+        snapshot_steps = canvas.steps
+        # Undo everything back to the empty canvas.
+        for _ in range(snapshot_steps):
+            canvas.undo()
+        assert canvas.graph.num_vertices == 0
+        assert canvas.steps == 0
+
+    def test_undo_empty_raises(self):
+        with pytest.raises(GraphError):
+            QueryCanvas().undo()
+
+    def test_undo_delete_vertex_restores_edges(self, triangle):
+        canvas = QueryCanvas()
+        mapping = canvas.place_pattern(triangle)
+        canvas.delete_vertex(mapping[1])
+        canvas.undo()
+        assert are_isomorphic(canvas.graph, triangle)
+
+    def test_clear(self, triangle):
+        canvas = QueryCanvas()
+        canvas.place_pattern(triangle)
+        canvas.clear()
+        assert canvas.steps == 0
+        assert canvas.graph.num_vertices == 0
+
+    def test_action_kinds_logged(self):
+        canvas = QueryCanvas()
+        a = canvas.add_vertex("C")
+        b = canvas.add_vertex("C")
+        canvas.add_edge(a, b)
+        kinds = [action.kind for action in canvas.log]
+        assert kinds == [
+            ActionKind.ADD_VERTEX,
+            ActionKind.ADD_VERTEX,
+            ActionKind.ADD_EDGE,
+        ]
+
+
+class TestPanel:
+    @pytest.fixture
+    def panel(self):
+        patterns = PatternSet()
+        patterns.add(make_graph("CCC", [(0, 1), (1, 2)]), "t")
+        patterns.add(make_graph("CON", [(0, 1), (0, 2)]), "t")
+        return PatternPanel(patterns)
+
+    def test_gamma(self, panel):
+        assert panel.gamma == 2
+
+    def test_browse_counts_scans(self, panel):
+        list(panel.browse())
+        assert panel.scanned == 2
+
+    def test_find_usable(self, panel):
+        query = make_graph("CCCC", [(0, 1), (1, 2), (2, 3)])
+        found = panel.find_usable(query)
+        assert found is not None
+        assert panel.picked == 1
+
+    def test_find_usable_none(self, panel):
+        query = make_graph("PP", [(0, 1)])
+        assert panel.find_usable(query) is None
+        assert panel.scanned == panel.gamma
+
+    def test_refresh_swaps_set(self, panel):
+        replacement = PatternSet()
+        replacement.add(make_graph("SS", [(0, 1)]), "new")
+        panel.refresh(replacement)
+        assert panel.gamma == 1
+
+    def test_reset_counters(self, panel):
+        list(panel.browse())
+        panel.reset_counters()
+        assert panel.scanned == 0 and panel.picked == 0
+
+
+class TestVisualInterface:
+    def test_formulate_reconstructs_query(self):
+        patterns = PatternSet()
+        patterns.add(make_graph("CCC", [(0, 1), (1, 2)]), "t")
+        interface = VisualInterface.with_patterns(patterns)
+        query = make_graph("CCCC", [(0, 1), (1, 2), (2, 3)])
+        query.name = "Qgui"
+        record = interface.formulate(query)
+        assert record.success
+        assert record.steps == interface.canvas.steps
+        assert record.pattern_uses == 1
+
+    def test_plan_with_edits_replays_exactly(self):
+        patterns = PatternSet()
+        patterns.add(make_graph("CCCO", [(0, 1), (1, 2), (2, 3)]), "t")
+        interface = VisualInterface.with_patterns(patterns)
+        query = make_graph("CCC", [(0, 1), (1, 2)])
+        query.name = "Qedit"
+        record = interface.formulate(query, max_edits=1)
+        assert record.success
+        assert record.deletions == 1
+        # Canvas log: 1 placement + 1 deletion = plan steps.
+        assert interface.canvas.steps == record.steps == 2
+
+    def test_random_queries_always_reconstruct(self, molecule_db):
+        """Plans over real molecule queries must always replay into a
+        graph isomorphic to the query — the planner's soundness check."""
+        patterns = PatternSet()
+        patterns.add(make_graph("CCC", [(0, 1), (1, 2)]), "t")
+        patterns.add(make_graph("CCO", [(0, 1), (1, 2)]), "t")
+        patterns.add(make_graph("CCCN", [(0, 1), (1, 2), (1, 3)]), "t")
+        interface = VisualInterface.with_patterns(patterns)
+        queries = generate_queries(
+            dict(molecule_db.items()), 15, size_range=(3, 10), seed=12
+        )
+        for max_edits in (0, 2):
+            for query in queries:
+                record = interface.formulate(query, max_edits=max_edits)
+                assert record.success, f"failed on {query.name}"
+
+    def test_execute_plan_requires_embeddings(self, triangle):
+        from repro.workload.formulation import FormulationPlan, PlacedPattern
+
+        interface = VisualInterface()
+        broken = FormulationPlan(
+            steps=1,
+            placed=[PlacedPattern(0, 3, 3)],
+        )
+        with pytest.raises(ValueError):
+            interface.execute_plan(triangle, broken, patterns=[triangle])
+
+    def test_session_summary(self):
+        patterns = PatternSet()
+        patterns.add(make_graph("CCC", [(0, 1), (1, 2)]), "t")
+        interface = VisualInterface.with_patterns(patterns)
+        for i in range(3):
+            query = make_graph("CCC", [(0, 1), (1, 2)])
+            query.name = f"Q{i}"
+            interface.formulate(query)
+        summary = interface.session_summary()
+        assert summary["sessions"] == 3
+        assert summary["success_rate"] == 1.0
+        assert summary["pattern_usage_rate"] == 1.0
+
+    def test_empty_summary(self):
+        assert VisualInterface().session_summary()["sessions"] == 0

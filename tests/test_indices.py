@@ -1,0 +1,177 @@
+"""Unit tests for the FCT-Index, IFE-Index and their joint maintenance."""
+
+import pytest
+
+from repro.index import FCTIndex, IFEIndex, IndexPair
+from repro.isomorphism import contains, count_embeddings, covered_graphs
+from repro.trees import FCTSet
+
+from .conftest import make_graph
+
+
+@pytest.fixture
+def setting(paper_db):
+    graphs = dict(paper_db.items())
+    fct_set = FCTSet(graphs, sup_min=3 / 9, max_edges=3)
+    return graphs, fct_set
+
+
+@pytest.fixture
+def fct_index(setting):
+    graphs, fct_set = setting
+    features = fct_set.fcts() + [
+        e for e in fct_set.frequent_edges() if not e.closed
+    ]
+    return FCTIndex.build(features, graphs)
+
+
+class TestFCTIndex:
+    def test_trie_contains_all_features(self, fct_index):
+        for feature in fct_index.features():
+            assert fct_index.trie.lookup(feature.tokens()) == feature.key
+
+    def test_tg_counts_match_vf2(self, setting, fct_index):
+        graphs, _ = setting
+        for feature in fct_index.features():
+            row = fct_index.tg.row(feature.key)
+            for graph_id, count in row.items():
+                assert count == count_embeddings(
+                    graphs[graph_id], feature.tree, limit=64
+                )
+
+    def test_graphs_with_feature_matches_cover(self, setting, fct_index):
+        _, fct_set = setting
+        for feature in fct_index.features():
+            assert fct_index.graphs_with_feature(feature.key) == feature.cover
+
+    def test_pattern_columns(self, fct_index):
+        pattern = make_graph("COS", [(0, 1), (0, 2)])
+        fct_index.add_pattern(42, pattern)
+        column = fct_index.tp.column(42)
+        assert column  # the S-C-O star embeds several features
+        fct_index.remove_pattern(42)
+        assert fct_index.tp.column(42) == {}
+
+    def test_remove_feature(self, fct_index):
+        feature = fct_index.features()[0]
+        fct_index.remove_feature(feature.key)
+        assert feature.key not in fct_index
+        assert fct_index.trie.lookup(feature.tokens()) is None
+        assert fct_index.tg.row(feature.key) == {}
+
+    def test_add_graph_column(self, setting, fct_index):
+        graphs, _ = setting
+        new_graph = make_graph("COS", [(0, 1), (0, 2)])
+        fct_index.add_graph(500, new_graph)
+        hits = {
+            key
+            for key in fct_index.feature_keys()
+            if 500 in fct_index.tg.row(key)
+        }
+        assert hits
+        fct_index.remove_graph(500)
+        for key in fct_index.feature_keys():
+            assert 500 not in fct_index.tg.row(key)
+
+    def test_candidate_prefilter_sound(self, setting, fct_index, paper_db):
+        """The prefilter must never discard a true container (no false
+        negatives); VF2 confirms the remaining candidates."""
+        graphs, _ = setting
+        for pattern in (
+            make_graph("CO", [(0, 1)]),
+            make_graph("COS", [(0, 1), (0, 2)]),
+            make_graph("COO", [(0, 1), (0, 2)]),
+            make_graph("CN", [(0, 1)]),
+        ):
+            truth = covered_graphs(paper_db, pattern)
+            candidates = fct_index.candidate_graphs(pattern, graphs)
+            assert truth <= candidates
+
+    def test_memory_positive(self, fct_index):
+        assert fct_index.memory_bytes() > 0
+
+
+class TestIFEIndex:
+    def test_build_counts(self, setting):
+        graphs, fct_set = setting
+        index = IFEIndex.build(fct_set.infrequent_edge_labels(), graphs)
+        assert index.is_indexed(("C", "N"))
+        assert index.graphs_with_edge(("C", "N")) == {1, 4}
+
+    def test_frequent_labels_not_indexed(self, setting):
+        graphs, fct_set = setting
+        index = IFEIndex.build(fct_set.infrequent_edge_labels(), graphs)
+        assert not index.is_indexed(("C", "O"))
+
+    def test_pattern_columns(self, setting):
+        graphs, fct_set = setting
+        index = IFEIndex.build(fct_set.infrequent_edge_labels(), graphs)
+        index.add_pattern(7, make_graph("CN", [(0, 1)]))
+        assert index.ep.get(("C", "N"), 7) == 1
+        index.remove_pattern(7)
+        assert index.ep.get(("C", "N"), 7) == 0
+
+    def test_set_edge_labels_reconciles(self, setting):
+        graphs, fct_set = setting
+        index = IFEIndex.build(fct_set.infrequent_edge_labels(), graphs)
+        index.set_edge_labels({("C", "O")}, graphs)
+        assert index.is_indexed(("C", "O"))
+        assert not index.is_indexed(("C", "N"))
+        assert len(index.graphs_with_edge(("C", "O"))) == 8
+
+
+class TestIndexPair:
+    def test_build(self, setting):
+        graphs, fct_set = setting
+        pair = IndexPair.build(fct_set, graphs)
+        assert pair.memory_bytes() > 0
+
+    def test_edge_cover_dispatch(self, setting, paper_db):
+        graphs, fct_set = setting
+        pair = IndexPair.build(fct_set, graphs)
+        # Frequent edge -> FCT index.
+        co_cover = pair.graphs_covering_edge(("C", "O"))
+        assert co_cover == covered_graphs(paper_db, make_graph("CO", [(0, 1)]))
+        # Infrequent edge -> IFE index.
+        cn_cover = pair.graphs_covering_edge(("C", "N"))
+        assert cn_cover == {1, 4}
+        # Unknown edge -> None (fall back to scanning).
+        assert pair.graphs_covering_edge(("X", "Y")) is None
+
+    def test_candidate_graphs_sound(self, setting, paper_db):
+        graphs, fct_set = setting
+        pair = IndexPair.build(fct_set, graphs)
+        pattern = make_graph("CON", [(0, 1), (0, 2)])
+        truth = covered_graphs(paper_db, pattern)
+        assert truth <= pair.candidate_graphs(pattern, graphs)
+
+    def test_apply_update_consistency(self, setting, paper_db):
+        """After a batch, index answers must match a fresh rebuild."""
+        graphs, fct_set = setting
+        pair = IndexPair.build(fct_set, graphs)
+        additions = {
+            100: make_graph("COS", [(0, 1), (1, 2)]),
+            101: make_graph("CO", [(0, 1)]),
+        }
+        removed = [4]
+        fct_set.apply(added=additions, removed=removed)
+        new_graphs = {g: v for g, v in graphs.items() if g != 4}
+        new_graphs.update(additions)
+        pair.apply_update(
+            fct_set, new_graphs, added_ids=additions, removed_ids=removed
+        )
+        fresh = IndexPair.build(fct_set, new_graphs)
+        for feature in fct_set.fcts():
+            assert pair.fct.graphs_with_feature(feature.key) == (
+                fresh.fct.graphs_with_feature(feature.key)
+            )
+        assert pair.ife.edge_labels() == fresh.ife.edge_labels()
+
+    def test_sync_patterns(self, setting):
+        graphs, fct_set = setting
+        pair = IndexPair.build(fct_set, graphs)
+        patterns = {0: make_graph("COS", [(0, 1), (0, 2)])}
+        pair.sync_patterns(patterns)
+        assert pair.fct.tp.column(0)
+        pair.sync_patterns({})
+        assert pair.fct.tp.column(0) == {}

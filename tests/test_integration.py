@@ -1,0 +1,114 @@
+"""End-to-end integration scenario: the whole system working together.
+
+One module-scoped scenario (bootstrap → family batch → maintain) is
+shared by all assertions so the expensive pipeline runs once; each test
+then checks a different cross-cutting claim of the paper on the same
+state.
+"""
+
+import pytest
+
+from repro import Midas, MidasConfig, NoMaintainBaseline, PatternBudget
+from repro.datasets import aids_like, family_injection
+from repro.gui import VisualInterface
+from repro.patterns import PatternSet, pattern_set_quality
+from repro.workload import (
+    balanced_query_set,
+    compare_step_reduction,
+    evaluate_patterns,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    config = MidasConfig(
+        budget=PatternBudget(3, 7, 10),
+        sup_min=0.5,
+        num_clusters=4,
+        sample_cap=100,
+        seed=13,
+        epsilon=0.002,
+    )
+    base = aids_like(90, seed=13)
+    midas = Midas.bootstrap(base, config)
+    stale = NoMaintainBaseline(config, base.copy(), midas.patterns.copy())
+    update = family_injection(35, seed=14)
+    report = midas.apply_update(update)
+    stale.apply_update(update)
+    queries = balanced_query_set(
+        midas.database,
+        report.inserted_ids,
+        count=60,
+        size_range=(4, 16),
+        seed=15,
+    )
+    return {
+        "config": config,
+        "midas": midas,
+        "stale": stale,
+        "report": report,
+        "queries": queries,
+    }
+
+
+class TestEndToEnd:
+    def test_family_batch_is_major(self, scenario):
+        assert scenario["report"].is_major
+
+    def test_midas_mp_not_worse(self, scenario):
+        midas_eval = evaluate_patterns(
+            "midas", scenario["midas"].pattern_graphs(), scenario["queries"]
+        )
+        stale_eval = evaluate_patterns(
+            "stale", scenario["stale"].pattern_graphs(), scenario["queries"]
+        )
+        assert midas_eval.missed_percentage <= stale_eval.missed_percentage
+
+    def test_mu_non_negative_vs_stale(self, scenario):
+        midas_eval = evaluate_patterns(
+            "midas", scenario["midas"].pattern_graphs(), scenario["queries"]
+        )
+        stale_eval = evaluate_patterns(
+            "stale", scenario["stale"].pattern_graphs(), scenario["queries"]
+        )
+        assert compare_step_reduction(stale_eval, midas_eval) >= -1e-9
+
+    def test_quality_dominates_stale(self, scenario):
+        stale_set = PatternSet()
+        for graph in scenario["stale"].pattern_graphs():
+            stale_set.add(graph, "stale")
+        oracle = scenario["midas"].oracle
+        q_midas = pattern_set_quality(scenario["midas"].patterns, oracle)
+        q_stale = pattern_set_quality(stale_set, oracle)
+        assert q_midas["scov"] >= q_stale["scov"] - 1e-12
+        assert q_midas["div"] >= q_stale["div"] - 1e-12
+        assert q_midas["lcov"] >= q_stale["lcov"] - 1e-12
+        assert q_midas["cog"] <= q_stale["cog"] + 1e-12
+
+    def test_panel_formulates_queries_on_gui(self, scenario):
+        interface = VisualInterface.with_patterns(
+            scenario["midas"].patterns
+        )
+        for query in scenario["queries"][:10]:
+            record = interface.formulate(query, max_edits=2)
+            assert record.success
+        summary = interface.session_summary()
+        assert summary["success_rate"] == 1.0
+
+    def test_indices_consistent_after_maintenance(self, scenario):
+        """The maintained FCT-Index answers cover queries exactly."""
+        midas = scenario["midas"]
+        for feature in midas.fct_set.fcts():
+            indexed = midas.index_pair.fct.graphs_with_feature(feature.key)
+            assert indexed == feature.cover
+
+    def test_sample_tracks_database(self, scenario):
+        midas = scenario["midas"]
+        assert midas.sampler.universe_size == len(midas.database)
+        assert midas.sampler.sample_ids <= set(midas.database.ids())
+
+    def test_budget_respected_after_maintenance(self, scenario):
+        config = scenario["config"]
+        for pattern in scenario["midas"].patterns:
+            assert config.budget.admits_size(pattern.num_edges)
+        assert len(scenario["midas"].patterns) <= config.budget.gamma

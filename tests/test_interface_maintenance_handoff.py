@@ -1,0 +1,78 @@
+"""The maintenance → interface hand-off (Section 6.2's single update).
+
+MIDAS swaps patterns on the backend, then the GUI panel is refreshed in
+one update.  This test drives the full loop: bootstrap, evolve, refresh
+the panel, and confirm users of the *refreshed* panel formulate the new
+workload no worse than users of the stale one.
+"""
+
+import pytest
+
+from repro import Midas, MidasConfig, PatternBudget
+from repro.datasets import family_injection, pubchem_like
+from repro.gui import VisualInterface
+from repro.workload import balanced_query_set
+
+
+@pytest.fixture(scope="module")
+def evolved():
+    config = MidasConfig(
+        budget=PatternBudget(3, 7, 8),
+        sup_min=0.5,
+        num_clusters=4,
+        sample_cap=90,
+        seed=23,
+        epsilon=0.002,
+    )
+    database = pubchem_like(90, seed=23)
+    midas = Midas.bootstrap(database, config)
+    stale_panel = midas.patterns.copy()
+    report = midas.apply_update(family_injection(35, seed=24))
+    queries = balanced_query_set(
+        midas.database,
+        report.inserted_ids,
+        count=30,
+        size_range=(4, 14),
+        seed=25,
+    )
+    return midas, stale_panel, report, queries
+
+
+class TestHandoff:
+    def test_refresh_is_single_update(self, evolved):
+        midas, stale_panel, _, _ = evolved
+        interface = VisualInterface.with_patterns(stale_panel)
+        gamma_before = interface.panel.gamma
+        interface.refresh_patterns(midas.patterns)
+        assert interface.panel.gamma == len(midas.patterns)
+        assert interface.panel.gamma == gamma_before  # γ preserved
+
+    def test_both_panels_formulate_everything(self, evolved):
+        midas, stale_panel, _, queries = evolved
+        fresh = VisualInterface.with_patterns(midas.patterns)
+        stale = VisualInterface.with_patterns(stale_panel)
+        for query in queries:
+            assert fresh.formulate(query, max_edits=2).success
+            assert stale.formulate(query, max_edits=2).success
+
+    def test_fresh_panel_steps_not_worse(self, evolved):
+        midas, stale_panel, _, queries = evolved
+        fresh = VisualInterface.with_patterns(midas.patterns)
+        stale = VisualInterface.with_patterns(stale_panel)
+        fresh_steps = sum(
+            fresh.formulate(q, max_edits=2).steps for q in queries
+        )
+        stale_steps = sum(
+            stale.formulate(q, max_edits=2).steps for q in queries
+        )
+        # Maintenance must not make formulation harder overall.
+        assert fresh_steps <= stale_steps * 1.02  # 2% tolerance band
+
+    def test_sessions_recorded(self, evolved):
+        midas, _, _, queries = evolved
+        interface = VisualInterface.with_patterns(midas.patterns)
+        for query in queries[:5]:
+            interface.formulate(query, max_edits=2)
+        summary = interface.session_summary()
+        assert summary["sessions"] == 5
+        assert summary["success_rate"] == 1.0

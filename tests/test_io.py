@@ -1,0 +1,106 @@
+"""Unit tests for repro.graph.io (serialisation round-trips)."""
+
+import pytest
+
+from repro.graph import GraphDatabase
+from repro.graph.io import (
+    FormatError,
+    database_from_json,
+    database_to_json,
+    dumps_transactions,
+    graph_from_dict,
+    graph_to_dict,
+    iter_graph_chunks,
+    loads_transactions,
+    read_database,
+    read_transactions,
+    write_database,
+    write_transactions,
+)
+
+from .conftest import make_graph
+
+
+@pytest.fixture
+def graphs():
+    return [
+        make_graph("COS", [(0, 1), (0, 2)]),
+        make_graph("CN", [(0, 1)]),
+        make_graph("C", []),
+    ]
+
+
+class TestTransactions:
+    def test_round_trip(self, graphs):
+        text = dumps_transactions(graphs)
+        parsed = loads_transactions(text)
+        assert len(parsed) == len(graphs)
+        for original, restored in zip(graphs, parsed):
+            assert restored.num_vertices == original.num_vertices
+            assert restored.num_edges == original.num_edges
+            assert sorted(restored.labels().values()) == sorted(
+                original.labels().values()
+            )
+
+    def test_file_round_trip(self, graphs, tmp_path):
+        path = tmp_path / "db.txt"
+        write_transactions(path, graphs)
+        assert len(read_transactions(path)) == len(graphs)
+
+    def test_terminator_line(self, graphs):
+        assert dumps_transactions(graphs).strip().endswith("t # -1")
+
+    def test_vertex_outside_transaction_raises(self):
+        with pytest.raises(FormatError):
+            loads_transactions("v 0 C\n")
+
+    def test_malformed_vertex_raises(self):
+        with pytest.raises(FormatError):
+            loads_transactions("t # 0\nv 0\n")
+
+    def test_unknown_record_raises(self):
+        with pytest.raises(FormatError):
+            loads_transactions("t # 0\nx 1 2\n")
+
+    def test_blank_lines_ignored(self, graphs):
+        text = dumps_transactions(graphs).replace("\n", "\n\n")
+        assert len(loads_transactions(text)) == len(graphs)
+
+
+class TestJson:
+    def test_graph_dict_round_trip(self, graphs):
+        for graph in graphs:
+            restored = graph_from_dict(graph_to_dict(graph))
+            assert restored.num_vertices == graph.num_vertices
+            assert restored.num_edges == graph.num_edges
+
+    def test_graph_dict_missing_key_raises(self):
+        with pytest.raises(FormatError):
+            graph_from_dict({"labels": ["C"]})
+
+    def test_database_round_trip_preserves_ids(self, graphs):
+        db = GraphDatabase(graphs)
+        db.remove(1)  # create an ID gap
+        restored = database_from_json(database_to_json(db))
+        assert restored.ids() == db.ids()
+        assert restored[2].num_edges == db[2].num_edges
+
+    def test_database_file_round_trip(self, graphs, tmp_path):
+        db = GraphDatabase(graphs)
+        path = tmp_path / "db.json"
+        write_database(path, db)
+        assert read_database(path).ids() == db.ids()
+
+    def test_bad_format_tag_raises(self):
+        with pytest.raises(FormatError):
+            database_from_json('{"format": "something-else", "graphs": {}}')
+
+
+class TestChunks:
+    def test_chunking(self, graphs):
+        chunks = list(iter_graph_chunks(graphs, 2))
+        assert [len(c) for c in chunks] == [2, 1]
+
+    def test_bad_chunk_size(self, graphs):
+        with pytest.raises(ValueError):
+            list(iter_graph_chunks(graphs, 0))

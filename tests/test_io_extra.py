@@ -1,0 +1,52 @@
+"""Extra serialisation coverage: molecule round-trips and cross-format
+consistency."""
+
+import pytest
+
+from repro.datasets import aids_like
+from repro.graph import GraphDatabase, are_isomorphic
+from repro.graph.io import (
+    database_from_json,
+    database_to_json,
+    dumps_transactions,
+    loads_transactions,
+)
+
+
+class TestMoleculeRoundTrips:
+    def test_transactions_preserve_isomorphism_class(self):
+        db = aids_like(10, seed=42)
+        restored = loads_transactions(
+            dumps_transactions(list(db.graphs()))
+        )
+        assert len(restored) == len(db)
+        for original, parsed in zip(db.graphs(), restored):
+            assert are_isomorphic(original, parsed)
+
+    def test_json_preserves_isomorphism_class(self):
+        db = aids_like(10, seed=43)
+        restored = database_from_json(database_to_json(db))
+        for graph_id in db.ids():
+            assert are_isomorphic(db[graph_id], restored[graph_id])
+
+    def test_cross_format_consistency(self):
+        """Transactions and JSON agree on the structures they carry."""
+        db = aids_like(6, seed=44)
+        via_transactions = loads_transactions(
+            dumps_transactions(list(db.graphs()))
+        )
+        via_json = database_from_json(database_to_json(db))
+        for t_graph, (_, j_graph) in zip(
+            via_transactions, via_json.items()
+        ):
+            assert are_isomorphic(t_graph, j_graph)
+
+    def test_empty_database_round_trip(self):
+        restored = database_from_json(database_to_json(GraphDatabase()))
+        assert len(restored) == 0
+
+    def test_json_stable_under_double_round_trip(self):
+        db = aids_like(5, seed=45)
+        once = database_to_json(db)
+        twice = database_to_json(database_from_json(once))
+        assert once == twice

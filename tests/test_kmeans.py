@@ -1,0 +1,81 @@
+"""Unit tests for repro.clustering.kmeans."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.clustering import inertia, kmeans, kmeans_plus_plus_seeds
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(3)
+    a = rng.normal(loc=0.0, scale=0.3, size=(20, 2))
+    b = rng.normal(loc=5.0, scale=0.3, size=(20, 2))
+    c = rng.normal(loc=(0.0, 5.0), scale=0.3, size=(20, 2))
+    return np.vstack([a, b, c])
+
+
+class TestSeeding:
+    def test_correct_seed_count(self, blobs):
+        seeds = kmeans_plus_plus_seeds(blobs, 3, random.Random(0))
+        assert seeds.shape == (3, 2)
+
+    def test_invalid_k(self, blobs):
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_seeds(blobs, 0, random.Random(0))
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_seeds(blobs, len(blobs) + 1, random.Random(0))
+
+    def test_duplicate_points_handled(self):
+        points = np.ones((10, 3))
+        seeds = kmeans_plus_plus_seeds(points, 3, random.Random(1))
+        assert seeds.shape == (3, 3)
+
+    def test_seeds_spread_across_blobs(self, blobs):
+        seeds = kmeans_plus_plus_seeds(blobs, 3, random.Random(5))
+        # Each seed should be near a different blob centre.
+        centers = np.array([[0, 0], [5, 0], [0, 5]])
+        nearest = {
+            int(np.argmin(np.linalg.norm(centers - s, axis=1)))
+            for s in seeds
+        }
+        assert len(nearest) == 3
+
+
+class TestKMeans:
+    def test_separated_blobs_recovered(self, blobs):
+        assignments, centroids = kmeans(blobs, 3, seed=0)
+        assert len(set(assignments[:20])) == 1
+        assert len(set(assignments[20:40])) == 1
+        assert len(set(assignments[40:])) == 1
+        assert len({assignments[0], assignments[20], assignments[40]}) == 3
+        assert centroids.shape == (3, 2)
+
+    def test_deterministic(self, blobs):
+        a1, c1 = kmeans(blobs, 3, seed=42)
+        a2, c2 = kmeans(blobs, 3, seed=42)
+        assert np.array_equal(a1, a2)
+        assert np.array_equal(c1, c2)
+
+    def test_k_geq_n_degenerates(self):
+        points = np.arange(6, dtype=float).reshape(3, 2)
+        assignments, centroids = kmeans(points, 5)
+        assert list(assignments) == [0, 1, 2]
+        assert np.array_equal(centroids, points)
+
+    def test_no_empty_clusters(self, blobs):
+        assignments, _ = kmeans(blobs, 6, seed=1)
+        assert len(set(int(a) for a in assignments)) == 6
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.arange(10, dtype=float), 2)
+
+    def test_inertia_decreases_with_k(self, blobs):
+        results = []
+        for k in (1, 3):
+            assignments, centroids = kmeans(blobs, k, seed=0)
+            results.append(inertia(blobs, assignments, centroids))
+        assert results[1] < results[0]

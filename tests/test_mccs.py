@@ -1,0 +1,75 @@
+"""Unit tests for repro.clustering.mccs."""
+
+import pytest
+
+from repro.clustering import mccs_edge_count, mccs_mapping, mccs_similarity
+from repro.graph import LabeledGraph
+
+from .conftest import make_graph
+
+
+class TestMapping:
+    def test_identical_graphs_full_mapping(self):
+        g = make_graph("CONS", [(0, 1), (1, 2), (2, 3)])
+        mapping = mccs_mapping(g, g.copy())
+        assert len(mapping) == 4
+        assert mccs_edge_count(g, g.copy()) == 3
+
+    def test_empty_graphs(self):
+        assert mccs_mapping(LabeledGraph(), LabeledGraph()) == {}
+        assert mccs_edge_count(LabeledGraph(), make_graph("CO", [(0, 1)])) == 0
+
+    def test_mapping_respects_labels(self):
+        g1 = make_graph("CO", [(0, 1)])
+        g2 = make_graph("CN", [(0, 1)])
+        mapping = mccs_mapping(g1, g2)
+        for u, v in mapping.items():
+            assert g1.label(u) == g2.label(v)
+
+    def test_mapping_is_injective(self):
+        g1 = make_graph("CCC", [(0, 1), (1, 2)])
+        g2 = make_graph("CCCC", [(0, 1), (1, 2), (2, 3)])
+        mapping = mccs_mapping(g1, g2)
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_exact_on_unique_label_trees(self):
+        g1 = make_graph("CONS", [(0, 1), (1, 2), (2, 3)])
+        g2 = make_graph("CONSP", [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert mccs_edge_count(g1, g2) == 3  # entire g1 is common
+
+    def test_disjoint_labels_no_common(self):
+        g1 = make_graph("CC", [(0, 1)])
+        g2 = make_graph("NN", [(0, 1)])
+        assert mccs_edge_count(g1, g2) == 0
+
+
+class TestSimilarity:
+    def test_identical_similarity_one(self):
+        g = make_graph("COCN", [(0, 1), (1, 2), (2, 3)])
+        assert mccs_similarity(g, g.copy()) == pytest.approx(1.0)
+
+    def test_range(self):
+        g1 = make_graph("CCO", [(0, 1), (1, 2)])
+        g2 = make_graph("CCN", [(0, 1), (1, 2)])
+        value = mccs_similarity(g1, g2)
+        assert 0.0 <= value <= 1.0
+
+    def test_edgeless_graph(self):
+        g1 = make_graph("C", [])
+        g2 = make_graph("CC", [(0, 1)])
+        assert mccs_similarity(g1, g2) == 0.0
+
+    def test_symmetry_on_shared_core(self):
+        core = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        g1 = make_graph("CCCC", core)
+        g2 = make_graph("CCCCO", core + [(0, 4)])
+        s12 = mccs_similarity(g1, g2)
+        s21 = mccs_similarity(g2, g1)
+        assert s12 == pytest.approx(s21)
+        assert s12 == pytest.approx(1.0)  # g1 fully common
+
+    def test_more_similar_pair_scores_higher(self):
+        base = make_graph("CCON", [(0, 1), (1, 2), (1, 3)])
+        near = make_graph("CCON", [(0, 1), (1, 2), (1, 3)])
+        far = make_graph("SSSP", [(0, 1), (1, 2), (2, 3)])
+        assert mccs_similarity(base, near) > mccs_similarity(base, far)

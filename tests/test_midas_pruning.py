@@ -1,0 +1,100 @@
+"""Unit tests for repro.midas.pruning (Equation 2 and Definition 5.5)."""
+
+import pytest
+
+from repro.midas import PruningContext
+from repro.patterns import CoverageOracle
+
+from .conftest import make_graph
+
+
+@pytest.fixture
+def oracle(paper_db):
+    return CoverageOracle(dict(paper_db.items()))
+
+
+class TestPruningContext:
+    def test_invalid_kappa(self, oracle):
+        with pytest.raises(ValueError):
+            PruningContext(oracle, [], kappa=2.0)
+
+    def test_threshold_floor(self, oracle):
+        # No patterns -> min unique cover 0 -> floored threshold of 1.
+        context = PruningContext(oracle, [], kappa=0.1)
+        assert context.threshold == 1.0
+
+    def test_threshold_scales_with_unique_cover(self, oracle):
+        co = make_graph("CO", [(0, 1)])
+        cn = make_graph("CN", [(0, 1)])
+        context = PruningContext(oracle, [co, cn], kappa=0.5)
+        # unique(co) = 6 (graphs with C-O but no C-N), unique(cn) = 1 (G4).
+        assert context.threshold == pytest.approx(1.5)
+
+    def test_edge_cover_from_scan(self, oracle):
+        context = PruningContext(oracle, [], kappa=0.1)
+        assert context.edge_cover(("C", "N")) == frozenset({1, 4})
+        assert context.edge_cover(("X", "Y")) == frozenset()
+
+    def test_edge_cover_cached(self, oracle):
+        context = PruningContext(oracle, [], kappa=0.1)
+        first = context.edge_cover(("C", "O"))
+        assert context.edge_cover(("C", "O")) is first
+
+    def test_edge_gate_semantics(self, oracle):
+        # P covers everything except G4 (C-N); the weakest pattern has a
+        # small unique cover, so the threshold is low.  Edges only found
+        # in covered graphs fail the gate; C-N reaches uncovered G4.
+        co = make_graph("CO", [(0, 1)])
+        coo = make_graph("COO", [(0, 1), (0, 2)])
+        context = PruningContext(oracle, [co, coo], kappa=0.0)
+        assert context.threshold == 1.0  # min unique cover is 0, floored
+        assert not context.edge_gate(("C", "O"))
+        assert context.edge_gate(("C", "N"))
+
+    def test_is_promising(self, oracle):
+        co = make_graph("CO", [(0, 1)])
+        coo = make_graph("COO", [(0, 1), (0, 2)])
+        context = PruningContext(oracle, [co, coo], kappa=0.0)
+        cn = make_graph("CN", [(0, 1)])
+        redundant = make_graph("COS", [(0, 1), (0, 2)])
+        assert context.is_promising(cn)             # covers uncovered G4
+        assert not context.is_promising(redundant)  # subset of C-O cover
+
+    def test_edge_priority_specificity(self, oracle):
+        co = make_graph("CO", [(0, 1)])
+        coo = make_graph("COO", [(0, 1), (0, 2)])
+        context = PruningContext(oracle, [co, coo], kappa=0.0)
+        # Only G4 (C-N) is uncovered: C-N is maximally specific to it.
+        assert context.edge_priority(("C", "N")) == pytest.approx(0.5)
+        # C-O only appears in covered graphs.
+        assert context.edge_priority(("C", "O")) == 0.0
+        # Unknown labels have empty cover.
+        assert context.edge_priority(("X", "Y")) == 0.0
+
+    def test_priority_in_unit_interval(self, oracle):
+        context = PruningContext(oracle, [], kappa=0.1)
+        for label in (("C", "O"), ("C", "N"), ("C", "S")):
+            assert 0.0 <= context.edge_priority(label) <= 1.0
+
+    def test_single_pattern_threshold_is_its_cover(self, oracle):
+        """Definition 5.5 with |P| = 1: the pattern's unique cover is its
+        whole cover, so only candidates with larger marginal coverage
+        are promising."""
+        co = make_graph("CO", [(0, 1)])
+        context = PruningContext(oracle, [co], kappa=0.0)
+        assert context.threshold == pytest.approx(8.0)
+        assert not context.is_promising(make_graph("CN", [(0, 1)]))
+
+    def test_gate_with_index(self, paper_db):
+        from repro.index import IndexPair
+        from repro.trees import FCTSet
+
+        graphs = dict(paper_db.items())
+        fct_set = FCTSet(graphs, sup_min=3 / 9, max_edges=3)
+        pair = IndexPair.build(fct_set, graphs)
+        oracle = CoverageOracle(graphs, index_pair=pair)
+        context = PruningContext(oracle, [], kappa=0.1, index_pair=pair)
+        # Index-backed edge covers must agree with the direct scan.
+        direct = PruningContext(oracle, [], kappa=0.1)
+        for label in (("C", "O"), ("C", "N"), ("C", "S")):
+            assert context.edge_cover(label) == direct.edge_cover(label)

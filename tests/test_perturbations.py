@@ -1,0 +1,113 @@
+"""Tests for perturbation batches — including the detector blind spot."""
+
+import random
+
+import pytest
+
+from repro.datasets import aids_like
+from repro.datasets.perturbations import (
+    densified_batch,
+    densify_graph,
+    label_swap_mapping,
+    relabel_graph,
+    relabeled_batch,
+    rewire_graph,
+    rewired_batch,
+)
+from repro.midas import ModificationDetector
+
+from .conftest import make_graph
+
+
+class TestOperators:
+    def test_relabel_preserves_structure(self, triangle):
+        relabeled = relabel_graph(triangle, {"C": "N"})
+        assert relabeled.num_vertices == 3
+        assert relabeled.num_edges == 3
+        assert relabeled.vertex_label_set() == {"N"}
+
+    def test_relabel_partial_mapping(self):
+        g = make_graph("CON", [(0, 1), (1, 2)])
+        relabeled = relabel_graph(g, {"O": "S"})
+        assert sorted(relabeled.labels().values()) == ["C", "N", "S"]
+
+    def test_rewire_keeps_counts(self):
+        g = make_graph("CCCCO", [(0, 1), (1, 2), (2, 3), (3, 4)])
+        rewired = rewire_graph(g, 3, random.Random(1))
+        assert rewired.num_vertices == g.num_vertices
+        assert rewired.num_edges == g.num_edges
+        assert rewired.vertex_label_multiset() == g.vertex_label_multiset()
+
+    def test_densify_adds_chords(self):
+        g = make_graph("CCCC", [(0, 1), (1, 2), (2, 3)])
+        dense = densify_graph(g, 2, random.Random(2))
+        assert dense.num_edges == 5
+
+    def test_label_swap_mapping_total(self):
+        mapping = label_swap_mapping(["C", "O", "N"])
+        assert set(mapping) == {"C", "O", "N"}
+        for source, target in mapping.items():
+            assert source != target
+        assert label_swap_mapping(["C"]) == {}
+
+
+class TestBatches:
+    @pytest.fixture
+    def db(self):
+        return aids_like(30, seed=8)
+
+    def test_relabeled_batch_shape(self, db):
+        batch = relabeled_batch(db, 10, {"C": "X"}, seed=1)
+        assert batch.num_insertions == 10
+        assert batch.num_deletions == 10
+        assert set(batch.deletions) <= set(db.ids())
+
+    def test_rewired_batch_applies(self, db):
+        batch = rewired_batch(db, 5, seed=2)
+        updated = db.updated(batch)
+        assert len(updated) == len(db)
+
+    def test_densified_batch_applies(self, db):
+        batch = densified_batch(db, 5, seed=3)
+        updated = db.updated(batch)
+        assert updated.total_edges() >= db.total_edges()
+
+
+class TestDetectorBlindSpot:
+    """The GFD detector is label-blind (graphlets are unlabelled):
+    a pure relabeling is invisible to it even though every displayed
+    pattern may have gone stale — a faithful limitation of the paper's
+    Section 3.4 design, pinned down here."""
+
+    def test_relabeling_is_invisible(self):
+        db = aids_like(40, seed=9)
+        detector = ModificationDetector(
+            dict(db.items()), epsilon=1e-6
+        )
+        mapping = label_swap_mapping(sorted(db.vertex_label_alphabet()))
+        batch = relabeled_batch(db, len(db), mapping, seed=4)
+        updated = db.updated(batch)
+        added = {
+            gid: updated[gid]
+            for gid in updated
+            if gid not in set(db.ids()) - set(batch.deletions)
+        }
+        result = detector.classify(
+            added, set(batch.deletions), commit=False
+        )
+        # Structure unchanged => GFD distance exactly zero.
+        assert result.distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_rewiring_is_visible(self):
+        db = aids_like(40, seed=9)
+        detector = ModificationDetector(dict(db.items()), epsilon=1e-6)
+        batch = densified_batch(db, 30, chords_per_graph=4, seed=5)
+        updated = db.updated(batch)
+        surviving = set(db.ids()) - set(batch.deletions)
+        added = {
+            gid: updated[gid] for gid in updated if gid not in surviving
+        }
+        result = detector.classify(
+            added, set(batch.deletions), commit=False
+        )
+        assert result.distance > 0.0

@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Strategies generate small random labelled graphs and trees; properties
+cover the substrate invariants everything else relies on:
+
+* canonical certificates are isomorphism invariants,
+* VF2 monomorphism is reflexive and respects subgraph construction,
+* GED bounds sandwich the exact distance and satisfy metric-ish axioms,
+* graphlet counting agrees with brute force,
+* the sparse matrix behaves like a dict of dicts,
+* mining supports are exact and anti-monotone.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ged import (
+    ged_bipartite_upper_bound,
+    ged_exact,
+    ged_label_lower_bound,
+    ged_tight_lower_bound,
+)
+from repro.graph import LabeledGraph, canonical_certificate
+from repro.graphlets import count_graphlets, count_graphlets_bruteforce
+from repro.index import SparseCountMatrix
+from repro.isomorphism import contains, count_embeddings
+from repro.trees import tree_certificate, canonical_tokens, tree_from_tokens
+
+LABELS = "CNOS"
+
+
+@st.composite
+def labeled_graphs(draw, max_vertices: int = 7) -> LabeledGraph:
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    labels = draw(
+        st.lists(
+            st.sampled_from(LABELS), min_size=n, max_size=n
+        )
+    )
+    graph = LabeledGraph()
+    for vertex, label in enumerate(labels):
+        graph.add_vertex(vertex, label)
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    if possible:
+        chosen = draw(
+            st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+        )
+        for u, v in chosen:
+            graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def labeled_trees(draw, max_vertices: int = 8) -> LabeledGraph:
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    graph = LabeledGraph()
+    graph.add_vertex(0, draw(st.sampled_from(LABELS)))
+    for vertex in range(1, n):
+        graph.add_vertex(vertex, draw(st.sampled_from(LABELS)))
+        parent = draw(st.integers(min_value=0, max_value=vertex - 1))
+        graph.add_edge(vertex, parent)
+    return graph
+
+
+def permuted(graph: LabeledGraph, seed: int) -> LabeledGraph:
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices(), key=repr)
+    shuffled = list(vertices)
+    rng.shuffle(shuffled)
+    mapping = dict(zip(vertices, shuffled))
+    clone = LabeledGraph()
+    for v in vertices:
+        clone.add_vertex(mapping[v], graph.label(v))
+    for u, v in graph.edges():
+        clone.add_edge(mapping[u], mapping[v])
+    return clone
+
+
+class TestCanonicalProperties:
+    @given(labeled_graphs(), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_certificate_permutation_invariant(self, graph, seed):
+        assert canonical_certificate(graph) == canonical_certificate(
+            permuted(graph, seed)
+        )
+
+    @given(labeled_trees(), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_tree_certificate_permutation_invariant(self, tree, seed):
+        assert tree_certificate(tree) == tree_certificate(permuted(tree, seed))
+
+    @given(labeled_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_tree_token_round_trip(self, tree):
+        rebuilt = tree_from_tokens(canonical_tokens(tree))
+        assert tree_certificate(rebuilt) == tree_certificate(tree)
+
+
+class TestIsomorphismProperties:
+    @given(labeled_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_self_containment(self, graph):
+        assert contains(graph, graph)
+
+    @given(labeled_graphs(), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_contains_permuted_self(self, graph, seed):
+        assert contains(graph, permuted(graph, seed))
+
+    @given(labeled_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_edge_subgraph_contained(self, graph):
+        edges = list(graph.edges())
+        if not edges:
+            return
+        sub = graph.edge_subgraph(edges[: max(1, len(edges) // 2)])
+        assert contains(graph, sub)
+
+    @given(labeled_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_embedding_count_at_least_one_for_self(self, graph):
+        assert count_embeddings(graph, graph, limit=4) >= 1
+
+
+class TestGedProperties:
+    @given(labeled_graphs(max_vertices=5), labeled_graphs(max_vertices=5))
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_sandwich(self, g1, g2):
+        exact = ged_exact(g1, g2)
+        assert ged_label_lower_bound(g1, g2) <= exact
+        assert ged_tight_lower_bound(g1, g2) <= exact
+        assert exact <= ged_bipartite_upper_bound(g1, g2)
+
+    @given(labeled_graphs(max_vertices=5))
+    @settings(max_examples=30, deadline=None)
+    def test_identity(self, graph):
+        assert ged_exact(graph, graph.copy()) == 0
+        assert ged_tight_lower_bound(graph, graph.copy()) == 0
+
+    @given(
+        labeled_graphs(max_vertices=5),
+        labeled_graphs(max_vertices=5),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_isomorphic_pair_distance_zero(self, g1, g2, seed):
+        twin = permuted(g1, seed)
+        assert ged_exact(g1, twin) == 0
+        _ = g2
+
+
+class TestGraphletProperties:
+    @given(labeled_graphs(max_vertices=8))
+    @settings(max_examples=50, deadline=None)
+    def test_fast_equals_bruteforce(self, graph):
+        fast = count_graphlets(graph)
+        slow = count_graphlets_bruteforce(graph)
+        assert (fast == slow).all()
+
+    @given(labeled_graphs(max_vertices=8))
+    @settings(max_examples=50, deadline=None)
+    def test_counts_nonnegative(self, graph):
+        assert (count_graphlets(graph) >= 0).all()
+
+
+class TestSparseMatrixProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 5),
+                st.integers(0, 5),
+                st.integers(0, 9),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_behaves_like_dict(self, operations):
+        matrix = SparseCountMatrix()
+        model: dict[tuple[int, int], int] = {}
+        for row, col, value in operations:
+            matrix.set(row, col, value)
+            if value == 0:
+                model.pop((row, col), None)
+            else:
+                model[(row, col)] = value
+        for (row, col), value in model.items():
+            assert matrix.get(row, col) == value
+        assert matrix.nnz() == len(model)
+        assert set(matrix.triplets()) == {
+            (r, c, v) for (r, c), v in model.items()
+        }
+
+
+class TestMiningProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_support_antimonotone(self, seed):
+        """Every mined tree's support is <= the support of each of its
+        single edges (anti-monotonicity of transactional support)."""
+        from repro.datasets import MoleculeGenerator
+        from repro.graph import GraphDatabase
+        from repro.isomorphism import covered_graphs
+        from repro.trees import TreeMiner
+
+        db = GraphDatabase(MoleculeGenerator(seed=seed).generate_many(8))
+        graphs = dict(db.items())
+        mined = TreeMiner(graphs, 0.25, max_edges=3).mine_frequent()
+        for tree in mined:
+            assert tree.cover == covered_graphs(db, tree.tree)
+            for u, v in tree.tree.edges():
+                edge = tree.tree.edge_subgraph([(u, v)])
+                assert len(covered_graphs(db, edge)) >= tree.support_count

@@ -1,0 +1,161 @@
+"""Property-based tests for the maintenance-layer invariants.
+
+hypothesis drives random pattern sets, candidate pools and update
+sequences through the swap strategy, the CSG closure and the sampler,
+asserting the guarantees the paper proves:
+
+* multi-scan swap never regresses scov/div/lcov and never raises cog;
+* γ is invariant under swapping;
+* every member graph stays subgraph-isomorphic to its cluster's CSG
+  through arbitrary add/remove sequences;
+* the lazy sampler respects its capacity and universe under churn.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csg import SummaryGraph
+from repro.graph import LabeledGraph
+from repro.isomorphism import contains
+from repro.midas import MultiScanSwapper
+from repro.patterns import CoverageOracle, PatternSet, pattern_set_quality
+from repro.utils import LazySampler
+
+LABELS = "CNOS"
+
+
+@st.composite
+def connected_patterns(draw, min_edges: int = 2, max_edges: int = 5):
+    """A random connected labelled graph grown edge by edge."""
+    num_edges = draw(st.integers(min_edges, max_edges))
+    graph = LabeledGraph()
+    graph.add_vertex(0, draw(st.sampled_from(LABELS)))
+    graph.add_vertex(1, draw(st.sampled_from(LABELS)))
+    graph.add_edge(0, 1)
+    while graph.num_edges < num_edges:
+        anchor = draw(
+            st.sampled_from(sorted(graph.vertices()))
+        )
+        close_cycle = draw(st.booleans())
+        others = [
+            v
+            for v in sorted(graph.vertices())
+            if v != anchor and not graph.has_edge(anchor, v)
+        ]
+        if close_cycle and others:
+            graph.add_edge(anchor, draw(st.sampled_from(others)))
+        else:
+            new_vertex = graph.num_vertices
+            graph.add_vertex(new_vertex, draw(st.sampled_from(LABELS)))
+            graph.add_edge(anchor, new_vertex)
+    return graph
+
+
+@st.composite
+def host_graphs(draw):
+    return draw(connected_patterns(min_edges=3, max_edges=10))
+
+
+class TestSwapInvariants:
+    @given(
+        st.lists(connected_patterns(), min_size=2, max_size=4),
+        st.lists(connected_patterns(), min_size=1, max_size=4),
+        st.lists(host_graphs(), min_size=4, max_size=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_progressive_gain_holds(self, initial, candidates, hosts):
+        graphs = dict(enumerate(hosts))
+        oracle = CoverageOracle(graphs)
+        pattern_set = PatternSet()
+        for graph in initial:
+            try:
+                pattern_set.add(graph, "init")
+            except ValueError:
+                pass  # isomorphic duplicates
+        if len(pattern_set) == 0:
+            return
+        gamma = len(pattern_set)
+        before = pattern_set_quality(pattern_set.copy(), oracle)
+        swapper = MultiScanSwapper(oracle, kappa=0.1, lambda_=0.1)
+        outcome = swapper.run(pattern_set, list(candidates))
+        after = pattern_set_quality(pattern_set, oracle)
+        assert len(pattern_set) == gamma
+        assert after["scov"] >= before["scov"] - 1e-12
+        if outcome.num_swaps:
+            assert after["div"] >= before["div"] - 1e-12
+            assert after["cog"] <= before["cog"] + 1e-12
+            assert after["lcov"] >= before["lcov"] - 1e-12
+
+
+class TestCsgInvariants:
+    @given(
+        st.lists(host_graphs(), min_size=1, max_size=6),
+        st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_members_always_contained(self, graphs, data):
+        summary = SummaryGraph(0)
+        members: dict[int, LabeledGraph] = {}
+        for index, graph in enumerate(graphs):
+            summary.add_graph(index, graph)
+            members[index] = graph
+        # Random removals.
+        if members:
+            victims = data.draw(
+                st.lists(
+                    st.sampled_from(sorted(members)),
+                    unique=True,
+                    max_size=len(members) - 1,
+                )
+            )
+            for victim in victims:
+                summary.remove_graph(victim)
+                del members[victim]
+        host = summary.as_labeled_graph()
+        for graph in members.values():
+            assert contains(host, graph)
+
+    @given(st.lists(host_graphs(), min_size=1, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_edge_annotations_partition_members(self, graphs):
+        summary = SummaryGraph(0)
+        for index, graph in enumerate(graphs):
+            summary.add_graph(index, graph)
+        # Every annotated ID is a member, and each member annotates at
+        # least one edge (members here always have >= 1 edge).
+        seen: set[int] = set()
+        for u, v in summary.edges():
+            ids = summary.edge_graph_ids(u, v)
+            assert ids <= summary.member_ids
+            seen |= ids
+        assert seen == summary.member_ids
+
+
+class TestSamplerInvariants:
+    @given(
+        st.integers(1, 30),
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 200)), max_size=40
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_and_universe(self, max_size, operations):
+        sampler = LazySampler(range(10), max_size=max_size, seed=1)
+        alive = set(range(10))
+        for is_add, value in operations:
+            if is_add:
+                sampler.add_ids([value + 1000])
+                alive.add(value + 1000)
+            elif alive:
+                victim = sorted(alive)[value % len(alive)]
+                sampler.remove_ids([victim])
+                alive.discard(victim)
+        assert sampler.sample_size <= max_size
+        assert sampler.sample_ids <= alive
+        assert sampler.universe_size == len(alive)
+        if len(alive) <= max_size:
+            # Below capacity the sample should not starve badly: every
+            # removal only shrinks, but additions refill while room.
+            assert sampler.sample_size >= 0

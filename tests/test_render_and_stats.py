@@ -1,0 +1,128 @@
+"""Unit tests for repro.gui.render and repro.graph.statistics."""
+
+import pytest
+
+from repro.graph import (
+    DatabaseStatistics,
+    GraphDatabase,
+    LabeledGraph,
+    database_statistics,
+    describe,
+    label_entropy,
+)
+from repro.gui import (
+    ascii_adjacency,
+    linear_notation,
+    render_panel,
+    render_pattern,
+)
+from repro.patterns import PatternSet
+
+from .conftest import make_graph
+
+
+class TestLinearNotation:
+    def test_single_vertex(self):
+        assert linear_notation(make_graph("C", [])) == "C"
+
+    def test_empty(self):
+        assert linear_notation(LabeledGraph()) == "(empty)"
+
+    def test_chain(self):
+        g = make_graph("CON", [(0, 1), (1, 2)])
+        text = linear_notation(g)
+        assert text.count("-") == 2
+        for label in "CON":
+            assert label in text
+
+    def test_ring_closure_digits(self):
+        ring = make_graph("CCCCCC", [(i, (i + 1) % 6) for i in range(6)])
+        text = linear_notation(ring)
+        assert text.count("1") == 2  # ring opened and closed
+        assert text.count("C") == 6
+
+    def test_branching_parentheses(self):
+        star = make_graph("COSN", [(0, 1), (0, 2), (0, 3)])
+        text = linear_notation(star)
+        assert "(" in text and ")" in text
+
+    def test_every_vertex_rendered(self):
+        g = make_graph("CCONSH", [(0, 1), (1, 2), (1, 3), (3, 4), (0, 5)])
+        text = linear_notation(g)
+        for label, count in g.vertex_label_multiset().items():
+            assert text.count(label) >= count
+
+
+class TestAsciiAdjacency:
+    def test_lists_all_vertices(self, triangle):
+        text = ascii_adjacency(triangle)
+        assert text.count("C") >= 3
+        assert "|V|=3 |E|=3" in text
+
+    def test_empty(self):
+        assert "empty" in ascii_adjacency(LabeledGraph())
+
+    def test_isolated_vertex_marker(self):
+        g = make_graph("C", [])
+        assert "·" in ascii_adjacency(g)
+
+
+class TestRenderDispatch:
+    def test_small_connected_goes_linear(self, triangle):
+        assert "—" not in render_pattern(triangle)
+
+    def test_disconnected_goes_adjacency(self):
+        g = LabeledGraph.from_edges(
+            {0: "C", 1: "C", 2: "O", 3: "O"}, [(0, 1), (2, 3)]
+        )
+        assert "—" in render_pattern(g)
+
+    def test_large_goes_adjacency(self):
+        chain = make_graph("C" * 20, [(i, i + 1) for i in range(19)])
+        assert "—" in render_pattern(chain)
+
+    def test_render_panel(self):
+        patterns = PatternSet()
+        patterns.add(make_graph("CCC", [(0, 1), (1, 2)]), "catapult")
+        patterns.add(make_graph("CON", [(0, 1), (0, 2)]), "midas")
+        text = render_panel(patterns)
+        assert "γ = 2" in text
+        assert "[catapult]" in text and "[midas]" in text
+
+    def test_render_empty_panel(self):
+        assert "empty" in render_panel(PatternSet())
+
+
+class TestStatistics:
+    def test_empty_database(self):
+        stats = database_statistics(GraphDatabase())
+        assert stats.num_graphs == 0
+        assert stats.dominant_label() is None
+        assert describe(GraphDatabase()) == "empty database"
+
+    def test_paper_db_statistics(self, paper_db):
+        stats = database_statistics(paper_db)
+        assert stats.num_graphs == 9
+        assert stats.dominant_label() == "O"  # 9 C but 10 O in Fig-3-like DB
+        assert stats.tree_fraction == 1.0  # all stars/chains
+        assert stats.avg_density > 0
+        assert stats.max_vertices == 4
+
+    def test_entropy(self):
+        from collections import Counter
+
+        assert label_entropy(Counter()) == 0.0
+        assert label_entropy(Counter({"C": 8})) == 0.0
+        assert label_entropy(Counter({"C": 4, "O": 4})) == pytest.approx(1.0)
+
+    def test_describe_mentions_dominant(self, paper_db):
+        text = describe(paper_db)
+        assert "'O'" in text
+        assert "9 graphs" in text
+
+    def test_dataclass_shape(self, paper_db):
+        stats = database_statistics(paper_db)
+        assert isinstance(stats, DatabaseStatistics)
+        assert stats.avg_degree == pytest.approx(
+            2 * stats.avg_edges / stats.avg_vertices
+        )

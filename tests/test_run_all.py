@@ -1,0 +1,57 @@
+"""Unit tests for the run-all report writer (with stubbed experiments)."""
+
+from unittest import mock
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.run_all import main, run_all
+
+
+def _stub_figures():
+    def runner_single(scale):
+        table = ExperimentTable("stub single", ["x"])
+        table.add_row(1)
+        return table
+
+    def runner_pair(scale):
+        a = ExperimentTable("stub pair A", ["y"])
+        a.add_row(2)
+        b = ExperimentTable("stub pair B", ["z"])
+        b.add_row(3)
+        return a, b
+
+    return {
+        "stub1": ("Stub single-table experiment", runner_single),
+        "stub2": ("Stub two-table experiment", runner_pair),
+    }
+
+
+class TestRunAll:
+    def test_report_structure(self):
+        with mock.patch(
+            "repro.bench.run_all.FIGURES", _stub_figures()
+        ):
+            report, total = run_all("small")
+        assert "# Experiment report" in report
+        assert "## stub1" in report
+        assert "## stub2" in report
+        assert "stub pair A" in report and "stub pair B" in report
+        assert report.count("```text") == 3
+        assert total >= 0
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        with mock.patch(
+            "repro.bench.run_all.FIGURES", _stub_figures()
+        ):
+            code = main(["--scale", "small", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "# Experiment report" in out.read_text()
+
+    def test_main_stdout(self, capsys):
+        with mock.patch(
+            "repro.bench.run_all.FIGURES", _stub_figures()
+        ):
+            code = main(["--scale", "small"])
+        assert code == 0
+        assert "# Experiment report" in capsys.readouterr().out

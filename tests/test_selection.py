@@ -1,0 +1,100 @@
+"""Focused tests for the greedy selector internals."""
+
+import pytest
+
+from repro.catapult import (
+    CandidateGenerator,
+    GreedySelector,
+    decay_weights,
+)
+from repro.catapult.candidate import CandidatePattern
+from repro.csg import build_csg
+from repro.patterns import CoverageOracle, PatternBudget, PatternSet
+
+from .conftest import make_graph
+
+
+@pytest.fixture
+def selector(paper_db):
+    graphs = dict(paper_db.items())
+    summaries = {
+        0: build_csg(0, [0, 1, 3, 5], graphs),
+        1: build_csg(1, [2, 4, 6, 7, 8], graphs),
+    }
+    budget = PatternBudget(3, 4, 4)
+    generator = CandidateGenerator(graphs, budget, seed=0)
+    oracle = CoverageOracle(graphs)
+    return GreedySelector(
+        generator,
+        summaries,
+        {0: 4 / 9, 1: 5 / 9},
+        oracle,
+        budget,
+    )
+
+
+def candidate_of(graph, cluster_id=0):
+    return CandidatePattern(
+        graph=graph,
+        cluster_id=cluster_id,
+        traversal_score=10,
+        csg_edges=frozenset(),
+    )
+
+
+class TestAdmissibility:
+    def test_size_out_of_budget(self, selector):
+        too_small = candidate_of(make_graph("CCC", [(0, 1), (1, 2)]))
+        too_small.graph.remove_vertex(2)  # 1 edge now
+        assert not selector._admissible(too_small, PatternSet(), {})
+
+    def test_per_size_cap(self, selector):
+        candidate = candidate_of(
+            make_graph("CCCO", [(0, 1), (1, 2), (2, 3)])
+        )
+        cap = selector.budget.per_size_cap
+        assert selector._admissible(candidate, PatternSet(), {})
+        assert not selector._admissible(
+            candidate, PatternSet(), {3: cap}
+        )
+
+    def test_isomorphic_rejected(self, selector):
+        selected = PatternSet()
+        graph = make_graph("CCCO", [(0, 1), (1, 2), (2, 3)])
+        selected.add(graph)
+        twin = candidate_of(make_graph("OCCC", [(1, 0), (2, 1), (3, 2)]))
+        assert not selector._admissible(twin, selected, {})
+
+
+class TestSelectionLoop:
+    def test_select_returns_within_gamma(self, selector):
+        patterns = selector.select()
+        assert 0 < len(patterns) <= selector.budget.gamma
+        for pattern in patterns:
+            assert selector.budget.admits_size(pattern.num_edges)
+
+    def test_select_deterministic(self, paper_db):
+        def build():
+            graphs = dict(paper_db.items())
+            summaries = {0: build_csg(0, list(graphs), graphs)}
+            budget = PatternBudget(3, 4, 3)
+            generator = CandidateGenerator(graphs, budget, seed=5)
+            return GreedySelector(
+                generator, summaries, {0: 1.0}, CoverageOracle(graphs), budget
+            ).select()
+
+        first = build()
+        second = build()
+        assert [p.key for p in first] == [p.key for p in second]
+
+    def test_mwu_decay_discourages_reuse(self, selector):
+        weights = dict(selector._weights[0])
+        some_edges = set(list(weights)[:2])
+        before = {e: weights[e] for e in some_edges}
+        decay_weights(weights, some_edges, 0.5)
+        for edge in some_edges:
+            assert weights[edge] == pytest.approx(before[edge] * 0.5)
+
+    def test_max_rounds_bounds_work(self, selector):
+        patterns = selector.select(max_rounds=1)
+        assert len(patterns) <= 1

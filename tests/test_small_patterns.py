@@ -1,0 +1,74 @@
+"""Unit tests for repro.midas.small_patterns (η ≤ 2 tray maintenance)."""
+
+import pytest
+
+from repro.midas import SmallPatternTray
+
+from .conftest import make_graph
+
+
+@pytest.fixture
+def tray(paper_db):
+    return SmallPatternTray(dict(paper_db.items()), num_edges=3, num_paths=2)
+
+
+class TestConstruction:
+    def test_invalid_sizes(self, paper_db):
+        with pytest.raises(ValueError):
+            SmallPatternTray(dict(paper_db.items()), num_edges=-1)
+
+    def test_edge_frequencies_exact(self, tray):
+        assert tray.edge_frequency(("C", "O")) == 8
+        assert tray.edge_frequency(("C", "N")) == 2
+        assert tray.edge_frequency(("C", "S")) == 3
+        assert tray.edge_frequency(("X", "Y")) == 0
+
+    def test_path_frequencies_exact(self, tray):
+        # O-C-O appears in G5, G7, G8.
+        assert tray.path_frequency(("C", ("O", "O"))) == 3
+        # O-C-S appears in G0, G3, G5.
+        assert tray.path_frequency(("C", ("O", "S"))) == 3
+
+    def test_top_edges_ranked(self, tray):
+        top = tray.top_edges()
+        assert top[0][0] == ("C", "O")
+        assert len(top) == 3
+
+    def test_refresh_materialises_patterns(self, tray):
+        patterns = tray.refresh()
+        assert len(patterns) == 5  # 3 edges + 2 paths
+        edge_patterns = [p for p in patterns if p.num_edges == 1]
+        path_patterns = [p for p in patterns if p.num_edges == 2]
+        assert len(edge_patterns) == 3
+        assert len(path_patterns) == 2
+        for pattern in path_patterns:
+            assert pattern.num_vertices == 3
+
+
+class TestMaintenance:
+    def test_add_then_remove_roundtrip(self, tray):
+        before = dict(tray.top_edges())
+        extra = [make_graph("BO", [(0, 1)]), make_graph("BO", [(0, 1)])]
+        tray.add_graphs(extra)
+        assert tray.edge_frequency(("B", "O")) == 2
+        tray.remove_graphs(extra)
+        assert tray.edge_frequency(("B", "O")) == 0
+        assert dict(tray.top_edges()) == before
+        assert tray.db_size == 9
+
+    def test_matches_scratch(self, paper_db, tray):
+        extra = {
+            100: make_graph("BOO", [(0, 1), (0, 2)]),
+            101: make_graph("BO", [(0, 1)]),
+        }
+        tray.add_graphs(extra.values())
+        merged = dict(paper_db.items())
+        merged.update(extra)
+        scratch = SmallPatternTray(merged, num_edges=3, num_paths=2)
+        assert tray.top_edges() == scratch.top_edges()
+        assert tray.top_paths() == scratch.top_paths()
+
+    def test_new_family_rises_into_tray(self, tray):
+        family = [make_graph("BO", [(0, 1)]) for _ in range(10)]
+        tray.add_graphs(family)
+        assert ("B", "O") in dict(tray.top_edges())

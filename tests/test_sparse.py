@@ -1,0 +1,92 @@
+"""Unit tests for repro.index.sparse."""
+
+import pytest
+
+from repro.index import SparseCountMatrix
+
+
+@pytest.fixture
+def matrix():
+    m = SparseCountMatrix()
+    m.set("f1", 0, 2)
+    m.set("f1", 1, 1)
+    m.set("f2", 1, 3)
+    return m
+
+
+class TestElementAccess:
+    def test_get_set(self, matrix):
+        assert matrix.get("f1", 0) == 2
+        assert matrix.get("f1", 99) == 0
+        assert matrix.get("nope", 0) == 0
+
+    def test_set_zero_removes(self, matrix):
+        matrix.set("f1", 0, 0)
+        assert matrix.get("f1", 0) == 0
+        assert 0 not in matrix.row("f1")
+
+    def test_negative_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            matrix.set("f1", 0, -1)
+
+    def test_increment(self, matrix):
+        assert matrix.increment("f1", 0) == 3
+        assert matrix.increment("f3", 7, 5) == 5
+
+    def test_increment_to_zero_removes(self, matrix):
+        matrix.increment("f1", 1, -1)
+        assert not matrix.row("f1").get(1)
+
+    def test_discard_idempotent(self, matrix):
+        matrix.discard("f1", 0)
+        matrix.discard("f1", 0)
+        assert matrix.get("f1", 0) == 0
+
+
+class TestRowsAndColumns:
+    def test_row_and_column_views(self, matrix):
+        assert matrix.row("f1") == {0: 2, 1: 1}
+        assert matrix.column(1) == {"f1": 1, "f2": 3}
+
+    def test_views_are_copies(self, matrix):
+        row = matrix.row("f1")
+        row[0] = 999
+        assert matrix.get("f1", 0) == 2
+
+    def test_keys(self, matrix):
+        assert matrix.row_keys() == ["f1", "f2"]
+        assert matrix.column_keys() == [0, 1]
+
+    def test_remove_row(self, matrix):
+        matrix.remove_row("f1")
+        assert not matrix.has_row("f1")
+        assert matrix.column(0) == {}
+        assert matrix.column(1) == {"f2": 3}
+
+    def test_remove_column(self, matrix):
+        matrix.remove_column(1)
+        assert not matrix.has_column(1)
+        assert matrix.row("f1") == {0: 2}
+        assert not matrix.has_row("f2")  # became empty
+
+    def test_remove_missing_is_noop(self, matrix):
+        matrix.remove_row("ghost")
+        matrix.remove_column(42)
+        assert matrix.nnz() == 3
+
+
+class TestAggregates:
+    def test_nnz(self, matrix):
+        assert matrix.nnz() == 3
+
+    def test_triplets_match_entries(self, matrix):
+        triplets = set(matrix.triplets())
+        assert triplets == {("f1", 0, 2), ("f1", 1, 1), ("f2", 1, 3)}
+
+    def test_memory_positive(self, matrix):
+        assert matrix.memory_bytes() > 0
+
+    def test_empty_matrix(self):
+        m = SparseCountMatrix()
+        assert m.nnz() == 0
+        assert list(m.triplets()) == []

@@ -1,0 +1,123 @@
+"""Unit tests for repro.trees.canonical."""
+
+import random
+
+import pytest
+
+from repro.graph import GraphError, LabeledGraph
+from repro.trees import (
+    canonical_root,
+    canonical_string,
+    canonical_tokens,
+    tree_centers,
+    tree_certificate,
+    tree_from_tokens,
+)
+
+from .conftest import make_graph
+
+
+def random_tree(n: int, labels: str, rng: random.Random) -> LabeledGraph:
+    g = LabeledGraph()
+    g.add_vertex(0, rng.choice(labels))
+    for v in range(1, n):
+        g.add_vertex(v, rng.choice(labels))
+        g.add_edge(v, rng.randrange(v))
+    return g
+
+
+def shuffled_tree(tree: LabeledGraph, seed: int) -> LabeledGraph:
+    rng = random.Random(seed)
+    vertices = sorted(tree.vertices(), key=repr)
+    permuted = list(vertices)
+    rng.shuffle(permuted)
+    mapping = dict(zip(vertices, permuted))
+    clone = LabeledGraph()
+    for v in vertices:
+        clone.add_vertex(mapping[v], tree.label(v))
+    for u, v in tree.edges():
+        clone.add_edge(mapping[u], mapping[v])
+    return clone
+
+
+class TestCenters:
+    def test_single_vertex(self):
+        g = make_graph("C", [])
+        assert tree_centers(g) == [0]
+
+    def test_path_odd(self):
+        g = make_graph("CCC", [(0, 1), (1, 2)])
+        assert tree_centers(g) == [1]
+
+    def test_path_even(self):
+        g = make_graph("CCCC", [(0, 1), (1, 2), (2, 3)])
+        assert sorted(tree_centers(g)) == [1, 2]
+
+    def test_star_center(self):
+        g = make_graph("COOO", [(0, 1), (0, 2), (0, 3)])
+        assert tree_centers(g) == [0]
+
+    def test_non_tree_raises(self, triangle):
+        with pytest.raises(GraphError):
+            tree_centers(triangle)
+
+
+class TestCertificate:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_isomorphism_invariance(self, seed):
+        rng = random.Random(seed)
+        tree = random_tree(rng.randint(2, 9), "CNO", rng)
+        assert tree_certificate(tree) == tree_certificate(
+            shuffled_tree(tree, seed)
+        )
+
+    def test_label_sensitivity(self):
+        t1 = make_graph("CO", [(0, 1)])
+        t2 = make_graph("CN", [(0, 1)])
+        assert tree_certificate(t1) != tree_certificate(t2)
+
+    def test_shape_sensitivity(self):
+        path = make_graph("CCCC", [(0, 1), (1, 2), (2, 3)])
+        star = make_graph("CCCC", [(0, 1), (0, 2), (0, 3)])
+        assert tree_certificate(path) != tree_certificate(star)
+
+    def test_canonical_root_is_center(self):
+        g = make_graph("OCS", [(0, 1), (1, 2)])
+        assert canonical_root(g) == 1
+
+
+class TestTokens:
+    def test_paper_example(self):
+        # O - C - S rooted at C serialises to "C $ O S" (Section 5.1).
+        g = make_graph("COS", [(0, 1), (0, 2)])
+        assert canonical_string(g).startswith("C $ O S")
+
+    def test_sibling_separator(self):
+        g = make_graph("COSN", [(0, 1), (0, 2), (1, 3)])
+        tokens = canonical_tokens(g)
+        assert tokens.count("$") >= 2
+
+    def test_single_vertex(self):
+        g = make_graph("C", [])
+        assert canonical_tokens(g) == ["C"]
+
+    def test_empty(self):
+        assert canonical_tokens(LabeledGraph()) == []
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_round_trip(self, seed):
+        rng = random.Random(seed + 50)
+        tree = random_tree(rng.randint(1, 8), "CNOS", rng)
+        rebuilt = tree_from_tokens(canonical_tokens(tree))
+        assert tree_certificate(rebuilt) == tree_certificate(tree)
+
+    def test_tokens_isomorphism_invariant(self):
+        tree = make_graph("CCON", [(0, 1), (1, 2), (1, 3)])
+        for seed in range(5):
+            assert canonical_tokens(shuffled_tree(tree, seed)) == (
+                canonical_tokens(tree)
+            )
+
+    def test_bad_tokens_raise(self):
+        with pytest.raises(ValueError):
+            tree_from_tokens(["C", "O"])  # missing separator

@@ -1,0 +1,126 @@
+"""Cross-checks: TreeNat vs the level-wise miner; clustering quality;
+the beam GED bound."""
+
+import random
+
+import pytest
+
+from repro.clustering import (
+    ClusterSet,
+    mccs_contrast,
+    silhouette_score,
+)
+from repro.ged import ged, ged_beam_upper_bound, ged_exact
+from repro.graph import LabeledGraph
+from repro.trees import FCTSet, FeatureSpace, TreeMiner, TreeNatMiner
+
+from .conftest import make_graph
+
+
+class TestTreeNatCrossCheck:
+    def test_invalid_parameters(self, paper_db):
+        with pytest.raises(ValueError):
+            TreeNatMiner(dict(paper_db.items()), 0.0)
+        with pytest.raises(ValueError):
+            TreeNatMiner(dict(paper_db.items()), 0.5, max_edges=0)
+
+    def test_agrees_with_levelwise_on_paper_db(self, paper_db):
+        graphs = dict(paper_db.items())
+        recursive = TreeNatMiner(graphs, 3 / 9, max_edges=3).mine_closed()
+        levelwise = TreeMiner(graphs, 3 / 9, max_edges=3).mine_closed()
+        rec = {(repr(t.key), t.support_count) for t in recursive}
+        lev = {(repr(t.key), t.support_count) for t in levelwise}
+        assert rec == lev
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_agrees_on_random_molecules(self, seed):
+        from repro.datasets import MoleculeGenerator
+
+        graphs = {
+            i: g
+            for i, g in enumerate(
+                MoleculeGenerator(seed=seed).generate_many(8)
+            )
+        }
+        recursive = TreeNatMiner(graphs, 0.5, max_edges=3).mine_closed()
+        levelwise = TreeMiner(graphs, 0.5, max_edges=3).mine_closed()
+        rec = {(repr(t.key), t.support_count) for t in recursive}
+        lev = {(repr(t.key), t.support_count) for t in levelwise}
+        assert rec == lev
+
+    def test_empty_database(self):
+        assert TreeNatMiner({}, 0.5).mine_closed() == []
+
+
+class TestBeamGed:
+    def test_registered_in_dispatcher(self, triangle, path3):
+        assert ged(triangle, path3, method="beam") >= ged_exact(
+            triangle, path3
+        )
+
+    def test_invalid_width(self, triangle, path3):
+        with pytest.raises(ValueError):
+            ged_beam_upper_bound(triangle, path3, beam_width=0)
+
+    def test_identity(self, triangle):
+        assert ged_beam_upper_bound(triangle, triangle.copy()) == 0
+
+    def test_empty_cases(self, triangle):
+        assert ged_beam_upper_bound(LabeledGraph(), triangle) == 6
+        assert ged_beam_upper_bound(triangle, LabeledGraph()) == 6
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_upper_bound_property(self, seed):
+        rng = random.Random(seed)
+
+        def rg(n, p):
+            g = LabeledGraph()
+            for v in range(n):
+                g.add_vertex(v, rng.choice("CNO"))
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if rng.random() < p:
+                        g.add_edge(i, j)
+            return g
+
+        g1, g2 = rg(rng.randint(1, 5), 0.5), rg(rng.randint(1, 5), 0.5)
+        assert ged_beam_upper_bound(g1, g2) >= ged_exact(g1, g2)
+
+    def test_wider_beam_not_worse(self):
+        g1 = make_graph("CCONS", [(0, 1), (1, 2), (2, 3), (3, 4)])
+        g2 = make_graph("CCOSN", [(0, 1), (1, 2), (1, 3), (3, 4)])
+        narrow = ged_beam_upper_bound(g1, g2, beam_width=1)
+        wide = ged_beam_upper_bound(g1, g2, beam_width=16)
+        assert wide <= narrow
+
+
+class TestClusteringQuality:
+    @pytest.fixture
+    def clusters(self, paper_db):
+        graphs = dict(paper_db.items())
+        fct = FCTSet(graphs, 3 / 9, max_edges=3)
+        space = FeatureSpace(fct.fcts())
+        return (
+            ClusterSet.build(graphs, space, 3, seed=0, max_cluster_size=5),
+            graphs,
+        )
+
+    def test_silhouette_range(self, clusters):
+        cluster_set, _ = clusters
+        score = silhouette_score(cluster_set)
+        assert -1.0 <= score <= 1.0
+
+    def test_silhouette_single_cluster_zero(self, paper_db):
+        graphs = dict(paper_db.items())
+        fct = FCTSet(graphs, 3 / 9, max_edges=3)
+        space = FeatureSpace(fct.fcts())
+        single = ClusterSet.build(
+            graphs, space, 1, seed=0, max_cluster_size=100
+        )
+        assert silhouette_score(single) == 0.0
+
+    def test_mccs_contrast(self, clusters):
+        cluster_set, graphs = clusters
+        intra, inter = mccs_contrast(cluster_set, graphs)
+        assert 0.0 <= inter <= 1.0
+        assert 0.0 <= intra <= 1.0

@@ -1,0 +1,86 @@
+"""Unit tests for repro.index.trie."""
+
+from repro.index import TokenTrie
+
+
+class TestInsertLookup:
+    def test_insert_and_lookup(self):
+        trie = TokenTrie()
+        trie.insert(["C", "$", "O", "S"], "k1")
+        assert trie.lookup(["C", "$", "O", "S"]) == "k1"
+        assert ["C", "$", "O", "S"] in trie
+
+    def test_missing_lookup(self):
+        trie = TokenTrie()
+        trie.insert(["C", "$", "O"], "k1")
+        assert trie.lookup(["C"]) is None      # prefix, not terminal
+        assert trie.lookup(["C", "$", "N"]) is None
+
+    def test_prefix_sharing(self):
+        trie = TokenTrie()
+        trie.insert(["C", "$", "O"], "a")
+        trie.insert(["C", "$", "O", "S"], "b")
+        assert trie.lookup(["C", "$", "O"]) == "a"
+        assert trie.lookup(["C", "$", "O", "S"]) == "b"
+        assert len(trie) == 2
+
+    def test_reinsert_updates_payload(self):
+        trie = TokenTrie()
+        trie.insert(["C"], "old")
+        trie.insert(["C"], "new")
+        assert trie.lookup(["C"]) == "new"
+        assert len(trie) == 1
+
+    def test_from_items(self):
+        trie = TokenTrie.from_items([(["A"], 1), (["B"], 2)])
+        assert len(trie) == 2
+
+
+class TestDelete:
+    def test_delete_leaf(self):
+        trie = TokenTrie()
+        trie.insert(["C", "$", "O"], "a")
+        assert trie.delete(["C", "$", "O"])
+        assert len(trie) == 0
+        assert trie.node_count() == 0  # fully pruned
+
+    def test_delete_keeps_shared_prefix(self):
+        trie = TokenTrie()
+        trie.insert(["C", "$", "O"], "a")
+        trie.insert(["C", "$", "N"], "b")
+        assert trie.delete(["C", "$", "O"])
+        assert trie.lookup(["C", "$", "N"]) == "b"
+
+    def test_delete_inner_terminal_keeps_children(self):
+        trie = TokenTrie()
+        trie.insert(["C"], "a")
+        trie.insert(["C", "O"], "b")
+        assert trie.delete(["C"])
+        assert trie.lookup(["C", "O"]) == "b"
+
+    def test_delete_missing_returns_false(self):
+        trie = TokenTrie()
+        trie.insert(["C"], "a")
+        assert not trie.delete(["X"])
+        assert not trie.delete(["C", "O"])
+
+
+class TestStatistics:
+    def test_node_count_and_depth(self):
+        trie = TokenTrie()
+        trie.insert(["C", "$", "O"], "a")
+        trie.insert(["C", "$", "N"], "b")
+        assert trie.node_count() == 4  # C, $, O, N
+        assert trie.max_depth() == 3
+
+    def test_payloads(self):
+        trie = TokenTrie()
+        trie.insert(["A"], "x")
+        trie.insert(["B"], "y")
+        assert trie.payloads() == ["x", "y"]
+
+    def test_empty(self):
+        trie = TokenTrie()
+        assert len(trie) == 0
+        assert trie.max_depth() == 0
+        assert trie.payloads() == []

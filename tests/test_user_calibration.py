@@ -1,0 +1,116 @@
+"""Calibration checks for the simulated user (DESIGN.md substitution).
+
+The paper's Example 1.1 anchors the latency model: a 41-step
+edge-at-a-time construction took ≈145 s (≈3.5 s/step) and a 20-step
+pattern-at-a-time construction ≈102 s (≈5.1 s/step including pattern
+browsing).  The simulated user should land in those neighbourhoods.
+"""
+
+import pytest
+
+from repro.graph import LabeledGraph
+from repro.workload import SimulatedUser, UserProfile, plan_formulation
+
+from .conftest import make_graph
+
+
+def boronic_acid_like_query() -> LabeledGraph:
+    """A ~17-vertex, ~24-step molecule in the spirit of Example 1.1."""
+    graph = LabeledGraph()
+    labels = "CCCCCCBOOHHHHCOOH"
+    for i, label in enumerate(labels):
+        graph.add_vertex(i, label)
+    edges = [
+        (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0),   # ring
+        (5, 6), (6, 7), (6, 8), (7, 9), (8, 10),          # B(OH)(OH)
+        (0, 11), (1, 12),                                  # hydrogens
+        (2, 13), (13, 14), (13, 15), (15, 16),             # side chain
+    ]
+    for u, v in edges:
+        graph.add_edge(u, v)
+    graph.name = "boronic-like"
+    return graph
+
+
+class TestCalibration:
+    def test_edge_mode_seconds_per_step(self):
+        query = boronic_acid_like_query()
+        user = SimulatedUser(seed=0)
+        outcome = user.formulate_edge_at_a_time(query)
+        per_step = outcome.qft_seconds / outcome.steps
+        # Paper anchor: ≈3.5 s/step for edge-at-a-time.
+        assert 2.0 <= per_step <= 5.0
+
+    def test_pattern_mode_beats_edge_mode(self):
+        query = boronic_acid_like_query()
+        panel = [
+            make_graph("CCCCCC", [(i, (i + 1) % 6) for i in range(6)]),
+            make_graph("BOOHH", [(0, 1), (0, 2), (1, 3), (2, 4)]),
+        ]
+        user = SimulatedUser(seed=1, max_edits=2)
+        pattern_mode = user.formulate(query, panel)
+        edge_mode = user.formulate_edge_at_a_time(query)
+        assert pattern_mode.steps < edge_mode.steps
+        assert pattern_mode.qft_seconds < edge_mode.qft_seconds
+
+    def test_step_ratio_matches_example(self):
+        """Example 1.1: 20 pattern steps vs 41 edge steps ≈ 0.49 ratio;
+        on the analogue query the planner should cut steps by ≥ 30%."""
+        query = boronic_acid_like_query()
+        panel = [
+            make_graph("CCCCCC", [(i, (i + 1) % 6) for i in range(6)]),
+            make_graph("BOOHH", [(0, 1), (0, 2), (1, 3), (2, 4)]),
+        ]
+        plan = plan_formulation(query, panel, max_edits=2)
+        edge_steps = query.num_vertices + query.num_edges
+        assert plan.steps <= 0.7 * edge_steps
+
+    def test_vmt_share_is_minor(self):
+        """VMT is a browsing overhead, not the bulk of QFT (Fig 9 shows
+        VMT ≈ 6–9 s against QFT in the tens of seconds)."""
+        query = boronic_acid_like_query()
+        panel = [
+            make_graph("CCCCCC", [(i, (i + 1) % 6) for i in range(6)]),
+            make_graph("BOOHH", [(0, 1), (0, 2), (1, 3), (2, 4)]),
+        ]
+        user = SimulatedUser(seed=2, max_edits=2)
+        outcome = user.formulate(query, panel)
+        assert outcome.vmt_seconds < outcome.qft_seconds * 0.5
+
+    def test_profile_is_tunable(self):
+        fast = UserProfile(
+            vertex_add=0.1,
+            edge_add=0.1,
+            deletion=0.1,
+            pattern_drag=0.1,
+            pattern_scan=0.01,
+            noise_sigma=0.0,
+        )
+        query = boronic_acid_like_query()
+        quick = SimulatedUser(profile=fast, seed=0).formulate_edge_at_a_time(
+            query
+        )
+        normal = SimulatedUser(seed=0).formulate_edge_at_a_time(query)
+        assert quick.qft_seconds < normal.qft_seconds
+
+
+class TestExampleNarrative:
+    def test_refreshed_panel_reduces_steps(self):
+        """Example 1.2: the refreshed panel (with the ester pattern)
+        needs fewer steps than the stale one on an ester query."""
+        ester_query = LabeledGraph()
+        labels = "CCCBOOCC"
+        for i, label in enumerate(labels):
+            ester_query.add_vertex(i, label)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (3, 5), (4, 6), (5, 7)]:
+            ester_query.add_edge(u, v)
+        ester_query.name = "ester"
+        stale_panel = [
+            make_graph("CCC", [(0, 1), (1, 2)]),
+        ]
+        fresh_panel = stale_panel + [
+            make_graph("BOOCC", [(0, 1), (0, 2), (1, 3), (2, 4)]),
+        ]
+        stale_plan = plan_formulation(ester_query, stale_panel, max_edits=1)
+        fresh_plan = plan_formulation(ester_query, fresh_panel, max_edits=1)
+        assert fresh_plan.steps < stale_plan.steps

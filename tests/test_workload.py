@@ -1,0 +1,233 @@
+"""Unit tests for repro.workload (queries, formulation, user model)."""
+
+import random
+
+import pytest
+
+from repro.graph import BatchUpdate
+from repro.isomorphism import contains
+from repro.workload import (
+    SimulatedUser,
+    UserProfile,
+    balanced_query_set,
+    compare_step_reduction,
+    edge_at_a_time_steps,
+    edge_mode_result,
+    evaluate_patterns,
+    generate_queries,
+    plan_formulation,
+    random_connected_subgraph,
+    reduction_ratio,
+    run_user_study,
+    study_query_sets,
+)
+
+from .conftest import make_graph
+
+
+class TestQueryGeneration:
+    def test_random_subgraph_is_connected(self, molecule_db):
+        rng = random.Random(0)
+        for graph in list(molecule_db.graphs())[:10]:
+            query = random_connected_subgraph(graph, 5, rng)
+            if query is not None:
+                assert query.is_connected()
+                assert query.num_edges == 5
+
+    def test_subgraph_of_source(self, molecule_db):
+        rng = random.Random(1)
+        graph = next(molecule_db.graphs())
+        query = random_connected_subgraph(graph, 4, rng)
+        assert query is not None
+        assert contains(graph, query)
+
+    def test_too_large_returns_none(self):
+        g = make_graph("CO", [(0, 1)])
+        assert random_connected_subgraph(g, 5, random.Random(0)) is None
+
+    def test_generate_queries_count_and_sizes(self, molecule_db):
+        queries = generate_queries(
+            dict(molecule_db.items()), 20, size_range=(3, 8), seed=2
+        )
+        assert len(queries) == 20
+        for query in queries:
+            assert 3 <= query.num_edges <= 8
+            assert query.name.startswith("Q")
+
+    def test_generate_queries_empty_graphs(self):
+        assert generate_queries({}, 10) == []
+
+    def test_balanced_query_set_draws_from_delta(self, molecule_db):
+        from repro.datasets import family_injection
+
+        update = family_injection(20, seed=3)
+        record = molecule_db.apply(update)
+        queries = balanced_query_set(
+            molecule_db, record.inserted_ids, count=20, size_range=(3, 6), seed=1
+        )
+        assert len(queries) == 20
+        # At least one query should contain the injected boron label.
+        assert any("B" in q.vertex_label_set() for q in queries)
+
+    def test_study_query_sets_structure(self, molecule_db):
+        from repro.datasets import family_injection
+
+        record = molecule_db.apply(family_injection(15, seed=4))
+        sets = study_query_sets(
+            molecule_db,
+            record.inserted_ids,
+            queries_per_set=5,
+            size_range=(3, 8),
+            seed=0,
+        )
+        assert set(sets) == {"Qs1", "Qs2", "Qs3"}
+        assert all(len(v) == 5 for v in sets.values())
+        # Qs3 comes entirely from the injected family graphs.
+        new_graphs = [molecule_db[g] for g in record.inserted_ids]
+        for query in sets["Qs3"]:
+            assert any(contains(g, query) for g in new_graphs)
+
+    def test_study_requires_delta(self, molecule_db):
+        with pytest.raises(ValueError):
+            study_query_sets(molecule_db, [], 5)
+
+
+class TestFormulation:
+    def test_edge_at_a_time(self, triangle):
+        assert edge_at_a_time_steps(triangle) == 6
+
+    def test_no_patterns_equals_edge_mode(self, triangle):
+        plan = plan_formulation(triangle, [])
+        assert plan.steps == edge_at_a_time_steps(triangle)
+        assert not plan.used_patterns
+
+    def test_full_pattern_match_single_step(self, triangle):
+        plan = plan_formulation(triangle, [triangle.copy()])
+        assert plan.steps == 1
+        assert plan.num_pattern_uses == 1
+        assert plan.vertices_added == 0 and plan.edges_added == 0
+
+    def test_partial_pattern_plus_edges(self):
+        query = make_graph("CCCO", [(0, 1), (1, 2), (2, 3)])
+        pattern = make_graph("CCC", [(0, 1), (1, 2)])
+        plan = plan_formulation(query, [pattern])
+        # 1 drag + 1 vertex + 1 edge.
+        assert plan.steps == 3
+
+    def test_pattern_never_hurts(self, molecule_db):
+        queries = generate_queries(
+            dict(molecule_db.items()), 10, size_range=(4, 10), seed=5
+        )
+        pattern = make_graph("CCC", [(0, 1), (1, 2)])
+        for query in queries:
+            with_pattern = plan_formulation(query, [pattern]).steps
+            without = edge_at_a_time_steps(query)
+            assert with_pattern <= without
+
+    def test_disjoint_embeddings(self):
+        # Two disjoint C-C-C chains: the pattern is placed twice.
+        query = make_graph(
+            "CCCCCC", [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+        )
+        pattern = make_graph("CCC", [(0, 1), (1, 2)])
+        plan = plan_formulation(query, [pattern])
+        assert plan.num_pattern_uses == 2
+        # 2 drags + 1 bridging edge.
+        assert plan.steps == 3
+
+    def test_edits_enable_near_matches(self):
+        query = make_graph("CCC", [(0, 1), (1, 2)])
+        pattern = make_graph("CCCO", [(0, 1), (1, 2), (2, 3)])
+        rigid = plan_formulation(query, [pattern], max_edits=0)
+        flexible = plan_formulation(query, [pattern], max_edits=1)
+        assert not rigid.used_patterns
+        assert flexible.used_patterns
+        assert flexible.num_deletions == 1
+        assert flexible.steps == 2  # drag + delete
+
+    def test_reduction_ratio(self):
+        assert reduction_ratio(10, 5) == pytest.approx(0.5)
+        assert reduction_ratio(10, 10) == 0.0
+        assert reduction_ratio(0, 5) == 0.0
+        assert reduction_ratio(5, 10) == pytest.approx(-1.0)
+
+
+class TestUserModel:
+    def test_latencies_deterministic_per_seed(self, triangle):
+        triangle.name = "Qx"
+        user = SimulatedUser(seed=1)
+        a = user.formulate(triangle, [triangle.copy()])
+        b = SimulatedUser(seed=1).formulate(triangle, [triangle.copy()])
+        assert a.qft_seconds == pytest.approx(b.qft_seconds)
+        assert a.vmt_seconds == pytest.approx(b.vmt_seconds)
+
+    def test_vmt_zero_without_patterns(self, triangle):
+        triangle.name = "Qy"
+        outcome = SimulatedUser(seed=0).formulate(triangle, [])
+        assert outcome.vmt_seconds == 0.0
+        assert outcome.qft_seconds > 0
+
+    def test_edge_mode_control(self, triangle):
+        triangle.name = "Qz"
+        outcome = SimulatedUser(seed=0).formulate_edge_at_a_time(triangle)
+        assert outcome.steps == 6
+        assert outcome.vmt_seconds == 0.0
+
+    def test_noise_free_profile(self, triangle):
+        triangle.name = "Qn"
+        profile = UserProfile(noise_sigma=0.0)
+        user = SimulatedUser(profile=profile, seed=0)
+        outcome = user.formulate_edge_at_a_time(triangle)
+        expected = 3 * profile.vertex_add + 3 * profile.edge_add
+        assert outcome.qft_seconds == pytest.approx(expected)
+
+    def test_pattern_mode_faster_for_big_query(self):
+        chain = make_graph(
+            "C" * 12, [(i, i + 1) for i in range(11)]
+        )
+        chain.name = "Qbig"
+        pattern = make_graph("CCCCCC", [(i, i + 1) for i in range(5)])
+        user = SimulatedUser(seed=2)
+        with_patterns = user.formulate(chain, [pattern])
+        without = user.formulate_edge_at_a_time(chain)
+        assert with_patterns.qft_seconds < without.qft_seconds
+
+
+class TestEvaluation:
+    def test_evaluate_patterns_mp(self, molecule_db):
+        queries = generate_queries(
+            dict(molecule_db.items()), 15, size_range=(3, 8), seed=6
+        )
+        useless = [make_graph("PPP", [(0, 1), (1, 2)])]
+        result = evaluate_patterns("useless", useless, queries)
+        assert result.missed_percentage == 100.0
+        useful = [make_graph("CCC", [(0, 1), (1, 2)])]
+        result2 = evaluate_patterns("useful", useful, queries)
+        assert result2.missed_percentage < 100.0
+
+    def test_evaluate_empty_queries(self):
+        result = evaluate_patterns("x", [], [])
+        assert result.missed_percentage == 0.0
+
+    def test_compare_step_reduction_sign(self, molecule_db):
+        queries = generate_queries(
+            dict(molecule_db.items()), 10, size_range=(3, 8), seed=7
+        )
+        good = [make_graph("CCC", [(0, 1), (1, 2)])]
+        baseline = edge_mode_result(queries)
+        subject = evaluate_patterns("good", good, queries)
+        assert compare_step_reduction(baseline, subject) >= 0.0
+
+    def test_run_user_study_shape(self, molecule_db):
+        queries = generate_queries(
+            dict(molecule_db.items()), 5, size_range=(3, 8), seed=8
+        )
+        study = run_user_study(
+            {"a": [make_graph("CCC", [(0, 1), (1, 2)])], "b": []},
+            queries,
+            trials_per_query=2,
+        )
+        assert set(study) == {"a", "b"}
+        for metrics in study.values():
+            assert set(metrics) == {"qft", "steps", "vmt"}
+        assert study["b"]["vmt"] == 0.0
