@@ -4,6 +4,12 @@ Each benchmark regenerates one figure of the paper and prints its table;
 ``REPRO_BENCH_SCALE`` (small | medium | large) selects the dataset scale.
 Benchmarks run with ``rounds=1`` because each figure is itself a full
 experiment, not a micro-benchmark.
+
+Observability (see docs/OBSERVABILITY.md): set ``REPRO_METRICS_OUT`` to
+a path to export a JSON metrics snapshot covering the whole benchmark
+session, ``REPRO_METRICS_REPORT=1`` to print the human-readable span
+tree at the end, and ``REPRO_TRACE_MEMORY=1`` to capture tracemalloc
+peak memory per span.
 """
 
 from __future__ import annotations
@@ -13,6 +19,11 @@ import os
 import pytest
 
 from repro.bench import ExperimentScale, scaled
+from repro.obs import (
+    render_metrics_report,
+    set_trace_memory,
+    write_metrics_json,
+)
 
 _SCALES = {
     "small": ExperimentScale(
@@ -48,6 +59,21 @@ def scale() -> ExperimentScale:
         raise ValueError(
             f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}"
         ) from None
+
+
+@pytest.fixture(scope="session", autouse=True)
+def metrics_export():
+    """Export collected metrics when the environment asks for them."""
+    if os.environ.get("REPRO_TRACE_MEMORY") == "1":
+        set_trace_memory(True)
+    yield
+    out = os.environ.get("REPRO_METRICS_OUT")
+    if out:
+        write_metrics_json(out)
+        print(f"\nmetrics written to {out}")
+    if os.environ.get("REPRO_METRICS_REPORT") == "1":
+        print()
+        print(render_metrics_report())
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -6,16 +6,29 @@ maintenance time after a batch, and the ratio |FCT| / |D| (which shrinks
 as |D| grows).  Reproduced across a scaled size series; the shape to
 check: every cost grows with |D|, the FCT-Index costs more than the
 IFE-Index, memory stays small, and |FCT|/|D| falls.
+
+Timings come from :mod:`repro.obs` spans, so a CLI run with
+``--metrics-out`` exports the same numbers the table shows.  A final
+full maintenance round (MIDAS bootstrap + family batch, ``epsilon=0``
+so the batch classifies as major) exercises the complete
+``midas.apply_update`` span tree including candidate generation and
+swapping.
 """
 
 from __future__ import annotations
 
-import time
-
-from ...datasets import random_insertions
+from ...datasets import family_injection, random_insertions
 from ...index import FCTIndex, IFEIndex, IndexPair
+from ...midas import Midas
+from ...obs import span
 from ...trees import FCTSet
-from ..common import ExperimentScale, DEFAULT_SCALE, dataset
+from ..common import (
+    ExperimentScale,
+    DEFAULT_SCALE,
+    PROFILES,
+    dataset,
+    default_config,
+)
 from ..harness import ExperimentTable
 
 SIZE_SERIES = (60, 120, 240)
@@ -45,20 +58,22 @@ def run(
         base = dataset("pubchem", size, scale.seed)
         graphs = dict(base.items())
 
-        start = time.perf_counter()
-        fct_set = FCTSet(graphs, sup_min=0.5)
-        fct_mine = time.perf_counter() - start
+        with span("fct_mine") as mine_span:
+            fct_set = FCTSet(graphs, sup_min=0.5)
+        fct_mine = mine_span.last_seconds
 
         features = fct_set.fcts() + [
             e for e in fct_set.frequent_edges() if not e.closed
         ]
-        start = time.perf_counter()
-        fct_index = FCTIndex.build(features, graphs)
-        fct_build = time.perf_counter() - start
+        with span("fct_index_build") as fct_span:
+            fct_index = FCTIndex.build(features, graphs)
+        fct_build = fct_span.last_seconds
 
-        start = time.perf_counter()
-        ife_index = IFEIndex.build(fct_set.infrequent_edge_labels(), graphs)
-        ife_build = time.perf_counter() - start
+        with span("ife_index_build") as ife_span:
+            ife_index = IFEIndex.build(
+                fct_set.infrequent_edge_labels(), graphs
+            )
+        ife_build = ife_span.last_seconds
 
         pair = IndexPair(fct_index, ife_index)
         memory_kb = pair.memory_bytes() / 1024.0
@@ -68,15 +83,15 @@ def run(
         new_graphs = dict(updated.items())
         added_ids = [gid for gid in new_graphs if gid not in graphs]
 
-        start = time.perf_counter()
-        fct_set.add_graphs({gid: new_graphs[gid] for gid in added_ids})
-        fct_maintain = time.perf_counter() - start
+        with span("fct_maintain") as maintain_span:
+            fct_set.add_graphs({gid: new_graphs[gid] for gid in added_ids})
+        fct_maintain = maintain_span.last_seconds
 
-        start = time.perf_counter()
-        pair.apply_update(
-            fct_set, new_graphs, added_ids=added_ids, removed_ids=[]
-        )
-        index_maintain = time.perf_counter() - start
+        with span("index_maintain") as index_span:
+            pair.apply_update(
+                fct_set, new_graphs, added_ids=added_ids, removed_ids=[]
+            )
+        index_maintain = index_span.last_seconds
 
         ratio = len(fct_set.fcts()) / len(updated)
         table.add_row(
@@ -89,6 +104,27 @@ def run(
             index_maintain,
             ratio,
         )
+
+    # One full maintenance round so the exported span tree also covers
+    # the pattern-side phases (candidates, swap).  epsilon=0 forces the
+    # detector to classify the batch as a major modification.
+    with span("maintenance_round"):
+        base = dataset("pubchem", sizes[0], scale.seed)
+        config = default_config(scale, epsilon=0.0)
+        midas = Midas.bootstrap(base, config)
+        update = family_injection(
+            scale.family_batch,
+            "boronic_ester",
+            PROFILES["pubchem"],
+            scale.seed + 4,
+        )
+        report = midas.apply_update(update)
+    table.add_note(
+        "maintenance round (family batch, forced major): "
+        f"PMT={report.pattern_maintenance_seconds:.2f}s, "
+        f"PGT={report.pattern_generation_seconds:.2f}s, "
+        f"swaps={report.num_swaps}"
+    )
     table.add_note(
         "paper shape: costs grow with |D|; FCT-Index > IFE-Index build "
         "cost; memory small; |FCT|/|D| shrinks as |D| grows"

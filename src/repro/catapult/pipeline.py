@@ -19,6 +19,7 @@ from ..clustering.maintenance import DEFAULT_MAX_CLUSTER_SIZE, ClusterSet
 from ..csg.maintenance import CSGSet
 from ..graph.database import GraphDatabase
 from ..index.maintenance import IndexPair
+from ..obs import capture, get_registry, span
 from ..patterns.budget import PatternBudget
 from ..patterns.metrics import CoverageOracle
 from ..patterns.pattern import PatternSet
@@ -100,51 +101,52 @@ class Catapult:
         """Select a canned pattern set for *database* from scratch."""
         config = self.config
         graphs = dict(database.items())
-        stopwatch = Stopwatch()
-        with stopwatch.measure("mining"):
-            fct_set = FCTSet(
-                graphs, config.sup_min, config.feature_max_edges
+        get_registry().counter("catapult.runs").add(1)
+        with capture("catapult.run") as run_span:
+            with span("mining"):
+                fct_set = FCTSet(
+                    graphs, config.sup_min, config.feature_max_edges
+                )
+            features = self._feature_list(fct_set)
+            feature_space = FeatureSpace(features)
+            with span("clustering"):
+                clusters = ClusterSet.build(
+                    graphs,
+                    feature_space,
+                    config.num_clusters,
+                    seed=config.seed,
+                    max_cluster_size=config.max_cluster_size,
+                )
+            with span("csg"):
+                csgs = CSGSet.build(clusters, graphs)
+            index_pair: IndexPair | None = None
+            if self.build_indices:
+                with span("indexing"):
+                    index_pair = IndexPair.build(fct_set, graphs)
+            sampler = LazySampler(
+                database.ids(), max_size=config.sample_cap, seed=config.seed
             )
-        features = self._feature_list(fct_set)
-        feature_space = FeatureSpace(features)
-        with stopwatch.measure("clustering"):
-            clusters = ClusterSet.build(
-                graphs,
-                feature_space,
-                config.num_clusters,
-                seed=config.seed,
-                max_cluster_size=config.max_cluster_size,
-            )
-        with stopwatch.measure("csg"):
-            csgs = CSGSet.build(clusters, graphs)
-        index_pair: IndexPair | None = None
-        if self.build_indices:
-            with stopwatch.measure("indexing"):
-                index_pair = IndexPair.build(fct_set, graphs)
-        sampler = LazySampler(
-            database.ids(), max_size=config.sample_cap, seed=config.seed
-        )
-        sample_graphs = {gid: graphs[gid] for gid in sampler.sample_ids}
-        oracle = CoverageOracle(sample_graphs, index_pair=index_pair)
-        with stopwatch.measure("selection"):
-            generator = CandidateGenerator(
-                graphs,
-                config.budget,
-                seed=config.seed,
-                num_walks=config.num_walks,
-                walk_length=config.walk_length,
-            )
-            selector = GreedySelector(
-                generator,
-                csgs.summaries(),
-                clusters.cluster_weights(),
-                oracle,
-                config.budget,
-                ged_method="lower" if not self.use_closed_features else "tight_lower",
-            )
-            patterns = selector.select()
-        if index_pair is not None:
-            index_pair.sync_patterns(patterns.graphs())
+            sample_graphs = {gid: graphs[gid] for gid in sampler.sample_ids}
+            oracle = CoverageOracle(sample_graphs, index_pair=index_pair)
+            with span("selection"):
+                generator = CandidateGenerator(
+                    graphs,
+                    config.budget,
+                    seed=config.seed,
+                    num_walks=config.num_walks,
+                    walk_length=config.walk_length,
+                )
+                selector = GreedySelector(
+                    generator,
+                    csgs.summaries(),
+                    clusters.cluster_weights(),
+                    oracle,
+                    config.budget,
+                    ged_method="lower" if not self.use_closed_features else "tight_lower",
+                )
+                patterns = selector.select()
+            if index_pair is not None:
+                index_pair.sync_patterns(patterns.graphs())
         return CatapultResult(
             patterns=patterns,
             clusters=clusters,
@@ -154,7 +156,7 @@ class Catapult:
             sampler=sampler,
             oracle=oracle,
             index_pair=index_pair,
-            stopwatch=stopwatch,
+            stopwatch=Stopwatch.from_span(run_span),
         )
 
 

@@ -21,6 +21,12 @@ import time
 
 from . import __version__
 from .bench import ExperimentScale
+from .obs import (
+    render_metrics_report,
+    set_trace_memory,
+    span,
+    write_metrics_json,
+)
 from .bench.experiments import (
     ablations,
     fig09,
@@ -78,7 +84,34 @@ def _show_tables(result) -> None:
         table.show()
 
 
-def cmd_demo(_: argparse.Namespace) -> int:
+def _check_metrics_path(args: argparse.Namespace) -> bool:
+    """Fail fast on an unwritable ``--metrics-out`` before a long run."""
+    target = getattr(args, "metrics_out", None)
+    if not target:
+        return True
+    from pathlib import Path
+
+    parent = Path(target).resolve().parent
+    if not parent.is_dir():
+        print(
+            f"--metrics-out: directory {parent} does not exist",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
+def _export_metrics(args: argparse.Namespace) -> None:
+    """Honour ``--metrics-out`` / ``--show-metrics`` after a run."""
+    if getattr(args, "metrics_out", None):
+        write_metrics_json(args.metrics_out)
+        print(f"\nmetrics written to {args.metrics_out}")
+    if getattr(args, "show_metrics", False):
+        print()
+        print(render_metrics_report())
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
     # Defer the import: examples/ is not a package, so load by path.
     import runpy
     from pathlib import Path
@@ -88,11 +121,14 @@ def cmd_demo(_: argparse.Namespace) -> int:
         / "examples"
         / "quickstart.py"
     )
-    if quickstart.exists():
-        runpy.run_path(str(quickstart), run_name="__main__")
-        return 0
-    print("examples/quickstart.py not found", file=sys.stderr)
-    return 1
+    if not quickstart.exists():
+        print("examples/quickstart.py not found", file=sys.stderr)
+        return 1
+    if not _check_metrics_path(args):
+        return 2
+    runpy.run_path(str(quickstart), run_name="__main__")
+    _export_metrics(args)
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -101,15 +137,43 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if not targets or targets == [None]:
         print("specify --figure <name> or --all", file=sys.stderr)
         return 2
+    if not _check_metrics_path(args):
+        return 2
+    if getattr(args, "trace_memory", False):
+        set_trace_memory(True)
+    outcomes: list[tuple[str, float, bool]] = []
     for name in targets:
         title, runner = FIGURES[name]
         print(f"\n### {name}: {title} (scale={args.scale})")
         start = time.perf_counter()
-        result = runner(scale)
+        try:
+            with span(f"bench.{name}"):
+                result = runner(scale)
+        except Exception as exc:  # noqa: BLE001 - collect, report, go on
+            elapsed = time.perf_counter() - start
+            outcomes.append((name, elapsed, False))
+            print(
+                f"  [{name} FAILED after {elapsed:.1f}s: "
+                f"{type(exc).__name__}: {exc}]",
+                file=sys.stderr,
+            )
+            continue
         elapsed = time.perf_counter() - start
+        outcomes.append((name, elapsed, True))
         _show_tables(result)
         print(f"  [{name} completed in {elapsed:.1f}s]")
-    return 0
+    failures = [name for name, _, ok in outcomes if not ok]
+    if len(outcomes) > 1:
+        print(f"\n### summary ({args.scale} scale)")
+        for name, elapsed, ok in outcomes:
+            status = "ok" if ok else "FAILED"
+            print(f"  {name:<6} {status:<7} {elapsed:8.1f}s")
+        print(
+            f"  {len(outcomes) - len(failures)}/{len(outcomes)} experiments "
+            f"succeeded in {sum(e for _, e, _ in outcomes):.1f}s total"
+        )
+    _export_metrics(args)
+    return 1 if failures else 0
 
 
 def cmd_dataset(args: argparse.Namespace) -> int:
@@ -145,7 +209,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_metrics_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--metrics-out",
+            metavar="PATH",
+            help="write a JSON metrics snapshot (spans + counters) to PATH",
+        )
+        sub.add_argument(
+            "--show-metrics",
+            action="store_true",
+            help="print the span-tree/metrics report after the run",
+        )
+
     demo = subparsers.add_parser("demo", help="run the quickstart demo")
+    add_metrics_flags(demo)
     demo.set_defaults(func=cmd_demo)
 
     bench = subparsers.add_parser(
@@ -162,6 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SCALES),
         default="small",
         help="dataset scale (default: small)",
+    )
+    add_metrics_flags(bench)
+    bench.add_argument(
+        "--trace-memory",
+        action="store_true",
+        help="capture tracemalloc peak memory per span (slower)",
     )
     bench.set_defaults(func=cmd_bench)
 

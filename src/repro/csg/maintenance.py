@@ -19,6 +19,7 @@ from collections.abc import Mapping
 
 from ..graph.labeled_graph import LabeledGraph
 from ..clustering.maintenance import ClusterSet
+from ..obs import get_registry
 from .summary import SummaryGraph, build_csg
 
 
@@ -65,6 +66,7 @@ class CSGSet:
         self, cluster_id: int, graph_id: int, graph: LabeledGraph
     ) -> None:
         """Record *graph* joining *cluster_id* (Section 4.4 rule 1)."""
+        get_registry().counter("csg.integrations").add(1)
         summary = self._summaries.get(cluster_id)
         if summary is None:
             summary = SummaryGraph(cluster_id)
@@ -77,6 +79,7 @@ class CSGSet:
         summary = self._summaries.get(cluster_id)
         if summary is None:
             return
+        get_registry().counter("csg.detachments").add(1)
         summary.remove_graph(graph_id)
         self.touched.add(cluster_id)
         if not summary.member_ids:
@@ -102,6 +105,7 @@ class CSGSet:
             summary = self._summaries.get(cluster_id)
             if summary is not None and summary.member_ids == members:
                 continue
+            get_registry().counter("csg.rebuilds").add(1)
             self._summaries[cluster_id] = build_csg(
                 cluster_id, members, graphs
             )

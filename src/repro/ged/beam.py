@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import Counter
 
 from ..graph.labeled_graph import LabeledGraph, VertexId
+from ..obs import get_registry
 
 _EPS = object()
 
@@ -106,6 +107,8 @@ def ged_beam_upper_bound(
     """Beam-search upper bound on unit-cost GED."""
     if beam_width < 1:
         raise ValueError("beam_width must be positive")
+    registry = get_registry()
+    registry.counter("ged.beam.calls").add(1)
     order = sorted(first.vertices(), key=lambda v: (-first.degree(v), repr(v)))
     targets = sorted(second.vertices(), key=repr)
     if not order:
@@ -113,6 +116,8 @@ def ged_beam_upper_bound(
     if not targets:
         return first.num_vertices + first.num_edges
 
+    nodes_expanded = 0
+    nodes_pruned = 0
     beam: list[tuple] = [()]
     for depth, vertex in enumerate(order):
         scored: list[tuple[int, int, tuple]] = []
@@ -142,7 +147,11 @@ def ged_beam_upper_bound(
             tiebreak += 1
             scored.append((g + 1, tiebreak, candidate))
         scored.sort(key=lambda item: (item[0], item[1]))
+        nodes_expanded += len(scored)
+        nodes_pruned += max(0, len(scored) - beam_width)
         beam = [candidate for _, _, candidate in scored[:beam_width]]
+    registry.counter("ged.beam.nodes_expanded").add(nodes_expanded)
+    registry.counter("ged.beam.prunes").add(nodes_pruned)
     return min(
         _mapping_cost(first, second, order, assignment)
         for assignment in beam

@@ -21,6 +21,7 @@ import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from ..graph.labeled_graph import LabeledGraph, VertexId
+from ..obs import get_registry
 
 
 def _local_edge_cost(
@@ -106,6 +107,7 @@ def ged_bipartite_upper_bound(
     first: LabeledGraph, second: LabeledGraph
 ) -> int:
     """Assignment-based upper bound on GED (Riesen–Bunke style)."""
+    get_registry().counter("ged.bipartite.calls").add(1)
     if first.num_vertices == 0 and second.num_vertices == 0:
         return 0
     if first.num_vertices == 0:

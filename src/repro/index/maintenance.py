@@ -20,6 +20,7 @@ from collections.abc import Iterable, Mapping
 
 from ..graph.labeled_graph import EdgeLabel, LabeledGraph
 from ..isomorphism.matcher import count_embeddings
+from ..obs import get_registry
 from ..trees.maintenance import FCTSet
 from .fct_index import EMBEDDING_COUNT_CAP, FCTIndex
 from .ife_index import IFEIndex
@@ -81,6 +82,7 @@ class IndexPair:
         self, pattern: LabeledGraph, universe: Iterable[int]
     ) -> set[int]:
         """Containment prefilter across both indices (Section 6.1)."""
+        get_registry().counter("index.prefilter_queries").add(1)
         candidates = self.fct.candidate_graphs(pattern, universe)
         if not candidates:
             return candidates
@@ -119,6 +121,9 @@ class IndexPair:
         """
         removed = set(removed_ids)
         added = set(added_ids)
+        registry = get_registry()
+        registry.counter("index.graphs_added").add(len(added))
+        registry.counter("index.graphs_removed").add(len(removed))
         # Column maintenance first: drop dead graphs, add new ones.
         for graph_id in removed:
             self.fct.remove_graph(graph_id)
@@ -133,6 +138,8 @@ class IndexPair:
         new_keys = set(current) - self.fct.feature_keys()
         for key in new_keys:
             self.fct.add_feature(current[key], graphs)
+        registry.counter("index.features_added").add(len(new_keys))
+        registry.counter("index.features_removed").add(len(stale_keys))
         # Columns for newly added graphs (features already present get
         # their counts here; features added above already scanned them).
         for graph_id in added:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterator
 
 from ..graph.labeled_graph import LabeledGraph, VertexId
+from ..obs import get_registry
 
 Assignment = dict[VertexId, VertexId]
 
@@ -65,6 +66,7 @@ class VF2Matcher:
     def has_match(self) -> bool:
         """True iff at least one embedding of pattern into host exists."""
         if not self._prefilter():
+            get_registry().counter("vf2.prefilter_cutoffs").add(1)
             return False
         for _ in self._match():
             return True
@@ -73,12 +75,14 @@ class VF2Matcher:
     def matches(self) -> Iterator[Assignment]:
         """Yield embeddings as pattern-vertex → host-vertex dicts."""
         if not self._prefilter():
+            get_registry().counter("vf2.prefilter_cutoffs").add(1)
             return
         yield from self._match()
 
     def count_matches(self, limit: int | None = None) -> int:
         """Count embeddings, optionally stopping at *limit*."""
         if not self._prefilter():
+            get_registry().counter("vf2.prefilter_cutoffs").add(1)
             return 0
         count = 0
         for _ in self._match():
@@ -185,32 +189,47 @@ class VF2Matcher:
             return
         mapping: Assignment = {}
         used: set[VertexId] = set()
+        # Search-effort counters are accumulated locally (the loop is the
+        # hottest code in the library) and flushed to the registry once
+        # per search, including early generator close.
+        states_explored = 0
+        backtracks = 0
         # Iterative backtracking over candidate generators; avoids Python
         # recursion limits on large patterns.
         stack: list[Iterator[VertexId]] = [
             self._candidates(order[0], mapping, used)
         ]
-        while stack:
-            depth = len(stack) - 1
-            pattern_vertex = order[depth]
-            advanced = False
-            for host_vertex in stack[-1]:
-                if not self._feasible(pattern_vertex, host_vertex, mapping):
-                    continue
-                mapping[pattern_vertex] = host_vertex
-                used.add(host_vertex)
-                if depth + 1 == len(order):
-                    yield dict(mapping)
-                    used.discard(host_vertex)
-                    del mapping[pattern_vertex]
-                    continue
-                stack.append(self._candidates(order[depth + 1], mapping, used))
-                advanced = True
-                break
-            if not advanced:
-                stack.pop()
-                if stack:
-                    prior = order[len(stack) - 1]
-                    if prior in mapping:
-                        used.discard(mapping[prior])
-                        del mapping[prior]
+        try:
+            while stack:
+                depth = len(stack) - 1
+                pattern_vertex = order[depth]
+                advanced = False
+                for host_vertex in stack[-1]:
+                    states_explored += 1
+                    if not self._feasible(pattern_vertex, host_vertex, mapping):
+                        continue
+                    mapping[pattern_vertex] = host_vertex
+                    used.add(host_vertex)
+                    if depth + 1 == len(order):
+                        yield dict(mapping)
+                        used.discard(host_vertex)
+                        del mapping[pattern_vertex]
+                        continue
+                    stack.append(
+                        self._candidates(order[depth + 1], mapping, used)
+                    )
+                    advanced = True
+                    break
+                if not advanced:
+                    backtracks += 1
+                    stack.pop()
+                    if stack:
+                        prior = order[len(stack) - 1]
+                        if prior in mapping:
+                            used.discard(mapping[prior])
+                            del mapping[prior]
+        finally:
+            registry = get_registry()
+            registry.counter("vf2.searches").add(1)
+            registry.counter("vf2.states_explored").add(states_explored)
+            registry.counter("vf2.backtracks").add(backtracks)

@@ -30,6 +30,7 @@ from ..catapult.candidate import CandidateGenerator
 from ..catapult.pipeline import CatapultPlusPlus, CatapultResult
 from ..graph.database import BatchUpdate, GraphDatabase
 from ..graph.labeled_graph import LabeledGraph
+from ..obs import capture, get_registry, span
 from ..patterns.metrics import CoverageOracle
 from ..patterns.pattern import PatternSet
 from ..trees.features import FeatureSpace
@@ -52,6 +53,9 @@ class MaintenanceReport:
     deleted_ids: list[int] = field(default_factory=list)
     candidates_generated: int = 0
     candidates_promising: int = 0
+    #: Structured observability snapshot for this round: the span tree
+    #: under ``midas.apply_update`` and the registry counter deltas.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def is_major(self) -> bool:
@@ -130,144 +134,173 @@ class Midas:
     def apply_update(self, update: BatchUpdate) -> MaintenanceReport:
         """Process one batch ΔD, maintaining patterns opportunely."""
         config = self.config
-        stopwatch = Stopwatch()
+        registry = get_registry()
+        counters_before = registry.counter_values()
         self.clusters.reset_touched()
         self.csgs.reset_touched()
 
-        record = self.database.apply(update)
-        graphs = dict(self.database.items())
-        added = {gid: graphs[gid] for gid in record.inserted_ids}
-        removed_ids = set(record.deleted_ids)
+        with capture("midas.apply_update") as round_span:
+            record = self.database.apply(update)
+            graphs = dict(self.database.items())
+            added = {gid: graphs[gid] for gid in record.inserted_ids}
+            removed_ids = set(record.deleted_ids)
 
-        # η ≤ 2 tray maintenance: exact counter updates.
-        if self.small_tray is not None:
-            self.small_tray.remove_graphs(record.deleted_graphs.values())
-            self.small_tray.add_graphs(added.values())
+            # η ≤ 2 tray maintenance: exact counter updates.
+            if self.small_tray is not None:
+                self.small_tray.remove_graphs(record.deleted_graphs.values())
+                self.small_tray.add_graphs(added.values())
 
-        # Lines 3-4 + 8: classify by graphlet distribution shift.
-        with stopwatch.measure("detect"):
-            classification = self.detector.classify(
-                added, removed_ids, commit=True
-            )
-
-        # Line 2: deletions leave clusters and CSGs.
-        with stopwatch.measure("clusters"):
-            for graph_id in record.deleted_ids:
-                cluster_id = self.clusters.remove(graph_id)
-                self.csgs.detach(cluster_id, graph_id)
-
-        # Line 5: FCT maintenance (relax, mine Δ, merge, restore).
-        with stopwatch.measure("fct"):
-            self.fct_set.apply(added=added, removed=removed_ids)
-            features = self.fct_set.fcts() or self.fct_set.pool()
-            feature_space = FeatureSpace(features)
-            self.clusters.refresh_feature_space(feature_space)
-
-        # Lines 1 + 6-7: insertions join clusters and CSGs.
-        with stopwatch.measure("clusters"):
-            assignments: dict[int, int] = {}
-            for graph_id, graph in added.items():
-                assignments[graph_id] = self.clusters.assign(
-                    graph_id, graph, graphs
+            # Lines 3-4 + 8: classify by graphlet distribution shift.
+            with span("detect"):
+                classification = self.detector.classify(
+                    added, removed_ids, commit=True
                 )
-        with stopwatch.measure("csg"):
-            live = set(self.clusters.cluster_ids())
-            for graph_id, cluster_id in assignments.items():
-                # Integrate incrementally unless a fine split dissolved
-                # the target cluster; splits are reconciled below.
-                if (
-                    cluster_id in live
-                    and cluster_id in self.csgs
-                    and graph_id in self.clusters.members(cluster_id)
-                ):
-                    self.csgs.integrate(
-                        cluster_id, graph_id, graphs[graph_id]
+
+            # Line 2: deletions leave clusters and CSGs.
+            with span("clusters"):
+                for graph_id in record.deleted_ids:
+                    cluster_id = self.clusters.remove(graph_id)
+                    self.csgs.detach(cluster_id, graph_id)
+
+            # Line 5: FCT maintenance (relax, mine Δ, merge, restore).
+            with span("fct"):
+                self.fct_set.apply(added=added, removed=removed_ids)
+                features = self.fct_set.fcts() or self.fct_set.pool()
+                feature_space = FeatureSpace(features)
+                self.clusters.refresh_feature_space(feature_space)
+
+            # Lines 1 + 6-7: insertions join clusters and CSGs.
+            with span("clusters"):
+                assignments: dict[int, int] = {}
+                for graph_id, graph in added.items():
+                    assignments[graph_id] = self.clusters.assign(
+                        graph_id, graph, graphs
                     )
-            # Rebuild CSGs of clusters created/destroyed by fine splits.
-            self.csgs.sync_with_clusters(self.clusters, graphs)
+            with span("csg"):
+                live = set(self.clusters.cluster_ids())
+                for graph_id, cluster_id in assignments.items():
+                    # Integrate incrementally unless a fine split dissolved
+                    # the target cluster; splits are reconciled below.
+                    if (
+                        cluster_id in live
+                        and cluster_id in self.csgs
+                        and graph_id in self.clusters.members(cluster_id)
+                    ):
+                        self.csgs.integrate(
+                            cluster_id, graph_id, graphs[graph_id]
+                        )
+                # Rebuild CSGs of clusters created/destroyed by fine splits.
+                self.csgs.sync_with_clusters(self.clusters, graphs)
 
-        # Line 9 (GetIndices): the indices must reflect D ⊕ ΔD *before*
-        # they back any coverage computation — a stale TG/EG column for a
-        # just-inserted graph would silently exclude it from every cover.
-        if self.index_pair is not None:
-            with stopwatch.measure("index"):
-                self.index_pair.apply_update(
-                    self.fct_set,
-                    graphs,
-                    added_ids=record.inserted_ids,
-                    removed_ids=removed_ids,
-                    patterns=self.patterns.graphs(),
-                )
+            # Line 9 (GetIndices): the indices must reflect D ⊕ ΔD *before*
+            # they back any coverage computation — a stale TG/EG column for
+            # a just-inserted graph would silently exclude it from every
+            # cover.
+            if self.index_pair is not None:
+                with span("index"):
+                    self.index_pair.apply_update(
+                        self.fct_set,
+                        graphs,
+                        added_ids=record.inserted_ids,
+                        removed_ids=removed_ids,
+                        patterns=self.patterns.graphs(),
+                    )
 
-        # Sample and oracle follow the database.
-        with stopwatch.measure("sample"):
-            self.sampler.remove_ids(removed_ids)
-            self.sampler.add_ids(record.inserted_ids)
-            sample_graphs = {
-                gid: graphs[gid] for gid in self.sampler.sample_ids
-            }
-            self.oracle = CoverageOracle(
-                sample_graphs, index_pair=self.index_pair
-            )
-
-        swap_outcome: SwapOutcome | None = None
-        candidates_generated = 0
-        candidates_promising = 0
-        if classification.is_major and len(self.patterns) > 0:
-            # Lines 9-10: pruned candidate generation from evolved CSGs.
-            with stopwatch.measure("candidates"):
-                pruning = PruningContext(
-                    self.oracle,
-                    [p.graph for p in self.patterns],
-                    config.kappa,
-                    index_pair=self.index_pair,
-                )
-                generator = CandidateGenerator(
-                    graphs,
-                    config.budget,
-                    seed=config.seed,
-                    num_walks=config.num_walks,
-                    walk_length=config.walk_length,
-                )
-                evolved = self.csgs.touched | self.clusters.touched_added
-                summaries = {
-                    cluster_id: summary
-                    for cluster_id, summary in self.csgs.summaries().items()
-                    if not evolved or cluster_id in evolved
+            # Sample and oracle follow the database.
+            with span("sample"):
+                self.sampler.remove_ids(removed_ids)
+                self.sampler.add_ids(record.inserted_ids)
+                sample_graphs = {
+                    gid: graphs[gid] for gid in self.sampler.sample_ids
                 }
-                if not summaries:
-                    summaries = self.csgs.summaries()
-                raw = generator.generate(
-                    summaries,
-                    edge_gate=pruning.edge_gate,
-                    edge_priority=pruning.edge_priority,
+                self.oracle = CoverageOracle(
+                    sample_graphs, index_pair=self.index_pair
                 )
-                candidates_generated = len(raw)
-                promising = [
-                    c.graph
-                    for c in raw
-                    if pruning.is_promising(c.graph)
-                    and not self.patterns.has_isomorphic(c.graph)
-                ]
-                candidates_promising = len(promising)
-            # Line 10 continued + Section 6: multi-scan swap.
-            with stopwatch.measure("swap"):
-                swap_outcome = self._run_swap(promising)
 
-        # Line 12: reconcile the pattern-side (TP/EP) columns with the
-        # possibly-swapped pattern set.
-        if self.index_pair is not None:
-            with stopwatch.measure("index"):
-                self.index_pair.sync_patterns(self.patterns.graphs())
+            swap_outcome: SwapOutcome | None = None
+            candidates_generated = 0
+            candidates_promising = 0
+            if classification.is_major and len(self.patterns) > 0:
+                # Lines 9-10: pruned candidate generation from evolved CSGs.
+                with span("candidates"):
+                    pruning = PruningContext(
+                        self.oracle,
+                        [p.graph for p in self.patterns],
+                        config.kappa,
+                        index_pair=self.index_pair,
+                    )
+                    generator = CandidateGenerator(
+                        graphs,
+                        config.budget,
+                        seed=config.seed,
+                        num_walks=config.num_walks,
+                        walk_length=config.walk_length,
+                    )
+                    evolved = self.csgs.touched | self.clusters.touched_added
+                    summaries = {
+                        cluster_id: summary
+                        for cluster_id, summary in (
+                            self.csgs.summaries().items()
+                        )
+                        if not evolved or cluster_id in evolved
+                    }
+                    if not summaries:
+                        summaries = self.csgs.summaries()
+                    with span("generate"):
+                        raw = generator.generate(
+                            summaries,
+                            edge_gate=pruning.edge_gate,
+                            edge_priority=pruning.edge_priority,
+                        )
+                    candidates_generated = len(raw)
+                    with span("filter"):
+                        promising = [
+                            c.graph
+                            for c in raw
+                            if pruning.is_promising(c.graph)
+                            and not self.patterns.has_isomorphic(c.graph)
+                        ]
+                    candidates_promising = len(promising)
+                # Line 10 continued + Section 6: multi-scan swap.
+                with span("swap"):
+                    swap_outcome = self._run_swap(promising)
+
+            # Line 12: reconcile the pattern-side (TP/EP) columns with the
+            # possibly-swapped pattern set.
+            if self.index_pair is not None:
+                with span("index"):
+                    self.index_pair.sync_patterns(self.patterns.graphs())
+
+        registry.counter("midas.updates").add(1)
+        if classification.is_major:
+            registry.counter("midas.major_updates").add(1)
+        else:
+            registry.counter("midas.minor_updates").add(1)
+        num_swaps = swap_outcome.num_swaps if swap_outcome else 0
+        registry.counter("midas.swaps").add(num_swaps)
+        registry.counter("midas.candidates_generated").add(
+            candidates_generated
+        )
+        registry.counter("midas.candidates_promising").add(
+            candidates_promising
+        )
+        registry.histogram("midas.update_seconds").record(round_span.seconds)
+        registry.histogram("midas.batch_size").record(
+            len(record.inserted_ids) + len(record.deleted_ids)
+        )
 
         return MaintenanceReport(
             classification=classification,
             swap_outcome=swap_outcome,
-            stopwatch=stopwatch,
+            stopwatch=Stopwatch.from_span(round_span),
             inserted_ids=list(record.inserted_ids),
             deleted_ids=list(record.deleted_ids),
             candidates_generated=candidates_generated,
             candidates_promising=candidates_promising,
+            metrics={
+                "spans": round_span.to_dict(),
+                "counters": registry.counter_deltas(counters_before),
+            },
         )
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from ..ged import ged
 from ..graph.canonical import canonical_certificate
 from ..graph.labeled_graph import LabeledGraph
+from ..obs import get_registry
 from ..patterns.metrics import (
     CoverageOracle,
     cognitive_load,
@@ -121,8 +122,11 @@ class MultiScanSwapper:
         pair = tuple(sorted((self._canonical(first), self._canonical(second))))
         cached = self._ged_cache.get(pair)
         if cached is None:
+            get_registry().counter("swap.ged_cache_misses").add(1)
             cached = float(ged(first, second, method=self.ged_method))
             self._ged_cache[pair] = cached
+        else:
+            get_registry().counter("swap.ged_cache_hits").add(1)
         return cached
 
     def _diversity(
@@ -293,4 +297,10 @@ class MultiScanSwapper:
                     break
             if not swapped_this_scan or terminated:
                 break
+        registry = get_registry()
+        registry.counter("swap.scans").add(outcome.scans)
+        registry.counter("swap.candidates_considered").add(
+            outcome.candidates_considered
+        )
+        registry.counter("swap.swaps").add(outcome.num_swaps)
         return outcome

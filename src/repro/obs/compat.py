@@ -1,0 +1,67 @@
+"""Back-compat shim: the legacy :class:`Stopwatch` over the span layer.
+
+Historically every phase of :class:`~repro.midas.maintainer.Midas` and
+the CATAPULT pipelines timed itself through a flat ``Stopwatch`` of
+named laps.  The hierarchical spans of :mod:`repro.obs.spans` subsume
+it: the maintainer and pipelines now record spans, and the ``Stopwatch``
+each report still exposes is derived from the round's span subtree via
+:meth:`Stopwatch.from_span` — one lap per direct child span.
+
+``Stopwatch`` remains fully usable standalone (``measure`` still
+accumulates laps) so existing callers and tests keep working, but new
+code should open spans instead.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .spans import Span
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations (seconds).
+
+    A flat, single-level view of timing: the legacy interface of
+    :class:`MaintenanceReport` and :class:`CatapultResult`.  Reports
+    built from spans carry a stopwatch whose laps mirror the direct
+    children of the round's span subtree (:meth:`from_span`).
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_span(cls, span: Span) -> "Stopwatch":
+        """A stopwatch whose laps are *span*'s direct children."""
+        return cls(
+            laps={child.name: child.seconds for child in span.children}
+        )
+
+    @contextmanager
+    def measure(self, name: str):
+        """Context manager adding the elapsed time to lap *name*."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.laps[name] = self.laps.get(name, 0.0) + elapsed
+
+    def get(self, name: str) -> float:
+        return self.laps.get(name, 0.0)
+
+    def total(self) -> float:
+        return sum(self.laps.values())
+
+    def reset(self) -> None:
+        self.laps.clear()
+
+
+@contextmanager
+def timed():
+    """Yield a zero-arg callable returning elapsed seconds so far."""
+    start = time.perf_counter()
+    yield lambda: time.perf_counter() - start

@@ -1,0 +1,91 @@
+"""Export surface: JSON snapshots and the human-readable tree report.
+
+Two consumers:
+
+* ``python -m repro bench/demo --metrics-out PATH`` dumps a JSON
+  snapshot (:func:`write_metrics_json`) combining the default tracer's
+  span tree with every registry metric;
+* ``--show-metrics`` (and ``REPRO_METRICS_REPORT=1`` for the benchmark
+  suite) prints :func:`render_metrics_report`, the per-phase cost
+  breakdown operators read alongside each figure table.
+
+``docs/OBSERVABILITY.md`` documents the snapshot schema and how to read
+the report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .registry import MetricsRegistry, get_registry
+from .spans import Tracer, get_tracer
+
+#: Schema tag stamped into every JSON snapshot.
+SNAPSHOT_SCHEMA = "repro.obs/1"
+
+
+def metrics_snapshot(
+    tracer: Tracer | None = None, registry: MetricsRegistry | None = None
+) -> dict:
+    """A JSON-ready snapshot of the span tree and every metric."""
+    tracer = tracer or get_tracer()
+    registry = registry or get_registry()
+    snapshot = {"schema": SNAPSHOT_SCHEMA, "spans": tracer.to_dict()}
+    snapshot.update(registry.snapshot())
+    return snapshot
+
+
+def write_metrics_json(
+    path: str | Path,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+) -> dict:
+    """Write :func:`metrics_snapshot` to *path*; returns the snapshot."""
+    snapshot = metrics_snapshot(tracer, registry)
+    Path(path).write_text(json.dumps(snapshot, indent=2, sort_keys=False))
+    return snapshot
+
+
+def render_metrics_report(
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+) -> str:
+    """The operator-facing text report: span tree + counters + histograms."""
+    tracer = tracer or get_tracer()
+    registry = registry or get_registry()
+    sections = ["== span tree (wall-clock) ==", tracer.render()]
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    if counters:
+        sections.append("")
+        sections.append("== counters ==")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            sections.append(f"{name:<{width}}  {value}")
+    gauges = snapshot["gauges"]
+    if gauges:
+        sections.append("")
+        sections.append("== gauges ==")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            sections.append(f"{name:<{width}}  {value:g}")
+    histograms = snapshot["histograms"]
+    if histograms:
+        sections.append("")
+        sections.append("== histograms ==")
+        for name, summary in histograms.items():
+            sections.append(
+                f"{name}  count={summary['count']} total={summary['total']:g} "
+                f"mean={summary['mean']:g} min={summary['min']} "
+                f"max={summary['max']}"
+            )
+    return "\n".join(sections)
+
+
+def reset_all(
+    tracer: Tracer | None = None, registry: MetricsRegistry | None = None
+) -> None:
+    """Reset the span tree and zero every metric (one observation epoch)."""
+    (tracer or get_tracer()).reset()
+    (registry or get_registry()).reset()

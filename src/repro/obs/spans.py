@@ -1,0 +1,292 @@
+"""Hierarchical timing spans producing a nested trace tree.
+
+A :class:`Span` is one node of a trace tree: a name, accumulated
+wall-clock seconds, a call count, optional peak-memory capture
+(``tracemalloc``) and child spans.  Spans aggregate *by name within
+their parent*: entering ``span("fct")`` twice under the same parent
+yields one node with ``calls == 2`` and summed seconds — the shape a
+cost breakdown wants, with bounded memory even across thousands of
+maintenance rounds.
+
+Two entry points:
+
+* :func:`span` — open (or re-enter) a named child of the current span on
+  the process-default :class:`Tracer`;
+* :func:`capture` — open a *fresh, detached* subtree that is merged into
+  the global tree on exit.  ``Midas.apply_update`` uses this so each
+  :class:`~repro.midas.maintainer.MaintenanceReport` carries exactly its
+  own round's tree while the global tree keeps the aggregate.
+
+The span stack is thread-local, so concurrent threads each build their
+own path under the shared root.  The documented span hierarchy lives in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import tracemalloc
+from contextlib import contextmanager
+
+
+class Span:
+    """One node of the trace tree (aggregated by name within a parent)."""
+
+    __slots__ = (
+        "name",
+        "seconds",
+        "calls",
+        "memory_peak_bytes",
+        "last_seconds",
+        "_children",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self.calls = 0
+        #: Peak traced memory (bytes) observed during this span, when
+        #: memory tracing was enabled; None otherwise.
+        self.memory_peak_bytes: int | None = None
+        #: Duration of the most recent completed entry (not serialised).
+        self.last_seconds = 0.0
+        self._children: dict[str, Span] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def children(self) -> list["Span"]:
+        return list(self._children.values())
+
+    def child(self, name: str) -> "Span":
+        """Get-or-create the child span called *name*."""
+        node = self._children.get(name)
+        if node is None:
+            node = Span(name)
+            self._children[name] = node
+        return node
+
+    def find(self, path: str) -> "Span | None":
+        """Look up a descendant by ``/``-separated path, or None."""
+        node = self
+        for part in path.split("/"):
+            node = node._children.get(part)
+            if node is None:
+                return None
+        return node
+
+    def walk(self):
+        """Yield (depth, span) over the subtree, preorder."""
+        stack = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "Span") -> None:
+        """Fold *other*'s aggregates and subtree into this node."""
+        self.seconds += other.seconds
+        self.calls += other.calls
+        self.last_seconds = other.last_seconds
+        if other.memory_peak_bytes is not None:
+            self.memory_peak_bytes = max(
+                self.memory_peak_bytes or 0, other.memory_peak_bytes
+            )
+        for child in other.children:
+            self.child(child.name).merge(child)
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested representation of the subtree."""
+        node: dict = {
+            "name": self.name,
+            "seconds": self.seconds,
+            "calls": self.calls,
+        }
+        if self.memory_peak_bytes is not None:
+            node["memory_peak_bytes"] = self.memory_peak_bytes
+        if self._children:
+            node["children"] = [c.to_dict() for c in self.children]
+        return node
+
+    def render(self, total_seconds: float | None = None) -> str:
+        """Human-readable tree report of the subtree.
+
+        Each line shows the span name, accumulated seconds, call count,
+        share of the parent's time and (when captured) peak memory.
+        """
+        lines: list[str] = []
+        self._render_into(lines, prefix="", parent_seconds=total_seconds)
+        return "\n".join(lines)
+
+    def _render_into(
+        self, lines: list[str], prefix: str, parent_seconds: float | None
+    ) -> None:
+        share = ""
+        if parent_seconds:
+            share = f"  {100.0 * self.seconds / parent_seconds:5.1f}%"
+        memory = ""
+        if self.memory_peak_bytes is not None:
+            memory = f"  peak={self.memory_peak_bytes / 1024.0:.1f}KB"
+        lines.append(
+            f"{prefix}{self.name:<24} {self.seconds:9.4f}s  "
+            f"x{self.calls}{share}{memory}"
+        )
+        children = self.children
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            branch = "└─ " if last else "├─ "
+            child_prefix = prefix.replace("├─ ", "│  ").replace("└─ ", "   ")
+            child._render_into(
+                lines, child_prefix + branch, self.seconds or None
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Span {self.name!r} {self.seconds:.4f}s x{self.calls} "
+            f"children={len(self._children)}>"
+        )
+
+
+class Tracer:
+    """A trace tree plus the (thread-local) stack of open spans."""
+
+    def __init__(self, name: str = "root", trace_memory: bool = False) -> None:
+        self.root = Span(name)
+        #: When True, every span captures tracemalloc peak memory.
+        self.trace_memory = trace_memory
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = [self.root]
+            self._local.stack = stack
+        return stack
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span (the root when none is open)."""
+        return self._stack()[-1]
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, trace_memory: bool | None = None):
+        """Open the child span *name* under the current span.
+
+        Yields the (aggregated) :class:`Span` node; on exit its call
+        count is incremented and the elapsed wall-clock time added.
+        Exception-safe: the stack is restored and the time recorded even
+        when the body raises.
+        """
+        stack = self._stack()
+        node = stack[-1].child(name)
+        stack.append(node)
+        memory = self.trace_memory if trace_memory is None else trace_memory
+        started_tracing = False
+        if memory:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                started_tracing = True
+            # Peaks are measured from span entry; an inner memory span
+            # resets the shared peak, so nested peaks are innermost-wins.
+            tracemalloc.reset_peak()
+        start = time.perf_counter()
+        try:
+            yield node
+        finally:
+            elapsed = time.perf_counter() - start
+            node.seconds += elapsed
+            node.calls += 1
+            node.last_seconds = elapsed
+            if memory:
+                _, peak = tracemalloc.get_traced_memory()
+                node.memory_peak_bytes = max(
+                    node.memory_peak_bytes or 0, peak
+                )
+                if started_tracing:
+                    tracemalloc.stop()
+            stack.pop()
+
+    @contextmanager
+    def capture(self, name: str, trace_memory: bool | None = None):
+        """Record a fresh detached subtree, merging it into the tree.
+
+        Unlike :meth:`span`, the yielded node is *new on every call* —
+        nested spans aggregate inside it alone — so the caller owns an
+        exact per-invocation snapshot.  On exit the subtree is folded
+        into the enclosing span's child of the same name, keeping the
+        global tree an aggregate over all captures.
+        """
+        stack = self._stack()
+        parent = stack[-1]
+        fresh = Span(name)
+        stack.append(fresh)
+        memory = self.trace_memory if trace_memory is None else trace_memory
+        started_tracing = False
+        if memory:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                started_tracing = True
+            tracemalloc.reset_peak()
+        start = time.perf_counter()
+        try:
+            yield fresh
+        finally:
+            elapsed = time.perf_counter() - start
+            fresh.seconds = elapsed
+            fresh.calls = 1
+            fresh.last_seconds = elapsed
+            if memory:
+                _, peak = tracemalloc.get_traced_memory()
+                fresh.memory_peak_bytes = peak
+                if started_tracing:
+                    tracemalloc.stop()
+            stack.pop()
+            parent.child(name).merge(fresh)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop the recorded tree (open spans keep their identity)."""
+        self.root = Span(self.root.name)
+        self._local = threading.local()
+
+    def to_dict(self) -> dict:
+        return self.root.to_dict()
+
+    def render(self) -> str:
+        return self.root.render()
+
+
+_default_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install *tracer* as the default; returns the previous one."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous
+
+
+def set_trace_memory(enabled: bool) -> None:
+    """Toggle tracemalloc peak capture on the default tracer's spans."""
+    _default_tracer.trace_memory = enabled
+
+
+def span(name: str, trace_memory: bool | None = None):
+    """Open a named span on the default tracer (see :meth:`Tracer.span`)."""
+    return _default_tracer.span(name, trace_memory=trace_memory)
+
+
+def capture(name: str, trace_memory: bool | None = None):
+    """Record a detached subtree on the default tracer (see
+    :meth:`Tracer.capture`)."""
+    return _default_tracer.capture(name, trace_memory=trace_memory)

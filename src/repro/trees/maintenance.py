@@ -34,6 +34,7 @@ from collections.abc import Iterable, Mapping
 
 from ..graph.labeled_graph import LabeledGraph
 from ..isomorphism.matcher import contains
+from ..obs import get_registry
 from .canonical import TreeCode
 from .mining import DEFAULT_MAX_EDGES, MinedTree, TreeMiner
 
@@ -150,9 +151,11 @@ class FCTSet:
         if duplicate_ids:
             raise ValueError(f"graph ids already present: {sorted(duplicate_ids)}")
         old_graphs = dict(self._graphs)
+        containment_tests = 0
         # 1. Extend covers of pooled trees over the new graphs.
         for entry in self._pool.values():
             for graph_id, graph in new_graphs.items():
+                containment_tests += 1
                 if contains(graph, entry.tree):
                     entry.cover.add(graph_id)
         # 2. Mine Δ⁺ at the relaxed threshold and merge novel trees.
@@ -162,6 +165,7 @@ class FCTSet:
         for key, mined in delta_miner.mine().items():
             if key in self._pool:
                 continue  # cover already extended in step 1
+            containment_tests += len(old_graphs)
             historic_cover = {
                 graph_id
                 for graph_id, graph in old_graphs.items()
@@ -169,6 +173,7 @@ class FCTSet:
             }
             mined.cover |= historic_cover
             self._pool[key] = mined
+        get_registry().counter("fct.containment_tests").add(containment_tests)
         self._graphs.update(new_graphs)
         self._prune()
         self._recompute_closedness()
@@ -209,6 +214,7 @@ class FCTSet:
             for key, entry in self._pool.items()
             if entry.support_count >= minimum and entry.support_count > 0
         }
+        get_registry().gauge("fct.pool_size").set(len(self._pool))
 
     def _recompute_closedness(self) -> None:
         """Mark each pooled tree closed iff no equal-support one-edge
@@ -222,11 +228,14 @@ class FCTSet:
         by_size: dict[int, list[MinedTree]] = {}
         for entry in self._pool.values():
             by_size.setdefault(entry.num_edges, []).append(entry)
+        closure_checks = 0
         for entry in self._pool.values():
             entry.closed = True
             for candidate in by_size.get(entry.num_edges + 1, ()):
                 if candidate.support_count != entry.support_count:
                     continue
+                closure_checks += 1
                 if contains(candidate.tree, entry.tree):
                     entry.closed = False
                     break
+        get_registry().counter("fct.closure_checks").add(closure_checks)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from ..graph.labeled_graph import LabeledGraph, normalize_edge_label
 from ..isomorphism.matcher import find_embeddings
+from ..obs import get_registry
 from .canonical import TreeCode, canonical_tokens, tree_certificate
 
 DEFAULT_MAX_EDGES = 4
@@ -212,6 +213,7 @@ class TreeMiner:
                 for key, tree in next_candidates.items()
                 if tree.support_count >= min_count
             }
+        get_registry().counter("fct.trees_mined").add(len(frequent))
         return frequent
 
     def mine_frequent(self) -> list[MinedTree]:

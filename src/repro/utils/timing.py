@@ -1,40 +1,14 @@
-"""Wall-clock timing helpers for the experiment harness."""
+"""Wall-clock timing helpers — now a shim over :mod:`repro.obs`.
+
+The flat :class:`Stopwatch` has been absorbed by the hierarchical span
+layer (:mod:`repro.obs.spans`); it lives on in :mod:`repro.obs.compat`
+so that ``MaintenanceReport.stopwatch`` and every existing import of
+``repro.utils.timing`` keep working.  New code should open spans via
+:func:`repro.obs.span` instead.
+"""
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
+from ..obs.compat import Stopwatch, timed
 
-
-@dataclass
-class Stopwatch:
-    """Accumulates named wall-clock durations (seconds)."""
-
-    laps: dict[str, float] = field(default_factory=dict)
-
-    @contextmanager
-    def measure(self, name: str):
-        """Context manager adding the elapsed time to lap *name*."""
-        start = time.perf_counter()
-        try:
-            yield self
-        finally:
-            elapsed = time.perf_counter() - start
-            self.laps[name] = self.laps.get(name, 0.0) + elapsed
-
-    def get(self, name: str) -> float:
-        return self.laps.get(name, 0.0)
-
-    def total(self) -> float:
-        return sum(self.laps.values())
-
-    def reset(self) -> None:
-        self.laps.clear()
-
-
-@contextmanager
-def timed():
-    """Yield a zero-arg callable returning elapsed seconds so far."""
-    start = time.perf_counter()
-    yield lambda: time.perf_counter() - start
+__all__ = ["Stopwatch", "timed"]
