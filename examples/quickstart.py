@@ -12,12 +12,16 @@ Walks through the core loop of the library:
    so patterns stay put while clusters/CSGs/indices are maintained;
 4. apply a *major* batch (a new compound family) — detected as Type 1,
    triggering pruned candidate generation and the multi-scan swap;
-5. print pattern-set quality before/after to see the progressive gain.
+5. print pattern-set quality before/after to see the progressive gain;
+6. show graceful degradation: exact GED under a tight budget falls down
+   the fidelity ladder (exact → beam → bipartite → lower bound) instead
+   of overrunning (see docs/ROBUSTNESS.md).
 """
 
 from repro import Midas, MidasConfig, PatternBudget
 from repro.datasets import family_injection, pubchem_like, random_insertions
 from repro.patterns import PatternSet, pattern_set_quality
+from repro.resilience import Budget, resilient_ged
 
 
 def show_quality(title: str, patterns, oracle) -> None:
@@ -77,7 +81,20 @@ def main() -> None:
     show_quality("stale (NoMaintain view):", stale, midas.oracle)
     show_quality("maintained (MIDAS):", midas.patterns, midas.oracle)
 
-    print("== 6. the refreshed panel ==")
+    print("== 6. graceful degradation: exact GED under a tight budget ==")
+    graphs = midas.pattern_graphs()[:4]
+    # A handful of A* expansions is nowhere near enough for exact GED on
+    # these patterns, so every pair falls down the fidelity ladder.
+    budget = Budget(max_states=25)
+    for position, (first, second) in enumerate(zip(graphs, graphs[1:])):
+        result = resilient_ged(first, second, method="exact", budget=budget)
+        print(
+            f"  GED(p{position}, p{position + 1}) = {result.value} "
+            f"via {result.fidelity}"
+            f"{' (degraded from exact)' if result.degraded else ''}"
+        )
+
+    print("== 7. the refreshed panel ==")
     from repro.gui import render_panel
 
     print(render_panel(midas.patterns))

@@ -13,6 +13,7 @@ scratch is the "maintenance-from-scratch" baseline of the experiments.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..clustering.maintenance import DEFAULT_MAX_CLUSTER_SIZE, ClusterSet
@@ -23,6 +24,7 @@ from ..obs import capture, get_registry, span
 from ..patterns.budget import PatternBudget
 from ..patterns.metrics import CoverageOracle
 from ..patterns.pattern import PatternSet
+from ..resilience.budget import Budget, use_budget
 from ..trees.features import FeatureSpace
 from ..trees.maintenance import FCTSet
 from ..trees.mining import DEFAULT_MAX_EDGES, TreeMiner
@@ -97,11 +99,24 @@ class Catapult:
         # Clustering needs at least one dimension to be meaningful.
         return features if features else fct_set.pool()
 
-    def run(self, database: GraphDatabase) -> CatapultResult:
-        """Select a canned pattern set for *database* from scratch."""
+    def run(
+        self, database: GraphDatabase, budget: Budget | None = None
+    ) -> CatapultResult:
+        """Select a canned pattern set for *database* from scratch.
+
+        When *budget* is given (or one is ambient) the expensive phases
+        degrade gracefully instead of overrunning: mining and selection
+        are anytime (partial results), and embedding counts in the
+        indices fall back to capped counts.  The run still returns a
+        complete, internally consistent :class:`CatapultResult`.
+        """
         config = self.config
         graphs = dict(database.items())
         get_registry().counter("catapult.runs").add(1)
+        with use_budget(budget) if budget is not None else nullcontext():
+            return self._run(database, graphs, config)
+
+    def _run(self, database, graphs, config) -> CatapultResult:
         with capture("catapult.run") as run_span:
             with span("mining"):
                 fct_set = FCTSet(

@@ -15,8 +15,11 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from ..csg.summary import SummaryGraph
+from ..exceptions import ResilienceError
 from ..graph.labeled_graph import LabeledGraph
 from ..isomorphism.matcher import contains
+from ..resilience.budget import current_budget
+from ..resilience.degrade import anytime_degradation, degradation_enabled
 from ..patterns.budget import PatternBudget
 from ..patterns.metrics import CoverageOracle, catapult_pattern_score
 from ..patterns.pattern import PatternSet
@@ -60,6 +63,8 @@ class GreedySelector:
         self.oracle = oracle
         self.budget = budget
         self.ged_method = ged_method
+        # Set by select(): True when the loop stopped early on a budget.
+        self.degraded = False
         self._weights = {
             cluster_id: generator.weights_for(summary)
             for cluster_id, summary in self.summaries.items()
@@ -105,39 +110,55 @@ class GreedySelector:
 
     # ------------------------------------------------------------------
     def select(self, max_rounds: int | None = None) -> PatternSet:
-        """Run the greedy loop and return the selected pattern set."""
+        """Run the greedy loop and return the selected pattern set.
+
+        Selection is *anytime*: greedy rounds are independent, so if the
+        ambient budget expires mid-loop the patterns selected so far are
+        returned (a smaller but internally consistent pattern set) and
+        :attr:`degraded` is set.
+        """
+        self.degraded = False
+        ambient = current_budget()
         selected = PatternSet()
         per_size: dict[int, int] = {}
         rounds = 0
         stale_rounds = 0
         limit = max_rounds if max_rounds is not None else self.budget.gamma * 4
-        while len(selected) < self.budget.gamma and rounds < limit:
-            rounds += 1
-            candidates = self.generator.generate(
-                self.summaries, self._weights
-            )
-            scored = [
-                (self._score(candidate, selected), candidate)
-                for candidate in candidates
-                if self._admissible(candidate, selected, per_size)
-            ]
-            scored = [(s, c) for s, c in scored if s > 0.0]
-            if not scored:
-                stale_rounds += 1
-                if stale_rounds >= 2:
-                    break
-                continue
-            scored.sort(
-                key=lambda item: (-item[0], item[1].num_edges)
-            )
-            best_score, best = scored[0]
-            selected.add(best.graph, provenance="catapult")
-            per_size[best.num_edges] = per_size.get(best.num_edges, 0) + 1
-            stale_rounds = 0
-            # Multiplicative weights update on the winning CSG's edges.
-            cluster_weights = self._weights.get(best.cluster_id)
-            if cluster_weights is not None:
-                decay_weights(
-                    cluster_weights, set(best.csg_edges), MWU_DECAY
+        try:
+            while len(selected) < self.budget.gamma and rounds < limit:
+                if ambient is not None:
+                    ambient.check("catapult.select")
+                rounds += 1
+                candidates = self.generator.generate(
+                    self.summaries, self._weights
                 )
+                scored = [
+                    (self._score(candidate, selected), candidate)
+                    for candidate in candidates
+                    if self._admissible(candidate, selected, per_size)
+                ]
+                scored = [(s, c) for s, c in scored if s > 0.0]
+                if not scored:
+                    stale_rounds += 1
+                    if stale_rounds >= 2:
+                        break
+                    continue
+                scored.sort(
+                    key=lambda item: (-item[0], item[1].num_edges)
+                )
+                best_score, best = scored[0]
+                selected.add(best.graph, provenance="catapult")
+                per_size[best.num_edges] = per_size.get(best.num_edges, 0) + 1
+                stale_rounds = 0
+                # Multiplicative weights update on the winning CSG's edges.
+                cluster_weights = self._weights.get(best.cluster_id)
+                if cluster_weights is not None:
+                    decay_weights(
+                        cluster_weights, set(best.csg_edges), MWU_DECAY
+                    )
+        except ResilienceError:
+            if not degradation_enabled():
+                raise
+            self.degraded = True
+            anytime_degradation("catapult.select")
         return selected

@@ -21,12 +21,14 @@ import time
 
 from . import __version__
 from .bench import ExperimentScale
+from .exceptions import ResilienceError
 from .obs import (
     render_metrics_report,
     set_trace_memory,
     span,
     write_metrics_json,
 )
+from .resilience import Deadline, set_degradation, use_budget
 from .bench.experiments import (
     ablations,
     fig09,
@@ -53,6 +55,11 @@ FIGURES = {
     "abl3": ("Ablation 3 — GFD distances", ablations.run_distance_measures),
     "abl4": ("Ablation 4 — walks vs FSM", ablations.run_walks_vs_fsm),
 }
+
+#: Per-figure wall-clock guard for ``bench --all`` when no explicit
+#: ``--deadline-ms`` is given: one runaway figure cannot hang the whole
+#: harness (15 minutes dwarfs every figure's normal small-scale runtime).
+DEFAULT_FIGURE_DEADLINE_MS = 15 * 60 * 1000
 
 SCALES = {
     "small": ExperimentScale(
@@ -111,6 +118,15 @@ def _export_metrics(args: argparse.Namespace) -> None:
         print(render_metrics_report())
 
 
+def _apply_degrade_flag(args: argparse.Namespace) -> None:
+    set_degradation(getattr(args, "degrade", "on") != "off")
+
+
+def _deadline_from_args(args: argparse.Namespace) -> Deadline | None:
+    deadline_ms = getattr(args, "deadline_ms", None)
+    return None if deadline_ms is None else Deadline.from_ms(deadline_ms)
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     # Defer the import: examples/ is not a package, so load by path.
     import runpy
@@ -126,7 +142,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
         return 1
     if not _check_metrics_path(args):
         return 2
-    runpy.run_path(str(quickstart), run_name="__main__")
+    _apply_degrade_flag(args)
+    try:
+        with use_budget(_deadline_from_args(args)):
+            runpy.run_path(str(quickstart), run_name="__main__")
+    except ResilienceError as exc:
+        # The walkthrough overran the demo deadline; everything up to
+        # here already printed, and the metrics still get exported.
+        print(f"\n[demo stopped by deadline: {exc}]")
     _export_metrics(args)
     return 0
 
@@ -141,17 +164,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 2
     if getattr(args, "trace_memory", False):
         set_trace_memory(True)
-    outcomes: list[tuple[str, float, bool]] = []
+    _apply_degrade_flag(args)
+    deadline_ms = getattr(args, "deadline_ms", None)
+    if deadline_ms is None and args.all:
+        deadline_ms = DEFAULT_FIGURE_DEADLINE_MS
+    outcomes: list[tuple[str, float, str]] = []
     for name in targets:
         title, runner = FIGURES[name]
         print(f"\n### {name}: {title} (scale={args.scale})")
+        # A fresh per-figure deadline: one runaway figure times out on
+        # its own instead of starving every figure after it.
+        budget = (
+            Deadline.from_ms(deadline_ms) if deadline_ms is not None else None
+        )
         start = time.perf_counter()
         try:
-            with span(f"bench.{name}"):
+            with use_budget(budget), span(f"bench.{name}"):
                 result = runner(scale)
+        except ResilienceError as exc:
+            elapsed = time.perf_counter() - start
+            outcomes.append((name, elapsed, "TIMEOUT"))
+            print(
+                f"  [{name} TIMEOUT after {elapsed:.1f}s: "
+                f"{type(exc).__name__}: {exc}]",
+                file=sys.stderr,
+            )
+            continue
         except Exception as exc:  # noqa: BLE001 - collect, report, go on
             elapsed = time.perf_counter() - start
-            outcomes.append((name, elapsed, False))
+            outcomes.append((name, elapsed, "FAILED"))
             print(
                 f"  [{name} FAILED after {elapsed:.1f}s: "
                 f"{type(exc).__name__}: {exc}]",
@@ -159,14 +200,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
             continue
         elapsed = time.perf_counter() - start
-        outcomes.append((name, elapsed, True))
+        outcomes.append((name, elapsed, "ok"))
         _show_tables(result)
         print(f"  [{name} completed in {elapsed:.1f}s]")
-    failures = [name for name, _, ok in outcomes if not ok]
+    failures = [name for name, _, status in outcomes if status != "ok"]
     if len(outcomes) > 1:
         print(f"\n### summary ({args.scale} scale)")
-        for name, elapsed, ok in outcomes:
-            status = "ok" if ok else "FAILED"
+        for name, elapsed, status in outcomes:
             print(f"  {name:<6} {status:<7} {elapsed:8.1f}s")
         print(
             f"  {len(outcomes) - len(failures)}/{len(outcomes)} experiments "
@@ -221,8 +261,26 @@ def build_parser() -> argparse.ArgumentParser:
             help="print the span-tree/metrics report after the run",
         )
 
+    def add_resilience_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--deadline-ms",
+            type=float,
+            metavar="MS",
+            help="wall-clock deadline: per figure for bench, whole run "
+            "for demo; expensive kernels degrade to cheaper bounds "
+            "instead of overrunning (see docs/ROBUSTNESS.md)",
+        )
+        sub.add_argument(
+            "--degrade",
+            choices=("on", "off"),
+            default="on",
+            help="'on' (default) falls down the fidelity ladder under "
+            "deadline pressure; 'off' fails hard instead",
+        )
+
     demo = subparsers.add_parser("demo", help="run the quickstart demo")
     add_metrics_flags(demo)
+    add_resilience_flags(demo)
     demo.set_defaults(func=cmd_demo)
 
     bench = subparsers.add_parser(
@@ -241,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataset scale (default: small)",
     )
     add_metrics_flags(bench)
+    add_resilience_flags(bench)
     bench.add_argument(
         "--trace-memory",
         action="store_true",

@@ -1,4 +1,12 @@
-"""Shared exception hierarchy for the repro package."""
+"""Shared exception hierarchy for the repro package.
+
+The resilience layer (``repro.resilience``) adds a dedicated subtree:
+:class:`ResilienceError` groups the cooperative-cancellation signals
+(:class:`DeadlineExceeded`, :class:`BudgetExhausted`) and the
+transactional-rollback outcome (:class:`RolledBack`).  ``RolledBack``
+also derives from :class:`MaintenanceError` so existing handlers that
+treat maintenance failures generically keep working.
+"""
 
 from __future__ import annotations
 
@@ -12,4 +20,55 @@ class ConfigurationError(ReproError):
 
 
 class MaintenanceError(ReproError):
-    """Raised when pattern maintenance cannot proceed."""
+    """Raised when pattern maintenance cannot proceed.
+
+    Always chains the original failure: pass it as *cause* (or raise
+    with ``from``) so the triggering exception is preserved on
+    ``__cause__``/``cause`` instead of being swallowed.
+    """
+
+    def __init__(self, message: str, *, cause: BaseException | None = None):
+        super().__init__(message)
+        self.cause = cause
+        if cause is not None:
+            self.__cause__ = cause
+
+
+class ResilienceError(ReproError):
+    """Base of the fail-soft signal subtree (deadline/budget/rollback)."""
+
+
+class DeadlineExceeded(ResilienceError):
+    """A cooperative wall-clock deadline passed mid-computation."""
+
+    def __init__(self, message: str = "deadline exceeded", *, site: str = ""):
+        if site:
+            message = f"{message} at {site}"
+        super().__init__(message)
+        self.site = site
+
+
+class BudgetExhausted(ResilienceError):
+    """A state/expansion budget ran out mid-computation."""
+
+    def __init__(self, message: str = "budget exhausted", *, site: str = ""):
+        if site:
+            message = f"{message} at {site}"
+        super().__init__(message)
+        self.site = site
+
+
+class RolledBack(MaintenanceError, ResilienceError):
+    """A maintenance round failed and state was restored to the
+    pre-round snapshot.  The original failure is chained as ``cause``."""
+
+
+__all__ = [
+    "BudgetExhausted",
+    "ConfigurationError",
+    "DeadlineExceeded",
+    "MaintenanceError",
+    "ReproError",
+    "ResilienceError",
+    "RolledBack",
+]

@@ -18,6 +18,8 @@ from collections import Counter
 
 from ..graph.labeled_graph import LabeledGraph, VertexId
 from ..obs import get_registry
+from ..resilience.budget import current_budget
+from ..resilience.faults import trip
 
 _EPS = object()
 
@@ -107,6 +109,8 @@ def ged_beam_upper_bound(
     """Beam-search upper bound on unit-cost GED."""
     if beam_width < 1:
         raise ValueError("beam_width must be positive")
+    trip("ged.beam")
+    budget = current_budget()
     registry = get_registry()
     registry.counter("ged.beam.calls").add(1)
     order = sorted(first.vertices(), key=lambda v: (-first.degree(v), repr(v)))
@@ -120,6 +124,8 @@ def ged_beam_upper_bound(
     nodes_pruned = 0
     beam: list[tuple] = [()]
     for depth, vertex in enumerate(order):
+        if budget is not None:
+            budget.spend(len(beam), site="ged.beam")
         scored: list[tuple[int, int, tuple]] = []
         tiebreak = 0
         for assignment in beam:

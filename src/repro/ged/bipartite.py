@@ -22,6 +22,7 @@ from scipy.optimize import linear_sum_assignment
 
 from ..graph.labeled_graph import LabeledGraph, VertexId
 from ..obs import get_registry
+from ..resilience.faults import trip
 
 
 def _local_edge_cost(
@@ -107,6 +108,7 @@ def ged_bipartite_upper_bound(
     first: LabeledGraph, second: LabeledGraph
 ) -> int:
     """Assignment-based upper bound on GED (Riesen–Bunke style)."""
+    trip("ged.bipartite")
     get_registry().counter("ged.bipartite.calls").add(1)
     if first.num_vertices == 0 and second.num_vertices == 0:
         return 0

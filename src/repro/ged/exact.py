@@ -21,6 +21,8 @@ import itertools
 from collections import Counter
 
 from ..graph.labeled_graph import LabeledGraph, VertexId
+from ..resilience.budget import current_budget
+from ..resilience.faults import trip
 
 _EPS = object()  # deletion target
 
@@ -95,6 +97,8 @@ def ged_exact(
         Optional cost cap; the search stops early and returns *limit*
         when the true distance is ≥ limit.  Useful as a budget guard.
     """
+    trip("ged.exact")
+    budget = current_budget()
     order = sorted(first.vertices(), key=repr)
     targets = sorted(second.vertices(), key=repr)
     if not order:
@@ -112,6 +116,8 @@ def ged_exact(
     heap = [start]
     best_seen: dict[tuple, int] = {}
     while heap:
+        if budget is not None:
+            budget.spend(1, site="ged.exact")
         f, _, depth, assignment = heapq.heappop(heap)
         if limit is not None and f >= limit:
             return limit

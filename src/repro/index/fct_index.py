@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 
 from ..graph.labeled_graph import LabeledGraph
-from ..isomorphism.matcher import count_embeddings
+from ..resilience.degrade import resilient_count
 from ..trees.canonical import TreeCode
 from ..trees.mining import MinedTree
 from .sparse import SparseCountMatrix
@@ -34,6 +34,19 @@ from .trie import TokenTrie
 #: cap are clamped, which preserves the prefilter's correctness because
 #: pattern-side counts are clamped identically and patterns are tiny.
 EMBEDDING_COUNT_CAP = 64
+
+
+def count_embeddings(
+    host: LabeledGraph, tree: LabeledGraph, limit: int = EMBEDDING_COUNT_CAP
+) -> int:
+    """Embedding count for one index cell, budget-aware.
+
+    Under budget pressure the count degrades to the embeddings found so
+    far (a capped count) instead of aborting index maintenance; the
+    prefilter built on these cells then becomes approximate for the
+    affected cells, which is the documented degraded-mode trade-off.
+    """
+    return resilient_count(tree, host, limit=limit).value
 
 
 class FCTIndex:

@@ -19,10 +19,9 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 
 from ..graph.labeled_graph import EdgeLabel, LabeledGraph
-from ..isomorphism.matcher import count_embeddings
 from ..obs import get_registry
 from ..trees.maintenance import FCTSet
-from .fct_index import EMBEDDING_COUNT_CAP, FCTIndex
+from .fct_index import EMBEDDING_COUNT_CAP, FCTIndex, count_embeddings
 from .ife_index import IFEIndex
 
 

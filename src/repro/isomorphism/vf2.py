@@ -24,6 +24,8 @@ from collections.abc import Callable, Iterator
 
 from ..graph.labeled_graph import LabeledGraph, VertexId
 from ..obs import get_registry
+from ..resilience.budget import CHECK_STRIDE, current_budget
+from ..resilience.faults import trip
 
 Assignment = dict[VertexId, VertexId]
 
@@ -183,6 +185,8 @@ class VF2Matcher:
         return True
 
     def _match(self) -> Iterator[Assignment]:
+        trip("vf2.search")
+        budget = current_budget()
         order = self._order
         if not order:
             yield {}
@@ -206,6 +210,11 @@ class VF2Matcher:
                 advanced = False
                 for host_vertex in stack[-1]:
                     states_explored += 1
+                    if (
+                        budget is not None
+                        and states_explored % CHECK_STRIDE == 0
+                    ):
+                        budget.spend(CHECK_STRIDE, site="vf2.search")
                     if not self._feasible(pattern_vertex, host_vertex, mapping):
                         continue
                     mapping[pattern_vertex] = host_vertex

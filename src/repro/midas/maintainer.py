@@ -24,19 +24,23 @@ generation + swap time), the classification, and the executed swaps.
 
 from __future__ import annotations
 
+import copy
+
 from dataclasses import dataclass, field
 
 from ..catapult.candidate import CandidateGenerator
 from ..catapult.pipeline import CatapultPlusPlus, CatapultResult
+from ..exceptions import ConfigurationError, ResilienceError, RolledBack
 from ..graph.database import BatchUpdate, GraphDatabase
-from ..graph.labeled_graph import LabeledGraph
-from ..obs import capture, get_registry, span
+from ..graph.labeled_graph import GraphError, LabeledGraph
+from ..obs import Stopwatch, capture, get_registry, span
 from ..patterns.metrics import CoverageOracle
 from ..patterns.pattern import PatternSet
+from ..resilience.budget import budget_check
+from ..resilience.faults import trip
 from ..trees.features import FeatureSpace
-from ..utils.timing import Stopwatch
 from .config import MidasConfig
-from .detector import Classification, ModificationDetector
+from .detector import Classification, ModificationDetector, ModificationType
 from .pruning import PruningContext
 from .small_patterns import SmallPatternTray
 from .swap import MultiScanSwapper, SwapOutcome
@@ -56,6 +60,13 @@ class MaintenanceReport:
     #: Structured observability snapshot for this round: the span tree
     #: under ``midas.apply_update`` and the registry counter deltas.
     metrics: dict = field(default_factory=dict)
+    #: True when the round hit a deadline/budget and was rolled back to
+    #: the pre-round state; ``abort_reason`` carries the signal.
+    aborted: bool = False
+    abort_reason: str | None = None
+    #: Number of degradation events (fidelity fallbacks, anytime
+    #: truncations) recorded during this round.
+    degradations: int = 0
 
     @property
     def is_major(self) -> bool:
@@ -129,13 +140,130 @@ class Midas:
         return cls(config, snapshot, state)
 
     # ------------------------------------------------------------------
+    # transactional machinery
+    # ------------------------------------------------------------------
+    #: Attributes the pre-round snapshot captures.  They are deep-copied
+    #: as ONE dict so the copy memo preserves shared references (the
+    #: oracle holds the same IndexPair object as ``index_pair``; copying
+    #: them separately would silently un-share them on rollback).
+    _STATE_ATTRS = (
+        "database",
+        "patterns",
+        "fct_set",
+        "clusters",
+        "csgs",
+        "index_pair",
+        "sampler",
+        "oracle",
+        "detector",
+        "small_tray",
+    )
+
+    def _snapshot_state(self) -> dict:
+        return copy.deepcopy(
+            {name: getattr(self, name) for name in self._STATE_ATTRS}
+        )
+
+    def _restore_state(self, snapshot: dict) -> None:
+        for name, value in snapshot.items():
+            setattr(self, name, value)
+
+    def _validate_update(self, update: BatchUpdate) -> None:
+        """Reject malformed batches at the boundary, before any mutation."""
+        if update.is_empty():
+            raise ConfigurationError(
+                "empty batch update: provide at least one insertion or "
+                "deletion"
+            )
+        seen: set[int] = set()
+        for graph_id in update.deletions:
+            if graph_id in seen:
+                raise ConfigurationError(
+                    f"duplicate deletion of graph id {graph_id} in batch"
+                )
+            seen.add(graph_id)
+            if graph_id not in self.database:
+                raise ConfigurationError(
+                    f"cannot delete graph id {graph_id}: not in database"
+                )
+        for position, graph in enumerate(update.insertions):
+            if graph.num_vertices == 0:
+                raise ConfigurationError(
+                    f"insertion #{position} is an empty graph"
+                )
+            try:
+                for u, v in graph.edges():
+                    graph.label(u)
+                    graph.label(v)
+            except GraphError as exc:
+                raise ConfigurationError(
+                    f"insertion #{position} has an edge referencing a "
+                    f"missing vertex: {exc}"
+                ) from exc
+
+    def _aborted_report(
+        self, exc: ResilienceError, registry, counters_before: dict
+    ) -> MaintenanceReport:
+        """Report for a round that was rolled back on a budget signal."""
+        degradations = registry.counter(
+            "resilience.degradations"
+        ).value - counters_before.get("resilience.degradations", 0)
+        return MaintenanceReport(
+            classification=Classification(
+                ModificationType.MINOR, 0.0, self.config.epsilon
+            ),
+            swap_outcome=None,
+            stopwatch=Stopwatch(),
+            aborted=True,
+            abort_reason=f"{type(exc).__name__}: {exc}",
+            degradations=degradations,
+            metrics={
+                "counters": registry.counter_deltas(counters_before),
+            },
+        )
+
+    # ------------------------------------------------------------------
     # Algorithm 1
     # ------------------------------------------------------------------
     def apply_update(self, update: BatchUpdate) -> MaintenanceReport:
-        """Process one batch ΔD, maintaining patterns opportunely."""
-        config = self.config
+        """Process one batch ΔD, maintaining patterns opportunely.
+
+        The round is transactional (``config.transactional``): the full
+        maintained state is snapshotted before the database mutates, and
+        any mid-round exception restores it.  A deadline/budget signal
+        (:class:`ResilienceError`) yields an *aborted*
+        :class:`MaintenanceReport` instead of raising; any other failure
+        re-raises as :class:`RolledBack` with the cause chained — either
+        way the maintainer is left exactly as it was before the call.
+        """
+        self._validate_update(update)
         registry = get_registry()
         counters_before = registry.counter_values()
+        snapshot = self._snapshot_state() if self.config.transactional else None
+        try:
+            return self._apply_update_inner(update, registry, counters_before)
+        except ResilienceError as exc:
+            if snapshot is None:
+                raise
+            self._restore_state(snapshot)
+            registry.counter("resilience.rollbacks").add(1)
+            registry.counter("resilience.aborted_rounds").add(1)
+            return self._aborted_report(exc, registry, counters_before)
+        except Exception as exc:
+            if snapshot is None:
+                raise
+            self._restore_state(snapshot)
+            registry.counter("resilience.rollbacks").add(1)
+            raise RolledBack(
+                f"maintenance round rolled back after "
+                f"{type(exc).__name__}: {exc}",
+                cause=exc,
+            ) from exc
+
+    def _apply_update_inner(
+        self, update: BatchUpdate, registry, counters_before: dict
+    ) -> MaintenanceReport:
+        config = self.config
         self.clusters.reset_touched()
         self.csgs.reset_touched()
 
@@ -151,18 +279,24 @@ class Midas:
                 self.small_tray.add_graphs(added.values())
 
             # Lines 3-4 + 8: classify by graphlet distribution shift.
+            trip("midas.detect")
+            budget_check("midas.detect")
             with span("detect"):
                 classification = self.detector.classify(
                     added, removed_ids, commit=True
                 )
 
             # Line 2: deletions leave clusters and CSGs.
+            trip("midas.clusters")
+            budget_check("midas.clusters")
             with span("clusters"):
                 for graph_id in record.deleted_ids:
                     cluster_id = self.clusters.remove(graph_id)
                     self.csgs.detach(cluster_id, graph_id)
 
             # Line 5: FCT maintenance (relax, mine Δ, merge, restore).
+            trip("midas.fct")
+            budget_check("midas.fct")
             with span("fct"):
                 self.fct_set.apply(added=added, removed=removed_ids)
                 features = self.fct_set.fcts() or self.fct_set.pool()
@@ -176,6 +310,8 @@ class Midas:
                     assignments[graph_id] = self.clusters.assign(
                         graph_id, graph, graphs
                     )
+            trip("midas.csg")
+            budget_check("midas.csg")
             with span("csg"):
                 live = set(self.clusters.cluster_ids())
                 for graph_id, cluster_id in assignments.items():
@@ -196,6 +332,8 @@ class Midas:
             # they back any coverage computation — a stale TG/EG column for
             # a just-inserted graph would silently exclude it from every
             # cover.
+            trip("midas.index")
+            budget_check("midas.index")
             if self.index_pair is not None:
                 with span("index"):
                     self.index_pair.apply_update(
@@ -207,6 +345,8 @@ class Midas:
                     )
 
             # Sample and oracle follow the database.
+            trip("midas.sample")
+            budget_check("midas.sample")
             with span("sample"):
                 self.sampler.remove_ids(removed_ids)
                 self.sampler.add_ids(record.inserted_ids)
@@ -222,6 +362,8 @@ class Midas:
             candidates_promising = 0
             if classification.is_major and len(self.patterns) > 0:
                 # Lines 9-10: pruned candidate generation from evolved CSGs.
+                trip("midas.candidates")
+                budget_check("midas.candidates")
                 with span("candidates"):
                     pruning = PruningContext(
                         self.oracle,
@@ -262,11 +404,15 @@ class Midas:
                         ]
                     candidates_promising = len(promising)
                 # Line 10 continued + Section 6: multi-scan swap.
+                trip("midas.swap")
+                budget_check("midas.swap")
                 with span("swap"):
                     swap_outcome = self._run_swap(promising)
 
             # Line 12: reconcile the pattern-side (TP/EP) columns with the
             # possibly-swapped pattern set.
+            trip("midas.index_sync")
+            budget_check("midas.index_sync")
             if self.index_pair is not None:
                 with span("index"):
                     self.index_pair.sync_patterns(self.patterns.graphs())
@@ -289,6 +435,9 @@ class Midas:
             len(record.inserted_ids) + len(record.deleted_ids)
         )
 
+        degradations = registry.counter(
+            "resilience.degradations"
+        ).value - counters_before.get("resilience.degradations", 0)
         return MaintenanceReport(
             classification=classification,
             swap_outcome=swap_outcome,
@@ -297,6 +446,7 @@ class Midas:
             deleted_ids=list(record.deleted_ids),
             candidates_generated=candidates_generated,
             candidates_promising=candidates_promising,
+            degradations=degradations,
             metrics={
                 "spans": round_span.to_dict(),
                 "counters": registry.counter_deltas(counters_before),

@@ -25,10 +25,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..ged import ged
+from ..exceptions import ResilienceError
 from ..graph.canonical import canonical_certificate
 from ..graph.labeled_graph import LabeledGraph
 from ..obs import get_registry
+from ..resilience.budget import current_budget
+from ..resilience.degrade import (
+    anytime_degradation,
+    degradation_enabled,
+    resilient_ged,
+)
 from ..patterns.metrics import (
     CoverageOracle,
     cognitive_load,
@@ -73,10 +79,19 @@ class SwapOutcome:
     rejected_sw1: int = 0
     rejected_quality: int = 0
     terminated_by_sw2: bool = False
+    # Degraded-mode bookkeeping: the scan loop stopped early on a budget
+    # (truncated) and/or some pairwise distances fell down the GED
+    # fidelity ladder instead of using the requested method.
+    truncated: bool = False
+    degraded_distances: int = 0
 
     @property
     def num_swaps(self) -> int:
         return len(self.swaps)
+
+    @property
+    def degraded(self) -> bool:
+        return self.truncated or self.degraded_distances > 0
 
 
 class MultiScanSwapper:
@@ -107,6 +122,7 @@ class MultiScanSwapper:
         # object id can never alias a stale key.
         self._key_cache: dict[int, tuple[LabeledGraph, tuple]] = {}
         self._ged_cache: dict[tuple, float] = {}
+        self._degraded_distances = 0
 
     # ------------------------------------------------------------------
     # scores and set-level quality
@@ -123,8 +139,14 @@ class MultiScanSwapper:
         cached = self._ged_cache.get(pair)
         if cached is None:
             get_registry().counter("swap.ged_cache_misses").add(1)
-            cached = float(ged(first, second, method=self.ged_method))
-            self._ged_cache[pair] = cached
+            result = resilient_ged(first, second, method=self.ged_method)
+            cached = float(result.value)
+            if result.degraded:
+                # Don't cache a degraded value: a later call with budget
+                # headroom should get the full-fidelity distance.
+                self._degraded_distances += 1
+            else:
+                self._ged_cache[pair] = cached
         else:
             get_registry().counter("swap.ged_cache_hits").add(1)
         return cached
@@ -223,13 +245,49 @@ class MultiScanSwapper:
         candidates: list[LabeledGraph],
         provenance: str = "midas",
     ) -> SwapOutcome:
-        """Run up to ``max_scans`` scans, mutating *pattern_set* in place."""
+        """Run up to ``max_scans`` scans, mutating *pattern_set* in place.
+
+        The scan loop is *anytime*: every executed swap satisfied sw1–sw5
+        when it happened, so if the ambient budget expires mid-run the
+        swaps so far stand and the outcome is marked ``truncated``.
+        """
         outcome = SwapOutcome()
+        self._degraded_distances = 0
         if not candidates or len(pattern_set) == 0:
             return outcome
+        ambient = current_budget()
         sigma = self.sigma_initial
         remaining = list(candidates)
+        try:
+            outcome = self._run_scans(
+                pattern_set, remaining, provenance, outcome, sigma, ambient
+            )
+        except ResilienceError:
+            if not degradation_enabled():
+                raise
+            outcome.truncated = True
+            anytime_degradation("midas.swap")
+        outcome.degraded_distances = self._degraded_distances
+        registry = get_registry()
+        registry.counter("swap.scans").add(outcome.scans)
+        registry.counter("swap.candidates_considered").add(
+            outcome.candidates_considered
+        )
+        registry.counter("swap.swaps").add(outcome.num_swaps)
+        return outcome
+
+    def _run_scans(
+        self,
+        pattern_set: PatternSet,
+        remaining: list[LabeledGraph],
+        provenance: str,
+        outcome: SwapOutcome,
+        sigma: float,
+        ambient,
+    ) -> SwapOutcome:
         for scan in range(1, self.max_scans + 1):
+            if ambient is not None:
+                ambient.check("midas.swap")
             if self.adaptive_kappa:
                 kappa, sigma = kappa_schedule(sigma)
             else:
@@ -297,10 +355,4 @@ class MultiScanSwapper:
                     break
             if not swapped_this_scan or terminated:
                 break
-        registry = get_registry()
-        registry.counter("swap.scans").add(outcome.scans)
-        registry.counter("swap.candidates_considered").add(
-            outcome.candidates_considered
-        )
-        registry.counter("swap.swaps").add(outcome.num_swaps)
         return outcome

@@ -1,0 +1,87 @@
+"""Resilience layer: budgets, graceful degradation, fault injection.
+
+The three pillars (see ``docs/ROBUSTNESS.md`` for the operator guide):
+
+* :mod:`repro.resilience.budget` — cooperative wall-clock deadlines and
+  state budgets, propagated ambiently through hot paths;
+* :mod:`repro.resilience.degrade` — fallback ladders that trade answer
+  fidelity for completion when a budget expires (exact GED → beam →
+  bipartite → lower bound; full VF2 count → capped count);
+* :mod:`repro.resilience.faults` — deterministic fault injection at
+  named sites, used by the rollback/degradation test-suite.
+
+Transactional maintenance rounds live in :mod:`repro.midas.maintainer`
+(``Midas.apply_update`` snapshots state up front and rolls back on any
+mid-round failure), raising/returning the exception subtree defined in
+:mod:`repro.exceptions`.
+
+Import note: :mod:`repro.ged` and :mod:`repro.isomorphism.vf2` import
+``repro.resilience.budget``/``faults`` for their cooperative checks, so
+this ``__init__`` (triggered by those submodule imports) must not import
+them back at module level — :mod:`repro.resilience.degrade` defers its
+``repro.ged`` import into the function bodies.
+"""
+
+from ..exceptions import (
+    BudgetExhausted,
+    DeadlineExceeded,
+    ResilienceError,
+    RolledBack,
+)
+from .budget import (
+    CHECK_STRIDE,
+    Budget,
+    Deadline,
+    budget_check,
+    current_budget,
+    use_budget,
+)
+from .degrade import (
+    DEGRADATION_LADDER,
+    CountResult,
+    GedResult,
+    anytime_degradation,
+    degradation_count,
+    degradation_enabled,
+    resilient_count,
+    resilient_ged,
+    set_degradation,
+)
+from .faults import (
+    KERNEL_SITES,
+    MAINTENANCE_SITES,
+    Fault,
+    FaultInjected,
+    faults_active,
+    inject_faults,
+    trip,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExhausted",
+    "CHECK_STRIDE",
+    "CountResult",
+    "DEGRADATION_LADDER",
+    "Deadline",
+    "DeadlineExceeded",
+    "Fault",
+    "FaultInjected",
+    "GedResult",
+    "KERNEL_SITES",
+    "MAINTENANCE_SITES",
+    "ResilienceError",
+    "RolledBack",
+    "anytime_degradation",
+    "budget_check",
+    "current_budget",
+    "degradation_count",
+    "degradation_enabled",
+    "faults_active",
+    "inject_faults",
+    "resilient_count",
+    "resilient_ged",
+    "set_degradation",
+    "trip",
+    "use_budget",
+]

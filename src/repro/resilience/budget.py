@@ -1,0 +1,182 @@
+"""Cooperative deadlines and work budgets.
+
+MIDAS promises bounded-latency maintenance, but its hot paths (VF2
+search, exact GED A*, FCT mining, the multi-scan swap) are exponential
+in the worst case.  A :class:`Budget` makes them interruptible without
+threads or signals: long-running loops call :meth:`Budget.check` (or
+:meth:`Budget.spend`) every few hundred states, and the budget raises
+:class:`~repro.exceptions.DeadlineExceeded` /
+:class:`~repro.exceptions.BudgetExhausted` once the wall-clock deadline
+passes or the state allowance runs out.  Callers choose the reaction:
+the degradation policies in :mod:`repro.resilience.degrade` fall back to
+cheaper approximations, anytime loops return partial results, and
+``Midas.apply_update`` rolls the round back.
+
+Budgets propagate *ambiently* through a :mod:`contextvars` variable so
+hot paths need no signature changes: install one with
+:func:`use_budget` and the instrumented loops below it pick it up via
+:func:`current_budget`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from ..exceptions import BudgetExhausted, DeadlineExceeded
+from ..obs import get_registry
+
+#: Recommended stride for hot loops: check the budget every this many
+#: states so the cost stays one integer test per iteration.
+CHECK_STRIDE = 256
+
+_current: ContextVar["Budget | None"] = ContextVar(
+    "repro_resilience_budget", default=None
+)
+
+
+class Budget:
+    """A wall-clock deadline plus a state/expansion allowance.
+
+    Parameters
+    ----------
+    deadline_seconds:
+        Wall-clock allowance from construction time; ``None`` = no
+        deadline.
+    max_states:
+        Total number of states/expansions that may be spent through
+        :meth:`spend`; ``None`` = unlimited.
+    clock:
+        Injectable monotonic clock (tests use a fake).
+    """
+
+    __slots__ = ("_clock", "started", "_deadline", "max_states", "states", "_forced")
+
+    def __init__(
+        self,
+        deadline_seconds: float | None = None,
+        max_states: int | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if deadline_seconds is not None and deadline_seconds < 0:
+            raise ValueError("deadline_seconds must be non-negative")
+        if max_states is not None and max_states < 0:
+            raise ValueError("max_states must be non-negative")
+        self._clock = clock
+        self.started = clock()
+        self._deadline = (
+            None if deadline_seconds is None else self.started + deadline_seconds
+        )
+        self.max_states = max_states
+        self.states = 0
+        self._forced: str | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_deadline_ms(
+        cls, milliseconds: float, max_states: int | None = None
+    ) -> "Budget":
+        return cls(deadline_seconds=milliseconds / 1000.0, max_states=max_states)
+
+    # ------------------------------------------------------------------
+    @property
+    def deadline_seconds(self) -> float | None:
+        """Total wall-clock allowance, or None when time-unbounded."""
+        if self._deadline is None:
+            return None
+        return self._deadline - self.started
+
+    def elapsed(self) -> float:
+        return self._clock() - self.started
+
+    def remaining_seconds(self) -> float | None:
+        """Seconds left before the deadline (None = unbounded)."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        """True once any allowance is gone (no exception raised)."""
+        if self._forced is not None:
+            return True
+        if self.max_states is not None and self.states >= self.max_states:
+            return True
+        return self._deadline is not None and self._clock() >= self._deadline
+
+    # ------------------------------------------------------------------
+    def spend(self, states: int = 1, site: str = "") -> None:
+        """Charge *states* units of work, then :meth:`check`."""
+        self.states += states
+        self.check(site)
+
+    def check(self, site: str = "") -> None:
+        """Raise if the budget is gone; otherwise a cheap no-op."""
+        if self._forced is not None:
+            get_registry().counter("resilience.budget_exhausted").add(1)
+            raise BudgetExhausted(
+                f"budget force-exhausted ({self._forced})", site=site
+            )
+        if self.max_states is not None and self.states >= self.max_states:
+            get_registry().counter("resilience.budget_exhausted").add(1)
+            raise BudgetExhausted(
+                f"state budget of {self.max_states} spent", site=site
+            )
+        if self._deadline is not None and self._clock() >= self._deadline:
+            get_registry().counter("resilience.deadline_hits").add(1)
+            raise DeadlineExceeded(
+                f"deadline of {self.deadline_seconds:.3f}s passed", site=site
+            )
+
+    def exhaust(self, reason: str = "forced") -> None:
+        """Force every subsequent check to raise (fault injection)."""
+        self._forced = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"states={self.states}"]
+        if self.max_states is not None:
+            parts.append(f"max_states={self.max_states}")
+        if self._deadline is not None:
+            parts.append(f"remaining={self.remaining_seconds():.3f}s")
+        return f"<Budget {' '.join(parts)}>"
+
+
+class Deadline(Budget):
+    """A pure wall-clock budget (the ``bench --all`` per-figure guard)."""
+
+    def __init__(self, seconds: float, clock=time.monotonic) -> None:
+        super().__init__(deadline_seconds=seconds, clock=clock)
+
+    @classmethod
+    def from_ms(cls, milliseconds: float) -> "Deadline":
+        return cls(milliseconds / 1000.0)
+
+
+# ----------------------------------------------------------------------
+# ambient propagation
+# ----------------------------------------------------------------------
+def current_budget() -> Budget | None:
+    """The ambient budget installed by the nearest :func:`use_budget`."""
+    return _current.get()
+
+
+@contextmanager
+def use_budget(budget: Budget | None):
+    """Install *budget* as the ambient budget for the dynamic extent.
+
+    ``use_budget(None)`` clears any outer budget, letting a scope opt
+    out of an enclosing deadline.
+    """
+    token = _current.set(budget)
+    try:
+        yield budget
+    finally:
+        _current.reset(token)
+
+
+def budget_check(site: str = "") -> None:
+    """Check the ambient budget, if any (module-level convenience)."""
+    budget = _current.get()
+    if budget is not None:
+        budget.check(site)

@@ -1,0 +1,182 @@
+"""Deterministic fault injection at named sites.
+
+Production code marks interesting failure points with a one-line
+``trip("site.name")`` call.  Normally that is a no-op costing one global
+load and an ``is None`` test.  Tests activate a plan with
+:func:`inject_faults`::
+
+    plan = {"midas.swap": Fault(kind="error")}
+    with inject_faults(plan, seed=7):
+        midas.apply_update(update)   # raises FaultInjected at the site
+
+Three fault kinds cover the failure modes the resilience layer must
+survive:
+
+``error``
+    Raise an exception (default :class:`FaultInjected`) — proves the
+    transactional rollback in ``Midas.apply_update``.
+``latency``
+    Sleep ``delay`` seconds — proves deadlines fire where expected.
+``exhaust``
+    Force the ambient :class:`~repro.resilience.budget.Budget` (or, if
+    none is installed, raise :class:`~repro.exceptions.BudgetExhausted`
+    directly) — proves the degradation ladders engage.
+
+Plans are deterministic: a fault fires on specific hits of its site
+(``after``/``times``) or with a seeded pseudo-random probability, so a
+failing schedule reproduces exactly from the seed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..exceptions import BudgetExhausted, ReproError
+from ..obs import get_registry
+from .budget import current_budget
+
+#: The named injection sites inside one ``Midas.apply_update`` round, in
+#: execution order.  Tests iterate this list to prove a fault at *every*
+#: site rolls the round back to a byte-identical pre-round state.
+MAINTENANCE_SITES = (
+    "midas.detect",
+    "midas.clusters",
+    "midas.fct",
+    "midas.csg",
+    "midas.index",
+    "midas.sample",
+    "midas.candidates",
+    "midas.swap",
+    "midas.index_sync",
+)
+
+#: Hot-path sites (inside the algorithmic kernels, not the round driver).
+KERNEL_SITES = (
+    "ged.exact",
+    "ged.beam",
+    "ged.bipartite",
+    "vf2.search",
+    "fct.mine",
+)
+
+
+class FaultInjected(ReproError):
+    """The default exception raised by an ``error``-kind fault."""
+
+    def __init__(self, site: str):
+        super().__init__(f"fault injected at {site}")
+        self.site = site
+
+
+@dataclass
+class Fault:
+    """One fault to inject at a site.
+
+    Attributes
+    ----------
+    kind:
+        ``"error"``, ``"latency"`` or ``"exhaust"``.
+    exc:
+        Exception *instance or class* to raise for ``error`` faults
+        (default: :class:`FaultInjected` carrying the site name).
+    delay:
+        Sleep duration in seconds for ``latency`` faults.
+    after:
+        Skip this many hits of the site before arming (0 = fire on the
+        first hit).
+    times:
+        Fire at most this many times (``None`` = every armed hit).
+    probability:
+        Fire each armed hit with this probability, drawn from the
+        plan's seeded generator (1.0 = always).
+    """
+
+    kind: str = "error"
+    exc: BaseException | type[BaseException] | None = None
+    delay: float = 0.0
+    after: int = 0
+    times: int | None = 1
+    probability: float = 1.0
+    # mutable firing state, reset each time a plan is (re)activated
+    hits: int = field(default=0, compare=False)
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "latency", "exhaust"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+class _ActivePlan:
+    __slots__ = ("faults", "rng")
+
+    def __init__(self, faults: dict[str, Fault], seed: int):
+        self.faults = faults
+        self.rng = random.Random(seed)
+
+
+# The single (module-level) active plan; ``trip`` is a no-op while None.
+_active: _ActivePlan | None = None
+
+
+def trip(site: str) -> None:
+    """Fault-injection checkpoint; no-op unless a plan is active."""
+    plan = _active
+    if plan is None:
+        return
+    fault = plan.faults.get(site)
+    if fault is None:
+        return
+    fault.hits += 1
+    if fault.hits <= fault.after:
+        return
+    if fault.times is not None and fault.fired >= fault.times:
+        return
+    if fault.probability < 1.0 and plan.rng.random() >= fault.probability:
+        return
+    fault.fired += 1
+    get_registry().counter("resilience.faults_injected").add(1)
+    if fault.kind == "latency":
+        time.sleep(fault.delay)
+        return
+    if fault.kind == "exhaust":
+        budget = current_budget()
+        if budget is not None:
+            budget.exhaust(f"fault at {site}")
+            budget.check(site)
+        raise BudgetExhausted("budget exhausted by injected fault", site=site)
+    # kind == "error"
+    exc = fault.exc
+    if exc is None:
+        raise FaultInjected(site)
+    if isinstance(exc, type):
+        raise exc(f"fault injected at {site}")
+    raise exc
+
+
+@contextmanager
+def inject_faults(plan: dict[str, Fault], seed: int = 0):
+    """Activate *plan* (site name → :class:`Fault`) for the block.
+
+    Firing state (``hits``/``fired``) is reset on entry so a plan object
+    can be reused across rounds.  Plans do not nest: activating a new
+    one inside an active block raises to keep schedules deterministic.
+    """
+    global _active
+    if _active is not None:
+        raise RuntimeError("fault-injection plans do not nest")
+    for fault in plan.values():
+        fault.hits = 0
+        fault.fired = 0
+    _active = _ActivePlan(dict(plan), seed)
+    try:
+        yield _active
+    finally:
+        _active = None
+
+
+def faults_active() -> bool:
+    """True while an :func:`inject_faults` block is active."""
+    return _active is not None

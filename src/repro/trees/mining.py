@@ -25,9 +25,13 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
+from ..exceptions import ResilienceError
 from ..graph.labeled_graph import LabeledGraph, normalize_edge_label
 from ..isomorphism.matcher import find_embeddings
 from ..obs import get_registry
+from ..resilience.budget import current_budget
+from ..resilience.degrade import anytime_degradation, degradation_enabled
+from ..resilience.faults import trip
 from .canonical import TreeCode, canonical_tokens, tree_certificate
 
 DEFAULT_MAX_EDGES = 4
@@ -112,6 +116,9 @@ class TreeMiner:
         self.max_edges = max_edges
         self.embedding_cap = embedding_cap
         self.cap_hit = False
+        # True when a budget expired mid-mining and the returned pool is
+        # the (valid but possibly incomplete) anytime result.
+        self.degraded = False
 
     # ------------------------------------------------------------------
     @property
@@ -182,7 +189,14 @@ class TreeMiner:
         Returns a mapping canonical key → :class:`MinedTree` whose
         ``closed`` flags implement the TreeNat rule: a frequent tree is
         kept closed unless some one-edge supertree matches its support.
+
+        Mining is *anytime*: if the ambient budget expires mid-growth
+        the trees mined so far are returned (a valid, possibly
+        incomplete pool — every returned tree really is frequent) and
+        :attr:`degraded` is set.
         """
+        trip("fct.mine")
+        budget = current_budget()
         min_count = self._min_count()
         frequent: dict[TreeCode, MinedTree] = {}
         level = {
@@ -190,29 +204,40 @@ class TreeMiner:
             for key, tree in self._single_edge_trees().items()
             if tree.support_count >= min_count
         }
-        while level:
-            next_candidates: dict[TreeCode, MinedTree] = {}
+        try:
+            while level:
+                if budget is not None:
+                    budget.check("fct.mine")
+                next_candidates: dict[TreeCode, MinedTree] = {}
+                for key, tree in level.items():
+                    frequent[key] = tree
+                    if tree.num_edges >= self.max_edges:
+                        continue
+                    for child_key, child in self._grow(tree).items():
+                        entry = next_candidates.get(child_key)
+                        if entry is None:
+                            next_candidates[child_key] = child
+                        else:
+                            entry.cover |= child.cover
+                        # Closedness: an equal-support supertree refutes it.
+                        grown_support = len(
+                            next_candidates[child_key].cover
+                        )
+                        if grown_support == tree.support_count:
+                            tree.closed = False
+                level = {
+                    key: tree
+                    for key, tree in next_candidates.items()
+                    if tree.support_count >= min_count
+                }
+        except ResilienceError:
+            if not degradation_enabled():
+                raise
+            # Keep the frontier too — those trees met the threshold.
             for key, tree in level.items():
-                frequent[key] = tree
-                if tree.num_edges >= self.max_edges:
-                    continue
-                for child_key, child in self._grow(tree).items():
-                    entry = next_candidates.get(child_key)
-                    if entry is None:
-                        next_candidates[child_key] = child
-                    else:
-                        entry.cover |= child.cover
-                    # Closedness: an equal-support supertree refutes it.
-                    grown_support = len(
-                        next_candidates[child_key].cover
-                    )
-                    if grown_support == tree.support_count:
-                        tree.closed = False
-            level = {
-                key: tree
-                for key, tree in next_candidates.items()
-                if tree.support_count >= min_count
-            }
+                frequent.setdefault(key, tree)
+            self.degraded = True
+            anytime_degradation("fct.mine")
         get_registry().counter("fct.trees_mined").add(len(frequent))
         return frequent
 

@@ -144,10 +144,13 @@ class TestStructuralConsistency:
             clustered |= midas.clusters.members(cid)
         assert clustered == set(midas.database.ids())
 
-    def test_empty_update(self, midas):
-        report = midas.apply_update(BatchUpdate())
-        assert not report.is_major
-        assert report.classification.distance == pytest.approx(0.0)
+    def test_empty_update_rejected(self, midas):
+        # Empty batches are rejected at the boundary (a no-op round
+        # would silently skip index/sample maintenance callers expect).
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="empty batch"):
+            midas.apply_update(BatchUpdate())
 
     def test_report_timings_populated(self, midas):
         report = midas.apply_update(family_injection(20, seed=8))
