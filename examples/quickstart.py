@@ -6,8 +6,9 @@ Walks through the core loop of the library:
 
 1. generate a synthetic chemical-compound database (the stand-in for
    PubChem/AIDS — see DESIGN.md);
-2. bootstrap MIDAS, which runs CATAPULT++ once to select the initial
-   canned patterns, build clusters, CSGs and the FCT/IFE indices;
+2. bootstrap MIDAS through the ``repro.api`` facade, which runs
+   CATAPULT++ once to select the initial canned patterns, build
+   clusters, CSGs and the FCT/IFE indices;
 3. apply a *minor* batch (a few random molecules) — detected as Type 2,
    so patterns stay put while clusters/CSGs/indices are maintained;
 4. apply a *major* batch (a new compound family) — detected as Type 1,
@@ -18,7 +19,8 @@ Walks through the core loop of the library:
    of overrunning (see docs/ROBUSTNESS.md).
 """
 
-from repro import Midas, MidasConfig, PatternBudget
+import repro
+from repro import MidasConfig, PatternBudget
 from repro.datasets import family_injection, pubchem_like, random_insertions
 from repro.patterns import PatternSet, pattern_set_quality
 from repro.resilience import Budget, resilient_ged
@@ -47,12 +49,14 @@ def main() -> None:
         seed=1,
         epsilon=0.002,
     )
-    midas = Midas.bootstrap(database, config)
+    midas = repro.api.bootstrap(database, config=config)
     print(f"  selected {len(midas.patterns)} canned patterns")
     show_quality("initial quality:", midas.patterns, midas.oracle)
 
     print("== 3. minor batch: +5 random molecules ==")
-    report = midas.apply_update(random_insertions(midas.database, 3, seed=2))
+    report = repro.api.maintain(
+        midas, random_insertions(midas.database, 3, seed=2)
+    )
     print(
         f"  GFD distance {report.classification.distance:.5f} "
         f"(epsilon {config.epsilon}) -> "
@@ -64,7 +68,7 @@ def main() -> None:
     stale = PatternSet()
     for pattern in midas.patterns:
         stale.add(pattern.graph, "stale")
-    report = midas.apply_update(family_injection(50, seed=3))
+    report = repro.api.maintain(midas, family_injection(50, seed=3))
     print(
         f"  GFD distance {report.classification.distance:.5f} -> "
         f"{'MAJOR' if report.is_major else 'MINOR'}; "

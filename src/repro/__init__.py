@@ -7,16 +7,27 @@ without re-running the full CATAPULT selection from scratch.
 
 Quickstart
 ----------
->>> from repro import Midas, MidasConfig
+The supported entry points live in :mod:`repro.api`:
+
+>>> import repro
 >>> from repro.datasets import pubchem_like, family_injection
 >>> db = pubchem_like(150, seed=1)
->>> midas = Midas.bootstrap(db, MidasConfig())      # doctest: +SKIP
->>> report = midas.apply_update(family_injection(50, seed=2))  # doctest: +SKIP
+>>> midas = repro.api.bootstrap(db)                  # doctest: +SKIP
+>>> report = repro.api.maintain(midas, family_injection(50, seed=2))  # doctest: +SKIP
 >>> report.is_major                                  # doctest: +SKIP
 True
 
+Pass an :class:`~repro.execution.ExecutionConfig` to control *how* the
+kernels run — worker processes, result caching, deadlines, degradation:
+
+>>> fast = repro.ExecutionConfig(workers=4, cache=True)  # doctest: +SKIP
+>>> result = repro.api.select(db, execution=fast)        # doctest: +SKIP
+
 Package map
 -----------
+* :mod:`repro.api` — the supported facade: select / bootstrap / maintain;
+* :mod:`repro.execution` — the shared execution policy (workers, cache,
+  deadline_ms, degrade);
 * :mod:`repro.graph` — labelled graphs, canonical forms, databases, IO;
 * :mod:`repro.datasets` — synthetic molecule datasets + evolution batches;
 * :mod:`repro.isomorphism` — VF2 subgraph isomorphism;
@@ -30,11 +41,14 @@ Package map
 * :mod:`repro.patterns` — canned patterns, budgets and quality metrics;
 * :mod:`repro.catapult` — the CATAPULT / CATAPULT++ selectors;
 * :mod:`repro.midas` — the MIDAS maintainer and baselines;
+* :mod:`repro.parallel` — the deterministic kernel process pool;
+* :mod:`repro.cache` — canonical-form result caches + invalidation;
 * :mod:`repro.workload` — query workloads and the simulated user study;
 * :mod:`repro.bench` — the experiment drivers behind ``benchmarks/``.
 """
 
 from .catapult import Catapult, CatapultConfig, CatapultPlusPlus
+from .execution import ExecutionConfig
 from .graph import BatchUpdate, GraphDatabase, LabeledGraph
 from .midas import (
     Midas,
@@ -43,6 +57,7 @@ from .midas import (
     RandomSwapMaintainer,
 )
 from .patterns import PatternBudget, PatternSet
+from . import api
 
 __version__ = "1.0.0"
 
@@ -51,6 +66,7 @@ __all__ = [
     "Catapult",
     "CatapultConfig",
     "CatapultPlusPlus",
+    "ExecutionConfig",
     "GraphDatabase",
     "LabeledGraph",
     "Midas",
@@ -59,5 +75,6 @@ __all__ = [
     "PatternBudget",
     "PatternSet",
     "RandomSwapMaintainer",
+    "api",
     "__version__",
 ]

@@ -1,0 +1,103 @@
+"""The supported entry points: select, bootstrap, maintain.
+
+This facade is the single documented way to drive the reproduction —
+everything else (pipeline classes, the maintainer, the kernels) is
+implementation surface that may move between releases.  The three calls
+mirror the lifecycle of a visual graph query interface's canned pattern
+set (paper, Sections 2–3):
+
+>>> import repro
+>>> result = repro.api.select(database, repro.PatternBudget(3, 5, 8))
+>>> midas = repro.api.bootstrap(database)
+>>> report = repro.api.maintain(midas, repro.BatchUpdate.of(insertions=[g]))
+
+Every call accepts an optional :class:`~repro.execution.ExecutionConfig`
+— the shared *how* knob bundle (workers, cache, deadline_ms, degrade)
+that replaced the per-call resilience kwargs.  Results are the existing
+dataclasses (:class:`~repro.catapult.pipeline.CatapultResult`,
+:class:`~repro.midas.maintainer.MaintenanceReport`), so downstream code
+keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .catapult.pipeline import Catapult, CatapultConfig, CatapultPlusPlus, CatapultResult
+from .execution import ExecutionConfig
+from .graph.database import BatchUpdate, GraphDatabase
+from .midas.config import MidasConfig
+from .midas.maintainer import MaintenanceReport, Midas
+from .patterns.budget import PatternBudget
+
+
+def _with_execution(config, execution: ExecutionConfig | None):
+    return config if execution is None else replace(config, execution=execution)
+
+
+def select(
+    database: GraphDatabase,
+    budget: PatternBudget | None = None,
+    *,
+    config: CatapultConfig | None = None,
+    execution: ExecutionConfig | None = None,
+    plus_plus: bool = True,
+) -> CatapultResult:
+    """Select a canned pattern set for *database* from scratch.
+
+    Parameters
+    ----------
+    database:
+        The graph database to select patterns for.
+    budget:
+        Pattern budget (η_min, η_max, γ); overrides ``config.budget``
+        when both are given.
+    config:
+        Full pipeline configuration; defaults to ``CatapultConfig()``.
+    execution:
+        Execution policy override (workers, cache, deadline, degrade);
+        replaces ``config.execution`` when given.
+    plus_plus:
+        Run CATAPULT++ (closed features + FCT/IFE indices, the variant
+        MIDAS builds on) rather than baseline CATAPULT.
+    """
+    config = config or CatapultConfig()
+    if budget is not None:
+        config = replace(config, budget=budget)
+    config = _with_execution(config, execution)
+    pipeline = CatapultPlusPlus(config) if plus_plus else Catapult(config)
+    return pipeline.run(database)
+
+
+def bootstrap(
+    database: GraphDatabase,
+    *,
+    config: MidasConfig | None = None,
+    execution: ExecutionConfig | None = None,
+) -> Midas:
+    """Build a maintainer over *database* with one CATAPULT++ run."""
+    config = _with_execution(config or MidasConfig(), execution)
+    return Midas.bootstrap(database, config)
+
+
+def maintain(
+    midas: Midas,
+    batch: BatchUpdate,
+    *,
+    config: MidasConfig | None = None,
+    execution: ExecutionConfig | None = None,
+) -> MaintenanceReport:
+    """Apply one batch update through the maintainer.
+
+    *config* replaces the maintainer's configuration for this and all
+    subsequent rounds; *execution* overrides just the execution policy
+    the same way.  Both default to whatever the maintainer already has.
+    """
+    if config is not None:
+        midas.config = config
+    if execution is not None:
+        midas.config = _with_execution(midas.config, execution)
+    return midas.apply_update(batch)
+
+
+__all__ = ["bootstrap", "maintain", "select"]

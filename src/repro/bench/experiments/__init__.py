@@ -1,6 +1,17 @@
 """One experiment driver per paper figure (plus ablations)."""
 
-from . import ablations, fig09, fig10, fig11, fig12, fig13, fig14, fig15, fig16
+from . import (
+    ablations,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    perf,
+)
 
 __all__ = [
     "ablations",
@@ -12,4 +23,5 @@ __all__ = [
     "fig14",
     "fig15",
     "fig16",
+    "perf",
 ]

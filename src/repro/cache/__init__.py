@@ -1,0 +1,43 @@
+"""Canonical-form result caching for the maintenance kernels.
+
+See :mod:`repro.cache.stores` for the design (content-addressed keys,
+fidelity-tagged GED entries, LRU bounds, ``BatchUpdate``-driven
+invalidation) and ``docs/PERFORMANCE.md`` for the operator guide.
+"""
+
+from .keys import clear_key_memo, graph_key
+from .stores import (
+    COUNT_FIDELITY_RANK,
+    DEFAULT_MAX_ENTRIES,
+    FIDELITY_RANK,
+    CacheManager,
+    EmbeddingCache,
+    GedCache,
+    GraphletCache,
+    LRUStore,
+    cached_ged_value,
+    caching_enabled,
+    get_caches,
+    set_caches,
+    set_caching,
+    use_caching,
+)
+
+__all__ = [
+    "COUNT_FIDELITY_RANK",
+    "CacheManager",
+    "DEFAULT_MAX_ENTRIES",
+    "EmbeddingCache",
+    "FIDELITY_RANK",
+    "GedCache",
+    "GraphletCache",
+    "LRUStore",
+    "cached_ged_value",
+    "caching_enabled",
+    "clear_key_memo",
+    "get_caches",
+    "graph_key",
+    "set_caches",
+    "set_caching",
+    "use_caching",
+]

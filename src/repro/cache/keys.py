@@ -1,0 +1,53 @@
+"""Canonical cache keys for graphs.
+
+Every cache in this package is *content-addressed*: entries are keyed by
+the canonical certificate of the graphs involved (1-WL refinement plus
+individualisation, :func:`repro.graph.canonical.canonical_certificate`),
+never by database graph IDs or object identity.  Two structurally
+identical graphs therefore share one cache entry, and a cached value can
+never be stale — the certificate pins the exact inputs the value was
+computed from.
+
+Computing a certificate is itself non-trivial for larger graphs, so this
+module memoises certificates per graph *object* (keyed by ``id()`` with a
+strong reference to the graph, guarding against id reuse after garbage
+collection).  Graphs are treated as immutable once they enter a cache
+lookup — the same convention the rest of the codebase already relies on
+for :class:`~repro.patterns.pattern.CannedPattern` graphs.
+"""
+
+from __future__ import annotations
+
+from ..graph.canonical import canonical_certificate
+from ..graph.labeled_graph import LabeledGraph
+
+#: Bound on the certificate memo; exceeded → the memo is cleared (it is
+#: only a recomputation shortcut, so dropping it is always safe).
+CERT_MEMO_LIMIT = 8192
+
+_cert_memo: dict[int, tuple[LabeledGraph, tuple]] = {}
+
+
+def graph_key(graph: LabeledGraph) -> tuple:
+    """The canonical certificate of *graph*, memoised by object identity.
+
+    The strong reference stored next to the certificate keeps the graph
+    alive while its memo entry exists, so an ``id()`` can never silently
+    alias a different (collected) graph.
+    """
+    entry = _cert_memo.get(id(graph))
+    if entry is not None and entry[0] is graph:
+        return entry[1]
+    certificate = canonical_certificate(graph)
+    if len(_cert_memo) >= CERT_MEMO_LIMIT:
+        _cert_memo.clear()
+    _cert_memo[id(graph)] = (graph, certificate)
+    return certificate
+
+
+def clear_key_memo() -> None:
+    """Drop all memoised certificates (tests / explicit resets)."""
+    _cert_memo.clear()
+
+
+__all__ = ["CERT_MEMO_LIMIT", "clear_key_memo", "graph_key"]

@@ -1,0 +1,408 @@
+"""LRU-bounded, canonical-form-keyed memo caches for the hot kernels.
+
+Three caches back the kernels that dominate a maintenance round (paper,
+Sections 5–6):
+
+* :class:`GedCache` — pairwise GED values, tagged with the *fidelity*
+  rung of the degradation ladder that produced them (PR 2).  A cached
+  value is only reused when its fidelity matches the requested method
+  exactly, so enabling the cache never changes a computed result; a
+  later higher-fidelity value upgrades the entry, never the reverse.
+* :class:`EmbeddingCache` — VF2 containment verdicts and (capped)
+  embedding counts, keyed by ``(pattern certificate, host certificate)``.
+* :class:`GraphletCache` — per-graph graphlet count vectors, keyed by
+  the host certificate.
+
+Because keys are canonical certificates, entries are content-addressed
+and can never be *stale*: a structurally identical graph yields the same
+value by definition.  Invalidation on a :class:`~repro.graph.database.BatchUpdate`
+is therefore a memory-hygiene policy, not a correctness requirement —
+:meth:`CacheManager.invalidate` evicts exactly the entries bound to the
+deleted graph IDs (insertions cannot have prior entries; database IDs
+are never reused) and leaves everything else warm.
+
+All caches publish ``cache.*`` hit/miss/eviction counters in the PR 1
+metrics registry; the catalogue lives in ``docs/OBSERVABILITY.md``.
+Caching is off by default — enable it with :func:`set_caching` /
+:func:`use_caching` or ``ExecutionConfig(cache=True)``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+from contextlib import contextmanager
+from typing import Any
+
+from ..obs import get_registry
+from .keys import graph_key
+
+#: Default per-store entry bound.  Entries are small (a key tuple plus a
+#: scalar or a short vector) so this keeps each store well under ~50 MB.
+DEFAULT_MAX_ENTRIES = 65536
+
+#: Ordering of GED fidelity tags, loosest first.  ``put`` refuses to
+#: replace an entry with a lower-ranked (looser) one.
+FIDELITY_RANK = {
+    "lower": 0,
+    "tight_lower": 1,
+    "bipartite": 2,
+    "beam": 3,
+    "exact": 4,
+}
+
+#: Ordering of embedding-count fidelity tags (PR 2's ``CountResult``).
+COUNT_FIDELITY_RANK = {"capped": 0, "full": 1}
+
+
+class LRUStore:
+    """An LRU-bounded mapping with hit/miss/eviction counters.
+
+    Counter names are passed in as literals so the documentation
+    catalogue checker (``tests/test_docs.py``) can find them in source.
+    """
+
+    def __init__(
+        self,
+        hits_counter: str,
+        misses_counter: str,
+        evictions_counter: str,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+        self._hits_counter = hits_counter
+        self._misses_counter = misses_counter
+        self._evictions_counter = evictions_counter
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def get(self, key: Any) -> Any | None:
+        """Return the cached value (marking it recently used) or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            get_registry().counter(self._misses_counter).add(1)
+            return None
+        self._entries.move_to_end(key)
+        get_registry().counter(self._hits_counter).add(1)
+        return entry
+
+    def peek(self, key: Any) -> Any | None:
+        """Like :meth:`get` but without touching LRU order or counters."""
+        return self._entries.get(key)
+
+    def put(self, key: Any, value: Any) -> None:
+        entries = self._entries
+        if key in entries:
+            entries[key] = value
+            entries.move_to_end(key)
+            return
+        entries[key] = value
+        if len(entries) > self.max_entries:
+            entries.popitem(last=False)
+            get_registry().counter(self._evictions_counter).add(1)
+
+    def evict(self, key: Any) -> bool:
+        """Remove *key* if present; returns True when an entry was dropped."""
+        if self._entries.pop(key, None) is not None:
+            get_registry().counter(self._evictions_counter).add(1)
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+# ----------------------------------------------------------------------
+# GED cache
+# ----------------------------------------------------------------------
+class GedCache:
+    """Pairwise GED values with fidelity tags, keyed by certificate pair.
+
+    The key includes the requested method because different methods
+    return different values by design (a lower bound is not an exact
+    distance).  The stored fidelity records which ladder rung actually
+    produced the value; callers that need full fidelity check
+    ``fidelity == method`` before trusting a hit.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self._store = LRUStore(
+            "cache.ged.hits",
+            "cache.ged.misses",
+            "cache.ged.evictions",
+            max_entries,
+        )
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @staticmethod
+    def _key(first, second, method: str) -> tuple:
+        pair = sorted((graph_key(first), graph_key(second)))
+        return (method, pair[0], pair[1])
+
+    def get(self, first, second, method: str) -> tuple[int, str] | None:
+        """Return ``(value, fidelity)`` for the pair under *method*."""
+        return self._store.get(self._key(first, second, method))
+
+    def put(self, first, second, method: str, value: int, fidelity: str) -> None:
+        """Store a value, never downgrading an existing entry's fidelity."""
+        key = self._key(first, second, method)
+        existing = self._store.peek(key)
+        if existing is not None and (
+            FIDELITY_RANK.get(fidelity, -1) < FIDELITY_RANK.get(existing[1], -1)
+        ):
+            return
+        self._store.put(key, (value, fidelity))
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+# ----------------------------------------------------------------------
+# embedding (VF2) cache
+# ----------------------------------------------------------------------
+class EmbeddingCache:
+    """Containment verdicts and embedding counts keyed by certificates.
+
+    ``bind(graph_id, host)`` records which database IDs currently carry a
+    host certificate so :meth:`invalidate_ids` can evict exactly the
+    entries touching deleted graphs.  The binding is advisory (content
+    keys are never stale); it only bounds memory growth across updates.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self._store = LRUStore(
+            "cache.embed.hits",
+            "cache.embed.misses",
+            "cache.embed.evictions",
+            max_entries,
+        )
+        self._host_keys: dict[int, set[tuple]] = {}
+        self._keys_by_host: dict[tuple, set[tuple]] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- containment ---------------------------------------------------
+    def get_contains(self, pattern, host) -> bool | None:
+        entry = self._store.get(("c", graph_key(pattern), graph_key(host)))
+        return entry[0] if entry is not None else None
+
+    def put_contains(self, pattern, host, verdict: bool) -> None:
+        host_cert = graph_key(host)
+        key = ("c", graph_key(pattern), host_cert)
+        self._store.put(key, (verdict,))
+        self._keys_by_host.setdefault(host_cert, set()).add(key)
+
+    # -- counts --------------------------------------------------------
+    def get_count(self, pattern, host, limit: int | None) -> tuple[int, str] | None:
+        """Return ``(count, fidelity)`` or None; fidelity is full/capped."""
+        return self._store.get(("n", graph_key(pattern), graph_key(host), limit))
+
+    def put_count(
+        self, pattern, host, limit: int | None, count: int, fidelity: str
+    ) -> None:
+        host_cert = graph_key(host)
+        key = ("n", graph_key(pattern), host_cert, limit)
+        existing = self._store.peek(key)
+        if existing is not None and (
+            COUNT_FIDELITY_RANK.get(fidelity, -1)
+            < COUNT_FIDELITY_RANK.get(existing[1], -1)
+        ):
+            return
+        self._store.put(key, (count, fidelity))
+        self._keys_by_host.setdefault(host_cert, set()).add(key)
+
+    # -- id bindings & invalidation ------------------------------------
+    def bind(self, graph_id: int, host) -> None:
+        """Record that database graph *graph_id* has *host*'s certificate."""
+        self._host_keys.setdefault(graph_id, set()).add(graph_key(host))
+
+    def invalidate_ids(self, graph_ids: Iterable[int]) -> int:
+        """Evict every entry whose host certificate is bound to an ID."""
+        evicted = 0
+        for graph_id in graph_ids:
+            for host_cert in self._host_keys.pop(graph_id, ()):  # noqa: B020
+                for key in self._keys_by_host.pop(host_cert, ()):  # noqa: B020
+                    if self._store.evict(key):
+                        evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        self._store.clear()
+        self._host_keys.clear()
+        self._keys_by_host.clear()
+
+
+# ----------------------------------------------------------------------
+# graphlet cache
+# ----------------------------------------------------------------------
+class GraphletCache:
+    """Per-graph graphlet count vectors keyed by host certificate."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self._store = LRUStore(
+            "cache.graphlet.hits",
+            "cache.graphlet.misses",
+            "cache.graphlet.evictions",
+            max_entries,
+        )
+        self._cert_by_id: dict[int, tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, graph):
+        """The cached count vector (a copy) or None."""
+        counts = self._store.get(graph_key(graph))
+        return None if counts is None else counts.copy()
+
+    def put(self, graph, counts, graph_id: int | None = None) -> None:
+        cert = graph_key(graph)
+        self._store.put(cert, counts.copy())
+        if graph_id is not None:
+            self._cert_by_id[graph_id] = cert
+
+    def bind(self, graph_id: int, graph) -> None:
+        """Record that database graph *graph_id* carries *graph*'s entry."""
+        self._cert_by_id[graph_id] = graph_key(graph)
+
+    def invalidate_ids(self, graph_ids: Iterable[int]) -> int:
+        evicted = 0
+        for graph_id in graph_ids:
+            cert = self._cert_by_id.pop(graph_id, None)
+            if cert is not None and self._store.evict(cert):
+                evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        self._store.clear()
+        self._cert_by_id.clear()
+
+
+# ----------------------------------------------------------------------
+# manager + ambient enable flag
+# ----------------------------------------------------------------------
+class CacheManager:
+    """The process-wide trio of kernel caches plus invalidation."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self.ged = GedCache(max_entries)
+        self.embeddings = EmbeddingCache(max_entries)
+        self.graphlets = GraphletCache(max_entries)
+
+    def invalidate(
+        self,
+        inserted_ids: Iterable[int] = (),
+        deleted_ids: Iterable[int] = (),
+    ) -> int:
+        """Evict entries bound to the graphs a batch update touched.
+
+        Insertions need no eviction (fresh IDs have no prior entries —
+        :class:`~repro.graph.database.GraphDatabase` never reuses IDs),
+        but their IDs are accepted for symmetry with ``AppliedUpdate``.
+        Returns the number of entries evicted.
+        """
+        _ = tuple(inserted_ids)  # accepted for symmetry; nothing to evict
+        deleted = tuple(deleted_ids)
+        evicted = self.embeddings.invalidate_ids(deleted)
+        evicted += self.graphlets.invalidate_ids(deleted)
+        get_registry().counter("cache.invalidations").add(1)
+        return evicted
+
+    def clear(self) -> None:
+        self.ged.clear()
+        self.embeddings.clear()
+        self.graphlets.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "ged_entries": len(self.ged),
+            "embedding_entries": len(self.embeddings),
+            "graphlet_entries": len(self.graphlets),
+        }
+
+
+_manager = CacheManager()
+_enabled = False
+
+
+def get_caches() -> CacheManager:
+    """The process-wide :class:`CacheManager`."""
+    return _manager
+
+
+def set_caches(manager: CacheManager) -> CacheManager:
+    """Swap the process-wide manager (tests); returns the previous one."""
+    global _manager
+    previous = _manager
+    _manager = manager
+    return previous
+
+
+def set_caching(enabled: bool) -> None:
+    """Globally enable/disable kernel caching (the CLI's ``--cache``)."""
+    global _enabled
+    _enabled = enabled
+
+
+def caching_enabled() -> bool:
+    return _enabled
+
+
+@contextmanager
+def use_caching(enabled: bool = True):
+    """Enable (or disable) caching for the dynamic extent of the block."""
+    global _enabled
+    previous = _enabled
+    _enabled = enabled
+    try:
+        yield _manager
+    finally:
+        _enabled = previous
+
+
+def cached_ged_value(first, second, method: str) -> int:
+    """A cache-through wrapper for the plain :func:`repro.ged.ged` call.
+
+    Used by call sites that bypass the degradation ladder (diversity
+    scoring).  Plain ``ged`` either completes at full fidelity or raises,
+    so cached entries always carry ``fidelity == method`` and a hit is
+    byte-identical to recomputing.
+    """
+    from ..ged import ged  # lazy: keep this package import-light
+
+    if not _enabled:
+        return ged(first, second, method=method)
+    cached = _manager.ged.get(first, second, method)
+    if cached is not None and cached[1] == method:
+        return cached[0]
+    value = ged(first, second, method=method)
+    _manager.ged.put(first, second, method, value, fidelity=method)
+    return value
+
+
+__all__ = [
+    "COUNT_FIDELITY_RANK",
+    "CacheManager",
+    "DEFAULT_MAX_ENTRIES",
+    "EmbeddingCache",
+    "FIDELITY_RANK",
+    "GedCache",
+    "GraphletCache",
+    "LRUStore",
+    "cached_ged_value",
+    "caching_enabled",
+    "get_caches",
+    "set_caches",
+    "set_caching",
+    "use_caching",
+]

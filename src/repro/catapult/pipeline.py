@@ -13,11 +13,13 @@ scratch is the "maintenance-from-scratch" baseline of the experiments.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..clustering.maintenance import DEFAULT_MAX_CLUSTER_SIZE, ClusterSet
 from ..csg.maintenance import CSGSet
+from ..execution import ExecutionConfig
 from ..graph.database import GraphDatabase
 from ..index.maintenance import IndexPair
 from ..obs import capture, get_registry, span
@@ -34,9 +36,16 @@ from .candidate import CandidateGenerator
 from .selection import GreedySelector
 
 
-@dataclass
+@dataclass(kw_only=True)
 class CatapultConfig:
-    """Configuration shared by CATAPULT, CATAPULT++ and MIDAS."""
+    """Configuration shared by CATAPULT, CATAPULT++ and MIDAS.
+
+    Keyword-only since the ``repro.api`` redesign: positional
+    construction was never used in-tree and keyword-only fields let the
+    config hierarchy grow without positional-order hazards.  The shared
+    :class:`~repro.execution.ExecutionConfig` carries the *how* (workers,
+    caching, deadline, degradation) next to the algorithmic *what*.
+    """
 
     budget: PatternBudget = field(default_factory=PatternBudget)
     sup_min: float = 0.5
@@ -47,6 +56,7 @@ class CatapultConfig:
     num_walks: int = 100
     walk_length: int = 12
     seed: int = 0
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.sup_min <= 1.0:
@@ -104,17 +114,33 @@ class Catapult:
     ) -> CatapultResult:
         """Select a canned pattern set for *database* from scratch.
 
-        When *budget* is given (or one is ambient) the expensive phases
+        Runs under ``config.execution`` (workers, caching, deadline,
+        degradation).  When a budget is active the expensive phases
         degrade gracefully instead of overrunning: mining and selection
         are anytime (partial results), and embedding counts in the
         indices fall back to capped counts.  The run still returns a
         complete, internally consistent :class:`CatapultResult`.
+
+        The *budget* parameter is deprecated: pass
+        ``ExecutionConfig(deadline_ms=...)`` on the config (or use
+        ``repro.api.select``) instead.  An explicit budget still wins
+        over the config's deadline for backward compatibility.
         """
+        if budget is not None:
+            warnings.warn(
+                "Catapult.run(budget=...) is deprecated; set "
+                "ExecutionConfig(deadline_ms=...) on the config or use "
+                "repro.api.select(..., config=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         config = self.config
         graphs = dict(database.items())
         get_registry().counter("catapult.runs").add(1)
-        with use_budget(budget) if budget is not None else nullcontext():
-            return self._run(database, graphs, config)
+        execution = getattr(config, "execution", None) or ExecutionConfig()
+        with execution.apply():
+            with use_budget(budget) if budget is not None else nullcontext():
+                return self._run(database, graphs, config)
 
     def _run(self, database, graphs, config) -> CatapultResult:
         with capture("catapult.run") as run_span:

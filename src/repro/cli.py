@@ -28,7 +28,7 @@ from .obs import (
     span,
     write_metrics_json,
 )
-from .resilience import Deadline, set_degradation, use_budget
+from .execution import ExecutionConfig
 from .bench.experiments import (
     ablations,
     fig09,
@@ -39,6 +39,7 @@ from .bench.experiments import (
     fig14,
     fig15,
     fig16,
+    perf,
 )
 
 FIGURES = {
@@ -54,6 +55,7 @@ FIGURES = {
     "abl2": ("Ablation 2 — pruning on/off", ablations.run_pruning),
     "abl3": ("Ablation 3 — GFD distances", ablations.run_distance_measures),
     "abl4": ("Ablation 4 — walks vs FSM", ablations.run_walks_vs_fsm),
+    "perf": ("Perf — parallel determinism + cache speedup", perf.run),
 }
 
 #: Per-figure wall-clock guard for ``bench --all`` when no explicit
@@ -118,13 +120,23 @@ def _export_metrics(args: argparse.Namespace) -> None:
         print(render_metrics_report())
 
 
-def _apply_degrade_flag(args: argparse.Namespace) -> None:
-    set_degradation(getattr(args, "degrade", "on") != "off")
+def _execution_from_args(
+    args: argparse.Namespace, deadline_ms: float | None = None
+) -> ExecutionConfig:
+    """Build the shared execution policy from the normalized CLI flags.
 
-
-def _deadline_from_args(args: argparse.Namespace) -> Deadline | None:
-    deadline_ms = getattr(args, "deadline_ms", None)
-    return None if deadline_ms is None else Deadline.from_ms(deadline_ms)
+    The flag spellings mirror the :class:`~repro.execution.ExecutionConfig`
+    field names one-to-one (``--workers``, ``--cache``, ``--deadline-ms``,
+    ``--degrade``) so the CLI and the ``repro.api`` facade stay in sync.
+    """
+    if deadline_ms is None:
+        deadline_ms = getattr(args, "deadline_ms", None)
+    return ExecutionConfig(
+        workers=getattr(args, "workers", 1),
+        cache=getattr(args, "cache", "off") == "on",
+        deadline_ms=deadline_ms,
+        degrade=getattr(args, "degrade", "on") != "off",
+    )
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -142,9 +154,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
         return 1
     if not _check_metrics_path(args):
         return 2
-    _apply_degrade_flag(args)
     try:
-        with use_budget(_deadline_from_args(args)):
+        with _execution_from_args(args).apply():
             runpy.run_path(str(quickstart), run_name="__main__")
     except ResilienceError as exc:
         # The walkthrough overran the demo deadline; everything up to
@@ -164,22 +175,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 2
     if getattr(args, "trace_memory", False):
         set_trace_memory(True)
-    _apply_degrade_flag(args)
     deadline_ms = getattr(args, "deadline_ms", None)
     if deadline_ms is None and args.all:
         deadline_ms = DEFAULT_FIGURE_DEADLINE_MS
+    execution = _execution_from_args(args, deadline_ms=deadline_ms)
     outcomes: list[tuple[str, float, str]] = []
     for name in targets:
         title, runner = FIGURES[name]
         print(f"\n### {name}: {title} (scale={args.scale})")
-        # A fresh per-figure deadline: one runaway figure times out on
-        # its own instead of starving every figure after it.
-        budget = (
-            Deadline.from_ms(deadline_ms) if deadline_ms is not None else None
-        )
         start = time.perf_counter()
         try:
-            with use_budget(budget), span(f"bench.{name}"):
+            # ``apply()`` arms a fresh per-figure deadline: one runaway
+            # figure times out on its own instead of starving the rest.
+            with execution.apply(), span(f"bench.{name}"):
                 result = runner(scale)
         except ResilienceError as exc:
             elapsed = time.perf_counter() - start
@@ -261,9 +269,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="print the span-tree/metrics report after the run",
         )
 
-    def add_resilience_flags(sub: argparse.ArgumentParser) -> None:
+    def add_execution_flags(sub: argparse.ArgumentParser) -> None:
+        # One flag per ExecutionConfig field; old spellings stay as
+        # hidden aliases so existing invocations keep working.
         sub.add_argument(
             "--deadline-ms",
+            "--deadline",
             type=float,
             metavar="MS",
             help="wall-clock deadline: per figure for bench, whole run "
@@ -277,10 +288,27 @@ def build_parser() -> argparse.ArgumentParser:
             help="'on' (default) falls down the fidelity ladder under "
             "deadline pressure; 'off' fails hard instead",
         )
+        sub.add_argument(
+            "--workers",
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for the parallel kernels (default 1 "
+            "= serial); results are byte-identical at any worker count",
+        )
+        sub.add_argument(
+            "--cache",
+            "--caching",
+            choices=("on", "off"),
+            default="off",
+            help="'on' memoises GED / embedding / graphlet results under "
+            "canonical-form keys (see docs/PERFORMANCE.md)",
+        )
 
     demo = subparsers.add_parser("demo", help="run the quickstart demo")
     add_metrics_flags(demo)
-    add_resilience_flags(demo)
+    add_execution_flags(demo)
     demo.set_defaults(func=cmd_demo)
 
     bench = subparsers.add_parser(
@@ -299,7 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataset scale (default: small)",
     )
     add_metrics_flags(bench)
-    add_resilience_flags(bench)
+    add_execution_flags(bench)
     bench.add_argument(
         "--trace-memory",
         action="store_true",

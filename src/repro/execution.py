@@ -1,0 +1,76 @@
+"""The shared execution policy: workers, caching, deadline, degradation.
+
+:class:`ExecutionConfig` is the one knob bundle that every entry point
+accepts — ``repro.api.select`` / ``repro.api.maintain``, the pipeline
+and maintainer configs (``CatapultConfig.execution``), and the CLI
+(``--workers``, ``--cache``, ``--deadline-ms``, ``--degrade``).  It
+replaces the per-call resilience kwargs that had accreted on individual
+signatures.
+
+:meth:`ExecutionConfig.apply` is *additive*: it installs only the
+facilities the config asks for and leaves ambient state from enclosing
+scopes alone otherwise.  In particular a config with ``deadline_ms=None``
+does **not** clear an outer deadline (``use_budget(None)`` would), and
+``degrade=True`` / ``cache=False`` — the defaults — do not override an
+enclosing scope that set those globals differently.  Nested ``apply``
+calls therefore compose: the CLI can wrap a whole bench figure while a
+maintainer config wraps each round.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How to run the kernels, orthogonal to what they compute.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes for the kernel pool; ``1`` = serial.
+    cache:
+        Enable the canonical-form result caches (:mod:`repro.cache`).
+    deadline_ms:
+        Wall-clock budget for the wrapped scope; ``None`` = unbounded.
+    degrade:
+        Whether kernels may fall down the degradation ladder under
+        budget pressure (PR 2); ``False`` lets the budget exception
+        propagate instead.
+    """
+
+    workers: int = 1
+    cache: bool = False
+    deadline_ms: float | None = None
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+
+    @contextmanager
+    def apply(self):
+        """Install this policy (pool, caches, budget, degradation) ambiently."""
+        from .cache.stores import use_caching
+        from .parallel.pool import shared_pool, use_pool
+        from .resilience.budget import Deadline, use_budget
+        from .resilience.degrade import degradation_enabled, set_degradation
+
+        with ExitStack() as stack:
+            if self.workers > 1:
+                stack.enter_context(use_pool(shared_pool(self.workers)))
+            if self.cache:
+                stack.enter_context(use_caching(True))
+            if not self.degrade and degradation_enabled():
+                set_degradation(False)
+                stack.callback(set_degradation, True)
+            if self.deadline_ms is not None:
+                stack.enter_context(use_budget(Deadline.from_ms(self.deadline_ms)))
+            yield self
+
+
+__all__ = ["ExecutionConfig"]

@@ -18,9 +18,9 @@ from dataclasses import dataclass
 from ..catapult.pipeline import CatapultConfig
 
 
-@dataclass
+@dataclass(kw_only=True)
 class MidasConfig(CatapultConfig):
-    """All knobs of the MIDAS maintainer."""
+    """All knobs of the MIDAS maintainer (keyword-only, like its base)."""
 
     #: Evolution ratio threshold ε: GFD distance at or above it marks a
     #: major (Type 1) modification.

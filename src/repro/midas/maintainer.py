@@ -28,9 +28,11 @@ import copy
 
 from dataclasses import dataclass, field
 
+from ..cache.stores import caching_enabled, get_caches
 from ..catapult.candidate import CandidateGenerator
 from ..catapult.pipeline import CatapultPlusPlus, CatapultResult
 from ..exceptions import ConfigurationError, ResilienceError, RolledBack
+from ..execution import ExecutionConfig
 from ..graph.database import BatchUpdate, GraphDatabase
 from ..graph.labeled_graph import GraphError, LabeledGraph
 from ..obs import Stopwatch, capture, get_registry, span
@@ -48,7 +50,18 @@ from .swap import MultiScanSwapper, SwapOutcome
 
 @dataclass
 class MaintenanceReport:
-    """Everything measured during one ``apply_update`` round."""
+    """Everything measured during one ``apply_update`` round.
+
+    **Invariant for aborted rounds:** when ``aborted`` is True the
+    maintained *state* was rolled back to the pre-round snapshot, but
+    the *measurements* were not — ``stopwatch`` carries the timings of
+    every phase that completed before the budget signal, and
+    ``degradations`` counts the fidelity fallbacks recorded up to that
+    point.  Operators can therefore see where an aborted round spent
+    its budget; only fields describing committed work (``swap_outcome``,
+    ``inserted_ids``, ``deleted_ids``, candidate counts) are reset,
+    because that work was undone.
+    """
 
     classification: Classification
     swap_outcome: SwapOutcome | None
@@ -202,24 +215,40 @@ class Midas:
                 ) from exc
 
     def _aborted_report(
-        self, exc: ResilienceError, registry, counters_before: dict
+        self,
+        exc: ResilienceError,
+        registry,
+        counters_before: dict,
+        round_span=None,
     ) -> MaintenanceReport:
-        """Report for a round that was rolled back on a budget signal."""
+        """Report for a round that was rolled back on a budget signal.
+
+        The round span is finalised even when the round body raises
+        (``capture`` is exception-safe), so the report carries the
+        partial per-phase timings — see the :class:`MaintenanceReport`
+        docstring for the invariant.
+        """
         degradations = registry.counter(
             "resilience.degradations"
         ).value - counters_before.get("resilience.degradations", 0)
+        stopwatch = (
+            Stopwatch.from_span(round_span)
+            if round_span is not None
+            else Stopwatch()
+        )
+        metrics = {"counters": registry.counter_deltas(counters_before)}
+        if round_span is not None:
+            metrics["spans"] = round_span.to_dict()
         return MaintenanceReport(
             classification=Classification(
                 ModificationType.MINOR, 0.0, self.config.epsilon
             ),
             swap_outcome=None,
-            stopwatch=Stopwatch(),
+            stopwatch=stopwatch,
             aborted=True,
             abort_reason=f"{type(exc).__name__}: {exc}",
             degradations=degradations,
-            metrics={
-                "counters": registry.counter_deltas(counters_before),
-            },
+            metrics=metrics,
         )
 
     # ------------------------------------------------------------------
@@ -240,15 +269,21 @@ class Midas:
         registry = get_registry()
         counters_before = registry.counter_values()
         snapshot = self._snapshot_state() if self.config.transactional else None
+        execution = getattr(self.config, "execution", None) or ExecutionConfig()
+        round_span = None
         try:
-            return self._apply_update_inner(update, registry, counters_before)
+            with execution.apply():
+                with capture("midas.apply_update") as round_span:
+                    outputs = self._apply_update_inner(update)
         except ResilienceError as exc:
             if snapshot is None:
                 raise
             self._restore_state(snapshot)
             registry.counter("resilience.rollbacks").add(1)
             registry.counter("resilience.aborted_rounds").add(1)
-            return self._aborted_report(exc, registry, counters_before)
+            return self._aborted_report(
+                exc, registry, counters_before, round_span
+            )
         except Exception as exc:
             if snapshot is None:
                 raise
@@ -259,164 +294,186 @@ class Midas:
                 f"{type(exc).__name__}: {exc}",
                 cause=exc,
             ) from exc
+        return self._finalize_report(
+            outputs, round_span, registry, counters_before
+        )
 
-    def _apply_update_inner(
-        self, update: BatchUpdate, registry, counters_before: dict
-    ) -> MaintenanceReport:
+    def _apply_update_inner(self, update: BatchUpdate) -> dict:
+        """The round body; runs inside the round span and execution scope."""
         config = self.config
         self.clusters.reset_touched()
         self.csgs.reset_touched()
 
-        with capture("midas.apply_update") as round_span:
-            record = self.database.apply(update)
-            graphs = dict(self.database.items())
-            added = {gid: graphs[gid] for gid in record.inserted_ids}
-            removed_ids = set(record.deleted_ids)
+        record = self.database.apply(update)
+        if caching_enabled():
+            get_caches().invalidate(
+                record.inserted_ids, record.deleted_ids
+            )
+        graphs = dict(self.database.items())
+        added = {gid: graphs[gid] for gid in record.inserted_ids}
+        removed_ids = set(record.deleted_ids)
 
-            # η ≤ 2 tray maintenance: exact counter updates.
-            if self.small_tray is not None:
-                self.small_tray.remove_graphs(record.deleted_graphs.values())
-                self.small_tray.add_graphs(added.values())
+        # η ≤ 2 tray maintenance: exact counter updates.
+        if self.small_tray is not None:
+            self.small_tray.remove_graphs(record.deleted_graphs.values())
+            self.small_tray.add_graphs(added.values())
 
-            # Lines 3-4 + 8: classify by graphlet distribution shift.
-            trip("midas.detect")
-            budget_check("midas.detect")
-            with span("detect"):
-                classification = self.detector.classify(
-                    added, removed_ids, commit=True
+        # Lines 3-4 + 8: classify by graphlet distribution shift.
+        trip("midas.detect")
+        budget_check("midas.detect")
+        with span("detect"):
+            classification = self.detector.classify(
+                added, removed_ids, commit=True
+            )
+
+        # Line 2: deletions leave clusters and CSGs.
+        trip("midas.clusters")
+        budget_check("midas.clusters")
+        with span("clusters"):
+            for graph_id in record.deleted_ids:
+                cluster_id = self.clusters.remove(graph_id)
+                self.csgs.detach(cluster_id, graph_id)
+
+        # Line 5: FCT maintenance (relax, mine Δ, merge, restore).
+        trip("midas.fct")
+        budget_check("midas.fct")
+        with span("fct"):
+            self.fct_set.apply(added=added, removed=removed_ids)
+            features = self.fct_set.fcts() or self.fct_set.pool()
+            feature_space = FeatureSpace(features)
+            self.clusters.refresh_feature_space(feature_space)
+
+        # Lines 1 + 6-7: insertions join clusters and CSGs.
+        with span("clusters"):
+            assignments: dict[int, int] = {}
+            for graph_id, graph in added.items():
+                assignments[graph_id] = self.clusters.assign(
+                    graph_id, graph, graphs
+                )
+        trip("midas.csg")
+        budget_check("midas.csg")
+        with span("csg"):
+            live = set(self.clusters.cluster_ids())
+            for graph_id, cluster_id in assignments.items():
+                # Integrate incrementally unless a fine split dissolved
+                # the target cluster; splits are reconciled below.
+                if (
+                    cluster_id in live
+                    and cluster_id in self.csgs
+                    and graph_id in self.clusters.members(cluster_id)
+                ):
+                    self.csgs.integrate(
+                        cluster_id, graph_id, graphs[graph_id]
+                    )
+            # Rebuild CSGs of clusters created/destroyed by fine splits.
+            self.csgs.sync_with_clusters(self.clusters, graphs)
+
+        # Line 9 (GetIndices): the indices must reflect D ⊕ ΔD *before*
+        # they back any coverage computation — a stale TG/EG column for
+        # a just-inserted graph would silently exclude it from every
+        # cover.
+        trip("midas.index")
+        budget_check("midas.index")
+        if self.index_pair is not None:
+            with span("index"):
+                self.index_pair.apply_update(
+                    self.fct_set,
+                    graphs,
+                    added_ids=record.inserted_ids,
+                    removed_ids=removed_ids,
+                    patterns=self.patterns.graphs(),
                 )
 
-            # Line 2: deletions leave clusters and CSGs.
-            trip("midas.clusters")
-            budget_check("midas.clusters")
-            with span("clusters"):
-                for graph_id in record.deleted_ids:
-                    cluster_id = self.clusters.remove(graph_id)
-                    self.csgs.detach(cluster_id, graph_id)
+        # Sample and oracle follow the database.
+        trip("midas.sample")
+        budget_check("midas.sample")
+        with span("sample"):
+            self.sampler.remove_ids(removed_ids)
+            self.sampler.add_ids(record.inserted_ids)
+            sample_graphs = {
+                gid: graphs[gid] for gid in self.sampler.sample_ids
+            }
+            self.oracle = CoverageOracle(
+                sample_graphs, index_pair=self.index_pair
+            )
 
-            # Line 5: FCT maintenance (relax, mine Δ, merge, restore).
-            trip("midas.fct")
-            budget_check("midas.fct")
-            with span("fct"):
-                self.fct_set.apply(added=added, removed=removed_ids)
-                features = self.fct_set.fcts() or self.fct_set.pool()
-                feature_space = FeatureSpace(features)
-                self.clusters.refresh_feature_space(feature_space)
-
-            # Lines 1 + 6-7: insertions join clusters and CSGs.
-            with span("clusters"):
-                assignments: dict[int, int] = {}
-                for graph_id, graph in added.items():
-                    assignments[graph_id] = self.clusters.assign(
-                        graph_id, graph, graphs
+        swap_outcome: SwapOutcome | None = None
+        candidates_generated = 0
+        candidates_promising = 0
+        if classification.is_major and len(self.patterns) > 0:
+            # Lines 9-10: pruned candidate generation from evolved CSGs.
+            trip("midas.candidates")
+            budget_check("midas.candidates")
+            with span("candidates"):
+                pruning = PruningContext(
+                    self.oracle,
+                    [p.graph for p in self.patterns],
+                    config.kappa,
+                    index_pair=self.index_pair,
+                )
+                generator = CandidateGenerator(
+                    graphs,
+                    config.budget,
+                    seed=config.seed,
+                    num_walks=config.num_walks,
+                    walk_length=config.walk_length,
+                )
+                evolved = self.csgs.touched | self.clusters.touched_added
+                summaries = {
+                    cluster_id: summary
+                    for cluster_id, summary in (
+                        self.csgs.summaries().items()
                     )
-            trip("midas.csg")
-            budget_check("midas.csg")
-            with span("csg"):
-                live = set(self.clusters.cluster_ids())
-                for graph_id, cluster_id in assignments.items():
-                    # Integrate incrementally unless a fine split dissolved
-                    # the target cluster; splits are reconciled below.
-                    if (
-                        cluster_id in live
-                        and cluster_id in self.csgs
-                        and graph_id in self.clusters.members(cluster_id)
-                    ):
-                        self.csgs.integrate(
-                            cluster_id, graph_id, graphs[graph_id]
-                        )
-                # Rebuild CSGs of clusters created/destroyed by fine splits.
-                self.csgs.sync_with_clusters(self.clusters, graphs)
-
-            # Line 9 (GetIndices): the indices must reflect D ⊕ ΔD *before*
-            # they back any coverage computation — a stale TG/EG column for
-            # a just-inserted graph would silently exclude it from every
-            # cover.
-            trip("midas.index")
-            budget_check("midas.index")
-            if self.index_pair is not None:
-                with span("index"):
-                    self.index_pair.apply_update(
-                        self.fct_set,
-                        graphs,
-                        added_ids=record.inserted_ids,
-                        removed_ids=removed_ids,
-                        patterns=self.patterns.graphs(),
-                    )
-
-            # Sample and oracle follow the database.
-            trip("midas.sample")
-            budget_check("midas.sample")
-            with span("sample"):
-                self.sampler.remove_ids(removed_ids)
-                self.sampler.add_ids(record.inserted_ids)
-                sample_graphs = {
-                    gid: graphs[gid] for gid in self.sampler.sample_ids
+                    if not evolved or cluster_id in evolved
                 }
-                self.oracle = CoverageOracle(
-                    sample_graphs, index_pair=self.index_pair
-                )
-
-            swap_outcome: SwapOutcome | None = None
-            candidates_generated = 0
-            candidates_promising = 0
-            if classification.is_major and len(self.patterns) > 0:
-                # Lines 9-10: pruned candidate generation from evolved CSGs.
-                trip("midas.candidates")
-                budget_check("midas.candidates")
-                with span("candidates"):
-                    pruning = PruningContext(
-                        self.oracle,
-                        [p.graph for p in self.patterns],
-                        config.kappa,
-                        index_pair=self.index_pair,
+                if not summaries:
+                    summaries = self.csgs.summaries()
+                with span("generate"):
+                    raw = generator.generate(
+                        summaries,
+                        edge_gate=pruning.edge_gate,
+                        edge_priority=pruning.edge_priority,
                     )
-                    generator = CandidateGenerator(
-                        graphs,
-                        config.budget,
-                        seed=config.seed,
-                        num_walks=config.num_walks,
-                        walk_length=config.walk_length,
-                    )
-                    evolved = self.csgs.touched | self.clusters.touched_added
-                    summaries = {
-                        cluster_id: summary
-                        for cluster_id, summary in (
-                            self.csgs.summaries().items()
-                        )
-                        if not evolved or cluster_id in evolved
-                    }
-                    if not summaries:
-                        summaries = self.csgs.summaries()
-                    with span("generate"):
-                        raw = generator.generate(
-                            summaries,
-                            edge_gate=pruning.edge_gate,
-                            edge_priority=pruning.edge_priority,
-                        )
-                    candidates_generated = len(raw)
-                    with span("filter"):
-                        promising = [
-                            c.graph
-                            for c in raw
-                            if pruning.is_promising(c.graph)
-                            and not self.patterns.has_isomorphic(c.graph)
-                        ]
-                    candidates_promising = len(promising)
-                # Line 10 continued + Section 6: multi-scan swap.
-                trip("midas.swap")
-                budget_check("midas.swap")
-                with span("swap"):
-                    swap_outcome = self._run_swap(promising)
+                candidates_generated = len(raw)
+                with span("filter"):
+                    promising = [
+                        c.graph
+                        for c in raw
+                        if pruning.is_promising(c.graph)
+                        and not self.patterns.has_isomorphic(c.graph)
+                    ]
+                candidates_promising = len(promising)
+            # Line 10 continued + Section 6: multi-scan swap.
+            trip("midas.swap")
+            budget_check("midas.swap")
+            with span("swap"):
+                swap_outcome = self._run_swap(promising)
 
-            # Line 12: reconcile the pattern-side (TP/EP) columns with the
-            # possibly-swapped pattern set.
-            trip("midas.index_sync")
-            budget_check("midas.index_sync")
-            if self.index_pair is not None:
-                with span("index"):
-                    self.index_pair.sync_patterns(self.patterns.graphs())
+        # Line 12: reconcile the pattern-side (TP/EP) columns with the
+        # possibly-swapped pattern set.
+        trip("midas.index_sync")
+        budget_check("midas.index_sync")
+        if self.index_pair is not None:
+            with span("index"):
+                self.index_pair.sync_patterns(self.patterns.graphs())
 
+        return {
+            "classification": classification,
+            "swap_outcome": swap_outcome,
+            "record": record,
+            "candidates_generated": candidates_generated,
+            "candidates_promising": candidates_promising,
+        }
+
+    def _finalize_report(
+        self, outputs: dict, round_span, registry, counters_before: dict
+    ) -> MaintenanceReport:
+        """Round bookkeeping that needs the *finalised* round span."""
+        classification = outputs["classification"]
+        swap_outcome = outputs["swap_outcome"]
+        record = outputs["record"]
+        candidates_generated = outputs["candidates_generated"]
+        candidates_promising = outputs["candidates_promising"]
         registry.counter("midas.updates").add(1)
         if classification.is_major:
             registry.counter("midas.major_updates").add(1)

@@ -1,0 +1,38 @@
+"""Deterministic parallel execution of the maintenance kernels.
+
+See :mod:`repro.parallel.pool` for the executor design (chunked fan-out,
+ordered reduction, budget propagation into workers, pytest-safe serial
+fallback) and ``docs/PERFORMANCE.md`` for the operator guide.
+"""
+
+from .kernels import (
+    candidate_score_kernel,
+    contains_kernel,
+    ged_pairs_kernel,
+    mccs_kernel,
+    pairwise_ged_matrix,
+)
+from .pool import (
+    CHUNKS_PER_WORKER,
+    MIN_PARALLEL_ITEMS,
+    KernelPool,
+    current_pool,
+    shared_pool,
+    shutdown_shared_pools,
+    use_pool,
+)
+
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "KernelPool",
+    "MIN_PARALLEL_ITEMS",
+    "candidate_score_kernel",
+    "contains_kernel",
+    "current_pool",
+    "ged_pairs_kernel",
+    "mccs_kernel",
+    "pairwise_ged_matrix",
+    "shared_pool",
+    "shutdown_shared_pools",
+    "use_pool",
+]

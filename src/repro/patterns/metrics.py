@@ -23,11 +23,13 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
-from ..ged import ged
+from ..cache.stores import cached_ged_value, caching_enabled, get_caches
 from ..graph.canonical import canonical_certificate
 from ..graph.labeled_graph import LabeledGraph
 from ..index.maintenance import IndexPair
 from ..isomorphism.matcher import contains
+from ..parallel.kernels import contains_kernel
+from ..parallel.pool import current_pool
 from .pattern import CannedPattern, PatternSet
 
 
@@ -41,8 +43,15 @@ def diversity(
     others: Iterable[LabeledGraph],
     method: str = "tight_lower",
 ) -> float:
-    """``div(p, P∖p) = min_{p_i} GED(p, p_i)``; +inf with no others."""
-    distances = [ged(pattern, other, method=method) for other in others]
+    """``div(p, P∖p) = min_{p_i} GED(p, p_i)``; +inf with no others.
+
+    Distances route through the canonical-form GED cache when caching
+    is enabled (:mod:`repro.cache`); a hit is byte-identical to
+    recomputing because only full-fidelity values are served.
+    """
+    distances = [
+        cached_ged_value(pattern, other, method) for other in others
+    ]
     return float(min(distances)) if distances else float("inf")
 
 
@@ -102,7 +111,15 @@ class CoverageOracle:
 
     # ------------------------------------------------------------------
     def cover(self, pattern: LabeledGraph) -> frozenset[int]:
-        """``G_scov(p)`` within this oracle's graph view (cached)."""
+        """``G_scov(p)`` within this oracle's graph view (cached).
+
+        Containment checks consult the canonical-form embedding cache
+        when caching is enabled, and the remaining (uncached) hosts fan
+        out through the ambient :class:`~repro.parallel.pool.KernelPool`
+        when one is installed.  Both paths return the same cover set as
+        the plain serial loop; ``isomorphism_tests`` counts only the
+        VF2 tests actually executed.
+        """
         key = canonical_certificate(pattern)
         cached = self._cover_cache.get(key)
         if cached is not None:
@@ -113,10 +130,38 @@ class CoverageOracle:
             )
         else:
             candidates = set(self._graphs)
+        caches = get_caches() if caching_enabled() else None
         covered = set()
-        for graph_id in candidates:
-            self.isomorphism_tests += 1
-            if contains(self._graphs[graph_id], pattern):
+        pending: list[int] = []
+        for graph_id in sorted(candidates):
+            if caches is not None:
+                verdict = caches.embeddings.get_contains(
+                    pattern, self._graphs[graph_id]
+                )
+                if verdict is not None:
+                    if verdict:
+                        covered.add(graph_id)
+                    continue
+            pending.append(graph_id)
+        pool = current_pool()
+        if pool.worth_parallelizing(len(pending)):
+            verdicts = pool.map(
+                contains_kernel,
+                [self._graphs[graph_id] for graph_id in pending],
+                payload=pattern,
+            )
+        else:
+            verdicts = [
+                contains(self._graphs[graph_id], pattern)
+                for graph_id in pending
+            ]
+        self.isomorphism_tests += len(pending)
+        for graph_id, verdict in zip(pending, verdicts):
+            if caches is not None:
+                host = self._graphs[graph_id]
+                caches.embeddings.put_contains(pattern, host, verdict)
+                caches.embeddings.bind(graph_id, host)
+            if verdict:
                 covered.add(graph_id)
         result = frozenset(covered)
         self._cover_cache[key] = result

@@ -1,0 +1,164 @@
+"""The ``repro.api`` facade and the keyword-only config redesign."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.catapult import Catapult, CatapultConfig
+from repro.catapult.pipeline import CatapultResult
+from repro.datasets import aids_like, family_injection
+from repro.execution import ExecutionConfig
+from repro.midas import Midas, MidasConfig
+from repro.midas.maintainer import MaintenanceReport
+from repro.patterns import PatternBudget
+from repro.resilience import Deadline
+
+
+@pytest.fixture(scope="module")
+def small_db():
+    return aids_like(30, seed=11)
+
+
+@pytest.fixture
+def small_config():
+    return MidasConfig(
+        budget=PatternBudget(3, 6, 8), num_clusters=3, sample_cap=50, seed=5
+    )
+
+
+class TestSelect:
+    def test_returns_catapult_result(self, small_db):
+        result = api.select(
+            small_db, PatternBudget(3, 6, 8), config=CatapultConfig(
+                num_clusters=3, sample_cap=50
+            )
+        )
+        assert isinstance(result, CatapultResult)
+        assert 0 < len(result.patterns) <= 8
+        assert result.index_pair is not None  # plus_plus by default
+
+    def test_plain_catapult_has_no_indices(self, small_db):
+        result = api.select(
+            small_db,
+            PatternBudget(3, 6, 6),
+            config=CatapultConfig(num_clusters=3, sample_cap=50),
+            plus_plus=False,
+        )
+        assert result.index_pair is None
+
+    def test_budget_overrides_config(self, small_db):
+        config = CatapultConfig(
+            budget=PatternBudget(3, 5, 2), num_clusters=3, sample_cap=50
+        )
+        result = api.select(small_db, PatternBudget(3, 5, 4), config=config)
+        assert len(result.patterns) <= 4
+        # the caller's config object is not mutated
+        assert config.budget.gamma == 2
+
+    def test_execution_override(self, small_db):
+        result = api.select(
+            small_db,
+            PatternBudget(3, 6, 6),
+            config=CatapultConfig(num_clusters=3, sample_cap=50),
+            execution=ExecutionConfig(cache=True),
+        )
+        assert isinstance(result, CatapultResult)
+
+
+class TestBootstrapAndMaintain:
+    def test_lifecycle(self, small_db, small_config):
+        midas = api.bootstrap(small_db, config=small_config)
+        assert isinstance(midas, Midas)
+        report = api.maintain(midas, family_injection(10, seed=3))
+        assert isinstance(report, MaintenanceReport)
+        assert report.inserted_ids
+
+    def test_maintain_execution_override_sticks(self, small_db, small_config):
+        midas = api.bootstrap(small_db, config=small_config)
+        api.maintain(
+            midas,
+            family_injection(8, seed=4),
+            execution=ExecutionConfig(cache=True),
+        )
+        assert midas.config.execution.cache is True
+
+    def test_maintain_config_replaces(self, small_db, small_config):
+        midas = api.bootstrap(small_db, config=small_config)
+        new_config = MidasConfig(
+            budget=PatternBudget(3, 6, 8),
+            num_clusters=3,
+            sample_cap=50,
+            seed=5,
+            epsilon=0.5,
+        )
+        api.maintain(midas, family_injection(8, seed=4), config=new_config)
+        assert midas.config.epsilon == 0.5
+
+    def test_facade_exported_from_package_root(self):
+        assert repro.api is api
+        assert "api" in repro.__all__
+        assert "ExecutionConfig" in repro.__all__
+
+
+class TestKeywordOnlyConfigs:
+    def test_positional_construction_is_rejected(self):
+        with pytest.raises(TypeError):
+            CatapultConfig(PatternBudget(3, 6, 8))  # noqa: positional
+        with pytest.raises(TypeError):
+            MidasConfig(PatternBudget(3, 6, 8))
+
+    def test_execution_field_defaults(self):
+        config = CatapultConfig()
+        assert config.execution == ExecutionConfig()
+        assert config.execution.workers == 1
+        assert config.execution.cache is False
+
+
+class TestExecutionConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(workers=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(deadline_ms=0)
+
+    def test_apply_is_additive(self):
+        from repro.cache import caching_enabled
+        from repro.resilience import current_budget
+
+        with ExecutionConfig().apply():
+            # defaults install nothing: no budget, no caching
+            assert current_budget() is None
+            assert not caching_enabled()
+        with ExecutionConfig(deadline_ms=60_000, cache=True).apply():
+            assert current_budget() is not None
+            assert caching_enabled()
+        assert current_budget() is None
+        assert not caching_enabled()
+
+
+class TestDeprecationShims:
+    def test_run_budget_kwarg_warns_but_works(self, small_db):
+        pipeline = Catapult(
+            CatapultConfig(
+                budget=PatternBudget(3, 6, 6), num_clusters=3, sample_cap=50
+            )
+        )
+        with pytest.warns(DeprecationWarning, match="ExecutionConfig"):
+            result = pipeline.run(small_db, Deadline.from_ms(60_000))
+        assert isinstance(result, CatapultResult)
+        assert len(result.patterns) > 0
+
+    def test_run_without_budget_does_not_warn(self, small_db):
+        pipeline = Catapult(
+            CatapultConfig(
+                budget=PatternBudget(3, 6, 6), num_clusters=3, sample_cap=50
+            )
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = pipeline.run(small_db)
+        assert isinstance(result, CatapultResult)

@@ -1,0 +1,312 @@
+"""Canonical-form result caches: bounds, fidelity, invalidation, identity.
+
+The load-bearing property (docs/PERFORMANCE.md): cache keys are
+canonical-form certificates, so a hit is byte-identical to recomputing —
+enabling the cache can never change a result, only skip work.  The
+property test at the bottom drives full maintenance rounds over random
+batch-update sequences with caching on and off and requires identical
+traces.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CacheManager,
+    EmbeddingCache,
+    GedCache,
+    GraphletCache,
+    LRUStore,
+    cached_ged_value,
+    caching_enabled,
+    get_caches,
+    graph_key,
+    use_caching,
+)
+from repro.datasets import (
+    aids_like,
+    family_injection,
+    mixed_update,
+    random_deletions,
+    random_insertions,
+)
+from repro.execution import ExecutionConfig
+from repro.ged import ged
+from repro.graph import BatchUpdate
+from repro.midas import Midas, MidasConfig
+from repro.obs import get_registry
+from repro.patterns import PatternBudget
+from repro.resilience import resilient_count, resilient_ged
+
+from .conftest import make_graph
+
+
+def counter(name: str) -> int:
+    return get_registry().counter(name).value
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    """Each test starts and ends with empty process-wide caches."""
+    get_caches().clear()
+    yield
+    get_caches().clear()
+
+
+@pytest.fixture
+def pair():
+    return (
+        make_graph("COS", [(0, 1), (0, 2)]),
+        make_graph("CON", [(0, 1), (0, 2)]),
+    )
+
+
+class TestGraphKey:
+    def test_isomorphic_graphs_share_a_key(self):
+        first = make_graph("COS", [(0, 1), (0, 2)])
+        relabeled = make_graph("SCO", [(1, 0), (1, 2)])
+        assert graph_key(first) == graph_key(relabeled)
+
+    def test_distinct_graphs_differ(self, pair):
+        assert graph_key(pair[0]) != graph_key(pair[1])
+
+
+class TestLRUStore:
+    def test_bound_evicts_least_recently_used(self):
+        store = LRUStore(
+            "cache.ged.hits",
+            "cache.ged.misses",
+            "cache.ged.evictions",
+            max_entries=3,
+        )
+        for key in "abc":
+            store.put(key, key.upper())
+        store.get("a")  # refresh: "b" is now the oldest
+        evictions = counter("cache.ged.evictions")
+        store.put("d", "D")
+        assert counter("cache.ged.evictions") == evictions + 1
+        assert len(store) == 3
+        assert "b" not in store
+        assert store.peek("a") == "A"
+
+    def test_hit_and_miss_counters(self):
+        store = LRUStore(
+            "cache.embed.hits", "cache.embed.misses", "cache.embed.evictions"
+        )
+        hits, misses = counter("cache.embed.hits"), counter("cache.embed.misses")
+        assert store.get("nope") is None
+        store.put("k", 1)
+        assert store.get("k") == 1
+        assert counter("cache.embed.hits") == hits + 1
+        assert counter("cache.embed.misses") == misses + 1
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            LRUStore("a", "b", "c", max_entries=0)
+
+
+class TestGedCacheFidelity:
+    def test_round_trip(self, pair):
+        cache = GedCache()
+        cache.put(*pair, "beam", 3, fidelity="beam")
+        assert cache.get(*pair, "beam") == (3, "beam")
+        # symmetric: the key sorts the certificate pair
+        assert cache.get(pair[1], pair[0], "beam") == (3, "beam")
+
+    def test_methods_do_not_collide(self, pair):
+        cache = GedCache()
+        cache.put(*pair, "lower", 1, fidelity="lower")
+        assert cache.get(*pair, "beam") is None
+
+    def test_upgrades_never_downgrade(self, pair):
+        cache = GedCache()
+        cache.put(*pair, "exact", 4, fidelity="tight_lower")
+        cache.put(*pair, "exact", 3, fidelity="exact")  # upgrade sticks
+        assert cache.get(*pair, "exact") == (3, "exact")
+        cache.put(*pair, "exact", 9, fidelity="bipartite")  # refused
+        assert cache.get(*pair, "exact") == (3, "exact")
+
+    def test_resilient_ged_serves_only_full_fidelity(self, pair):
+        with use_caching(True):
+            get_caches().ged.put(*pair, "beam", 999, fidelity="tight_lower")
+            result = resilient_ged(*pair, method="beam")
+            # the degraded entry is ignored and the real value computed
+            assert result.value == ged(*pair, method="beam")
+            assert result.fidelity == "beam"
+            # ...which upgrades the entry in place
+            assert get_caches().ged.get(*pair, "beam") == (result.value, "beam")
+
+    def test_resilient_ged_hit_is_identical_to_recompute(self, pair):
+        plain = resilient_ged(*pair, method="bipartite")
+        with use_caching(True):
+            first = resilient_ged(*pair, method="bipartite")
+            hits = counter("cache.ged.hits")
+            second = resilient_ged(*pair, method="bipartite")
+            assert counter("cache.ged.hits") == hits + 1
+        assert plain.value == first.value == second.value
+
+    def test_cached_ged_value_matches_plain_ged(self, pair):
+        expected = ged(*pair, method="tight_lower")
+        assert cached_ged_value(*pair, "tight_lower") == expected  # cache off
+        with use_caching(True):
+            assert cached_ged_value(*pair, "tight_lower") == expected
+            assert cached_ged_value(*pair, "tight_lower") == expected
+
+
+class TestEmbeddingCache:
+    def test_contains_round_trip(self, pair, triangle):
+        cache = EmbeddingCache()
+        cache.put_contains(pair[0], triangle, False)
+        assert cache.get_contains(pair[0], triangle) is False
+        assert cache.get_contains(pair[1], triangle) is None
+
+    def test_count_fidelity_upgrade_only(self, pair, triangle):
+        cache = EmbeddingCache()
+        cache.put_count(pair[0], triangle, None, 2, fidelity="capped")
+        cache.put_count(pair[0], triangle, None, 5, fidelity="full")
+        assert cache.get_count(pair[0], triangle, None) == (5, "full")
+        cache.put_count(pair[0], triangle, None, 1, fidelity="capped")
+        assert cache.get_count(pair[0], triangle, None) == (5, "full")
+
+    def test_limits_are_part_of_the_key(self, pair, triangle):
+        cache = EmbeddingCache()
+        cache.put_count(pair[0], triangle, 10, 7, fidelity="full")
+        assert cache.get_count(pair[0], triangle, None) is None
+
+    def test_resilient_count_serves_full_only(self, path3, triangle):
+        with use_caching(True):
+            first = resilient_count(path3, triangle)
+            assert first.fidelity == "full"
+            second = resilient_count(path3, triangle)
+            assert second == first
+
+    def test_invalidate_ids_evicts_bound_entries(self, pair, triangle):
+        cache = EmbeddingCache()
+        cache.put_contains(pair[0], triangle, True)
+        cache.put_count(pair[0], triangle, None, 3, fidelity="full")
+        cache.bind(7, triangle)
+        assert cache.invalidate_ids([7]) == 2
+        assert cache.get_contains(pair[0], triangle) is None
+        assert cache.invalidate_ids([7]) == 0  # idempotent
+
+
+class TestGraphletCache:
+    def test_round_trip_returns_copies(self, triangle):
+        cache = GraphletCache()
+        counts = np.arange(4, dtype=np.float64)
+        cache.put(triangle, counts, graph_id=3)
+        out = cache.get(triangle)
+        assert np.array_equal(out, counts)
+        out[0] = 99.0
+        assert cache.get(triangle)[0] == 0.0  # the stored vector is safe
+
+    def test_invalidate_by_bound_id(self, triangle):
+        cache = GraphletCache()
+        cache.put(triangle, np.ones(2), graph_id=3)
+        assert cache.invalidate_ids([3]) == 1
+        assert cache.get(triangle) is None
+
+
+class TestCacheManager:
+    def test_invalidate_every_batch_shape(self, pair, triangle):
+        manager = CacheManager()
+
+        def prime():
+            manager.clear()
+            manager.embeddings.put_contains(pair[0], triangle, True)
+            manager.embeddings.bind(42, triangle)
+            manager.graphlets.put(triangle, np.ones(2), graph_id=42)
+
+        # insert-only: fresh IDs have no entries, nothing to evict
+        prime()
+        assert manager.invalidate(inserted_ids=(100, 101)) == 0
+        assert manager.embeddings.get_contains(pair[0], triangle) is True
+        # delete-only: exactly the bound entries go
+        prime()
+        assert manager.invalidate(deleted_ids=(42,)) == 2
+        assert manager.embeddings.get_contains(pair[0], triangle) is None
+        # mixed: inserted IDs are ignored, deleted IDs evict
+        prime()
+        assert manager.invalidate(inserted_ids=(100,), deleted_ids=(42,)) == 2
+        # deleting an unbound ID is a no-op
+        prime()
+        assert manager.invalidate(deleted_ids=(777,)) == 0
+
+    def test_invalidation_counter(self):
+        before = counter("cache.invalidations")
+        CacheManager().invalidate(deleted_ids=(1,))
+        assert counter("cache.invalidations") == before + 1
+
+    def test_stats(self, pair, triangle):
+        manager = CacheManager()
+        manager.graphlets.put(triangle, np.ones(2))
+        stats = manager.stats()
+        assert stats["graphlet_entries"] == 1
+        assert stats["ged_entries"] == 0
+
+
+class TestAmbientToggle:
+    def test_off_by_default_and_restored(self):
+        assert not caching_enabled()
+        with use_caching(True):
+            assert caching_enabled()
+            with use_caching(False):
+                assert not caching_enabled()
+            assert caching_enabled()
+        assert not caching_enabled()
+
+
+# ----------------------------------------------------------------------
+# property test: random BatchUpdate sequences, cache on vs off
+# ----------------------------------------------------------------------
+def _maintenance_trace(cache: bool, rounds: int = 3):
+    """Bootstrap + *rounds* random updates; returns an observable trace.
+
+    Both invocations draw the same update sequence from the same seeded
+    generator, so any divergence between the cache-on and cache-off
+    traces would prove a stale cached value was observed.
+    """
+    get_caches().clear()
+    config = MidasConfig(
+        budget=PatternBudget(3, 6, 8),
+        num_clusters=3,
+        sample_cap=50,
+        seed=5,
+        execution=ExecutionConfig(cache=cache),
+    )
+    midas = Midas.bootstrap(aids_like(30, seed=9), config)
+    rng = random.Random(13)
+    trace = []
+    for _ in range(rounds):
+        kind = rng.choice(("insert", "delete", "mixed", "family"))
+        seed = rng.randrange(10_000)
+        if kind == "insert":
+            update = random_insertions(midas.database, 10, seed=seed)
+        elif kind == "delete":
+            update = random_deletions(midas.database, 8, seed=seed)
+        elif kind == "mixed":
+            update = mixed_update(midas.database, 8, 8, seed=seed)
+        else:
+            update = family_injection(10, seed=seed)
+        report = midas.apply_update(update)
+        trace.append(
+            (
+                kind,
+                report.is_major,
+                sorted(midas.database.ids()),
+                sorted(graph_key(g) for g in midas.pattern_graphs()),
+            )
+        )
+    return trace
+
+
+class TestCacheNeverChangesResults:
+    @pytest.mark.slow
+    def test_random_batch_sequences_cache_on_equals_cache_off(self):
+        baseline = _maintenance_trace(cache=False)
+        cached = _maintenance_trace(cache=True)
+        assert cached == baseline

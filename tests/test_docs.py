@@ -1,12 +1,18 @@
 """Documentation health: links resolve, catalogued names exist in code.
 
-Two guarantees:
+Four guarantees:
 
 * every intra-repository markdown link in README.md and docs/*.md points
   at a file that exists;
 * every metric and span name catalogued in docs/OBSERVABILITY.md appears
   as a string literal somewhere under src/repro — the catalogue cannot
-  drift from the instrumentation.
+  drift from the instrumentation;
+* the reverse, for the execution-layer namespaces: every ``parallel.*``
+  / ``cache.*`` metric literal under src/repro is catalogued in
+  OBSERVABILITY.md — the instrumentation cannot drift from the
+  catalogue;
+* every kernel named in docs/PERFORMANCE.md's kernel table is a real
+  function in ``repro.parallel``.
 """
 
 import re
@@ -89,4 +95,50 @@ def test_documented_span_exists_in_source(name, source_text):
     assert f'"{name}"' in source_text, (
         f"span {name!r} is documented in OBSERVABILITY.md but no string "
         f"literal opens it under src/repro"
+    )
+
+
+EXECUTION_METRIC_PATTERN = re.compile(r'"((?:parallel|cache)\.[a-z_][a-z_.]*)"')
+
+# Budget-check site names share the dotted spelling but are not metrics.
+EXECUTION_SITE_NAMES = {"parallel.map"}
+
+
+def test_execution_metrics_are_catalogued(source_text):
+    """Every parallel.* / cache.* literal in code is in the catalogue."""
+    emitted = (
+        set(EXECUTION_METRIC_PATTERN.findall(source_text))
+        - EXECUTION_SITE_NAMES
+    )
+    assert emitted, "expected parallel.*/cache.* metric literals in src/repro"
+    documented = set(_catalogue_names("## Metric catalogue"))
+    undocumented = sorted(emitted - documented)
+    assert not undocumented, (
+        f"metrics emitted under src/repro but missing from the "
+        f"OBSERVABILITY.md catalogue: {undocumented}"
+    )
+
+
+def _performance_kernel_names() -> list[str]:
+    """First-column backticked names of the PERFORMANCE.md kernel table."""
+    text = (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text()
+    names = []
+    for line in text.splitlines():
+        match = TABLE_NAME_PATTERN.match(line)
+        if match and match.group(1).endswith("_kernel"):
+            names.append(match.group(1))
+    return names
+
+
+def test_performance_kernel_table_is_nonempty():
+    assert len(_performance_kernel_names()) >= 4
+
+
+@pytest.mark.parametrize("name", _performance_kernel_names())
+def test_documented_kernel_exists(name):
+    import repro.parallel as parallel
+
+    assert callable(getattr(parallel, name, None)), (
+        f"kernel {name!r} is documented in PERFORMANCE.md but is not a "
+        f"callable exported by repro.parallel"
     )
