@@ -8,11 +8,12 @@ prefilter — the operations whose costs dominate every experiment.
 
 import pytest
 
+from repro.covindex import CoverageIndex
 from repro.datasets import aids_like
 from repro.ged import ged_bipartite_upper_bound, ged_tight_lower_bound
 from repro.graphlets import count_graphlets
 from repro.index import IndexPair
-from repro.isomorphism import contains
+from repro.isomorphism import contains, count_embeddings
 from repro.patterns import CoverageOracle
 from repro.trees import FCTSet, TreeMiner
 from repro.workload import generate_queries
@@ -78,6 +79,39 @@ def test_fct_mining(benchmark, graphs):
         return len(TreeMiner(graphs, 0.5, max_edges=3).mine_frequent())
 
     assert benchmark(mine) > 0
+
+
+def test_count_embeddings_unfiltered(benchmark, graphs, pattern):
+    """Embedding counts over every graph — the baseline the coverage
+    engine's posting-list filter is measured against."""
+
+    def scan():
+        return sum(
+            count_embeddings(g, pattern, limit=64) for g in graphs.values()
+        )
+
+    assert benchmark(scan) >= 0
+
+
+def test_count_embeddings_covindex_filtered(benchmark, graphs, pattern):
+    """Embedding counts over posting-list survivors only.
+
+    Filtered-out graphs have zero embeddings by the invariant-soundness
+    argument, so the filtered total must equal the unfiltered one.
+    """
+    index = CoverageIndex.build(graphs)
+
+    def scan():
+        return sum(
+            count_embeddings(graphs[gid], pattern, limit=64)
+            for gid in index.candidate_ids(pattern)
+        )
+
+    filtered_total = benchmark(scan)
+    unfiltered_total = sum(
+        count_embeddings(g, pattern, limit=64) for g in graphs.values()
+    )
+    assert filtered_total == unfiltered_total
 
 
 def test_index_prefilter_speedup(benchmark, graphs, pattern):

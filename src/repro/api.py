@@ -12,8 +12,8 @@ set (paper, Sections 2–3):
 >>> report = repro.api.maintain(midas, repro.BatchUpdate.of(insertions=[g]))
 
 Every call accepts an optional :class:`~repro.execution.ExecutionConfig`
-— the shared *how* knob bundle (workers, cache, deadline_ms, degrade)
-that replaced the per-call resilience kwargs.  Results are the existing
+— the shared *how* knob bundle (workers, cache, covindex, deadline_ms,
+degrade) that replaced the per-call resilience kwargs.  Results are the existing
 dataclasses (:class:`~repro.catapult.pipeline.CatapultResult`,
 :class:`~repro.midas.maintainer.MaintenanceReport`), so downstream code
 keeps working unchanged.
@@ -55,8 +55,8 @@ def select(
     config:
         Full pipeline configuration; defaults to ``CatapultConfig()``.
     execution:
-        Execution policy override (workers, cache, deadline, degrade);
-        replaces ``config.execution`` when given.
+        Execution policy override (workers, cache, covindex, deadline,
+        degrade); replaces ``config.execution`` when given.
     plus_plus:
         Run CATAPULT++ (closed features + FCT/IFE indices, the variant
         MIDAS builds on) rather than baseline CATAPULT.

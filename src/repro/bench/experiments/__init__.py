@@ -2,6 +2,7 @@
 
 from . import (
     ablations,
+    covix,
     fig09,
     fig10,
     fig11,
@@ -15,6 +16,7 @@ from . import (
 
 __all__ = [
     "ablations",
+    "covix",
     "fig09",
     "fig10",
     "fig11",

@@ -1,0 +1,170 @@
+"""COVIX — coverage-engine equivalence and VF2-call reduction.
+
+Not a paper figure: this driver validates the filter-then-verify
+coverage engine (:mod:`repro.covindex`) the way the perf figure
+validates the parallel and cache layers.
+
+Two full MIDAS trajectories — bootstrap plus the paper's modification
+grid applied *sequentially* — run from the same seed, one with
+``ExecutionConfig(covindex=False)`` and one with ``covindex=True``.
+After every round the algorithmic outcome is snapshotted: database IDs,
+the canonical keys of the displayed pattern set, the set-level
+scov/lcov, the batch classification and the executed swap count.  The
+two traces must be **identical** — the engine's posting-list filter and
+VF2 domain seeding only skip work whose outcome is already decided, so
+any divergence is a soundness bug and the driver raises (``repro bench``
+reports FAILED and exits non-zero; the scheduled CI job keys on this).
+
+The payoff column is ``vf2.cover_calls``: VF2 matcher invocations spent
+computing cover sets (verification loops plus the FCT prefilter's
+per-feature embedding counts) — the work the engine exists to avoid.
+The engine path must cut it by at least :data:`MIN_VF2_REDUCTION` ×,
+otherwise the figure fails — a filter that stops filtering is a silent
+perf regression.  Total ``vf2.calls`` (which also includes tree mining
+and FCT-pool support counting, subsystems the engine does not touch) is
+reported for context but not gated.
+"""
+
+from __future__ import annotations
+
+from ...cache.keys import graph_key
+from ...execution import ExecutionConfig
+from ...midas import Midas
+from ...obs import get_registry
+from ...patterns import pattern_set_quality
+from ..common import (
+    DEFAULT_SCALE,
+    ExperimentScale,
+    batch_grid,
+    dataset,
+    default_config,
+)
+from ..harness import ExperimentTable
+
+#: Minimum acceptable ratio of engine-off to engine-on
+#: ``vf2.cover_calls`` over the whole trajectory.  The small-scale
+#: workload measures well above this; the gate is the acceptance floor.
+MIN_VF2_REDUCTION = 2.0
+
+#: Number of batch-grid rounds applied sequentially.  Each round's grid
+#: is regenerated from the maintainer's *current* database so deletions
+#: always reference live graph IDs.
+NUM_ROUNDS = 4
+
+
+def _round_signature(midas: Midas) -> tuple:
+    """Everything algorithmic about the maintainer's current state."""
+    quality = pattern_set_quality(midas.patterns, midas.oracle)
+    return (
+        tuple(sorted(midas.database.ids())),
+        tuple(sorted(graph_key(g) for g in midas.pattern_graphs())),
+        quality["scov"],
+        quality["lcov"],
+    )
+
+
+def _trajectory(
+    scale: ExperimentScale, covindex: bool
+) -> tuple[list, dict[str, int]]:
+    """Bootstrap + sequential batch grid; returns (trace, counter deltas)."""
+    config = default_config(
+        scale, execution=ExecutionConfig(covindex=covindex)
+    )
+    base = dataset("aids", scale.base_graphs, scale.seed)
+    registry = get_registry()
+    before = registry.counter_values()
+    midas = Midas.bootstrap(base.copy(), config)
+    trace: list = [("bootstrap", None, 0, _round_signature(midas))]
+    for position in range(NUM_ROUNDS):
+        batch_name, update = batch_grid(midas.database, scale, "aids")[
+            position
+        ]
+        report = midas.apply_update(update)
+        trace.append(
+            (
+                batch_name,
+                report.is_major,
+                report.num_swaps,
+                _round_signature(midas),
+                tuple(report.inserted_ids),
+                tuple(report.deleted_ids),
+            )
+        )
+    return trace, registry.counter_deltas(before)
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentTable:
+    off_trace, off_counters = _trajectory(scale, covindex=False)
+    on_trace, on_counters = _trajectory(scale, covindex=True)
+
+    identical = off_trace == on_trace
+    off_calls = off_counters.get("vf2.cover_calls", 0)
+    on_calls = on_counters.get("vf2.cover_calls", 0)
+    reduction = off_calls / on_calls if on_calls else float("inf")
+    pruned = on_counters.get("covindex.candidates_pruned", 0)
+    kept = on_counters.get("covindex.candidates_kept", 0)
+    filtered = pruned + kept
+
+    table = ExperimentTable(
+        title=(
+            "Covix — coverage engine off vs on: identical results, "
+            f"{NUM_ROUNDS}-round AIDS-like trajectory"
+        ),
+        columns=["measure", "engine_off", "engine_on", "ratio", "status"],
+    )
+    table.add_row(
+        "trace",
+        len(off_trace),
+        len(on_trace),
+        1.0,
+        "identical" if identical else "MISMATCH",
+    )
+    table.add_row(
+        "vf2.cover_calls",
+        off_calls,
+        on_calls,
+        reduction,
+        "ok" if reduction >= MIN_VF2_REDUCTION else "TOO_FEW_PRUNED",
+    )
+    total_off = off_counters.get("vf2.calls", 0)
+    total_on = on_counters.get("vf2.calls", 0)
+    table.add_row(
+        "vf2.calls",
+        total_off,
+        total_on,
+        total_off / total_on if total_on else float("inf"),
+        "informational",
+    )
+    table.add_row(
+        "filter_hit_rate",
+        0,
+        pruned,
+        pruned / filtered if filtered else 0.0,
+        f"{kept} kept",
+    )
+    table.add_row(
+        "covindex.updates",
+        0,
+        on_counters.get("covindex.updates", 0),
+        float(on_counters.get("covindex.dirty_graphs", 0)),
+        "dirty graphs in ratio column",
+    )
+    table.add_note(
+        "trace = per-round (db ids, pattern keys, scov, lcov, "
+        "classification, swaps); must be byte-identical engine on vs off"
+    )
+    if not identical:
+        raise RuntimeError(
+            "covix figure failed: engine-on trajectory diverged from "
+            "engine-off (soundness bug in the coverage filter)"
+        )
+    if reduction < MIN_VF2_REDUCTION:
+        raise RuntimeError(
+            "covix figure failed: coverage VF2 call reduction "
+            f"{reduction:.2f}x below the {MIN_VF2_REDUCTION:.1f}x floor "
+            f"({off_calls} -> {on_calls} vf2.cover_calls)"
+        )
+    return table
+
+
+__all__ = ["MIN_VF2_REDUCTION", "NUM_ROUNDS", "run"]

@@ -31,6 +31,7 @@ from .obs import (
 from .execution import ExecutionConfig
 from .bench.experiments import (
     ablations,
+    covix,
     fig09,
     fig10,
     fig11,
@@ -56,6 +57,7 @@ FIGURES = {
     "abl3": ("Ablation 3 — GFD distances", ablations.run_distance_measures),
     "abl4": ("Ablation 4 — walks vs FSM", ablations.run_walks_vs_fsm),
     "perf": ("Perf — parallel determinism + cache speedup", perf.run),
+    "covix": ("Covix — coverage engine equivalence + VF2 reduction", covix.run),
 }
 
 #: Per-figure wall-clock guard for ``bench --all`` when no explicit
@@ -134,6 +136,7 @@ def _execution_from_args(
     return ExecutionConfig(
         workers=getattr(args, "workers", 1),
         cache=getattr(args, "cache", "off") == "on",
+        covindex=getattr(args, "covindex", "off") == "on",
         deadline_ms=deadline_ms,
         degrade=getattr(args, "degrade", "on") != "off",
     )
@@ -304,6 +307,15 @@ def build_parser() -> argparse.ArgumentParser:
             default="off",
             help="'on' memoises GED / embedding / graphlet results under "
             "canonical-form keys (see docs/PERFORMANCE.md)",
+        )
+        sub.add_argument(
+            "--covindex",
+            choices=("on", "off"),
+            default="off",
+            help="'on' enables the filter-then-verify coverage engine: "
+            "posting-list candidate filtering + incremental cover "
+            "maintenance; results are identical either way (see "
+            "docs/PERFORMANCE.md)",
         )
 
     demo = subparsers.add_parser("demo", help="run the quickstart demo")

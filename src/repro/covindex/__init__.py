@@ -1,0 +1,43 @@
+"""Database-wide filter-then-verify coverage engine.
+
+Inverted posting lists over cheap graph invariants (int-bitsets) filter
+containment candidates before VF2 verification, per-vertex signature
+domains shrink the verifications that remain, and per-pattern verdict
+bitsets are maintained incrementally across
+:class:`~repro.graph.database.BatchUpdate` boundaries so a MIDAS round
+re-verifies only changed graphs.  Off by default — enable with
+``ExecutionConfig(covindex=True)``, ``--covindex on``, or
+:func:`use_covindex`.
+"""
+
+from .bitset import bits_of, count, ids_of
+from .engine import (
+    MAX_TRACKED_PATTERNS,
+    CoverageEngine,
+    covindex_enabled,
+    set_covindex,
+    use_covindex,
+)
+from .index import (
+    COUNT_CAP,
+    DEGREE_CAP,
+    CoverageIndex,
+    graph_posting_keys,
+    pattern_query_keys,
+)
+
+__all__ = [
+    "COUNT_CAP",
+    "DEGREE_CAP",
+    "MAX_TRACKED_PATTERNS",
+    "CoverageEngine",
+    "CoverageIndex",
+    "bits_of",
+    "count",
+    "covindex_enabled",
+    "graph_posting_keys",
+    "ids_of",
+    "pattern_query_keys",
+    "set_covindex",
+    "use_covindex",
+]

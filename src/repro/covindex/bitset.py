@@ -1,0 +1,42 @@
+"""Int-bitsets over graph IDs.
+
+Posting lists and per-pattern match sets in the coverage engine are
+plain Python ints used as bitsets: graph ID *g* is present iff bit *g*
+is set.  Arbitrary-precision ints make intersection (``&``), union
+(``|``) and difference (``& ~``) single C-level operations over the
+whole database view — the reason a pattern's candidate host set is "a
+few AND operations instead of a database scan".
+
+Graph IDs are the small dense integers handed out by
+:class:`~repro.graph.database.GraphDatabase`, so the ints stay compact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+def bits_of(ids: Iterable[int]) -> int:
+    """The bitset containing exactly *ids*."""
+    bits = 0
+    for graph_id in ids:
+        bits |= 1 << graph_id
+    return bits
+
+
+def ids_of(bits: int) -> Iterator[int]:
+    """Yield the set graph IDs of *bits* in ascending order."""
+    graph_id = 0
+    while bits:
+        if bits & 1:
+            yield graph_id
+        bits >>= 1
+        graph_id += 1
+
+
+def count(bits: int) -> int:
+    """Number of graph IDs in *bits* (popcount)."""
+    return bits.bit_count()
+
+
+__all__ = ["bits_of", "count", "ids_of"]

@@ -1,0 +1,210 @@
+"""The coverage engine: filtered, incrementally maintained cover state.
+
+:class:`CoverageEngine` owns a :class:`~repro.covindex.index.CoverageIndex`
+over one database view plus, per registered pattern, two int-bitsets:
+
+* ``match_bits`` — graphs *verified* to contain the pattern;
+* ``seen_bits`` — graphs whose verdict is known (verified either way, or
+  rejected by the filter without a VF2 call).
+
+Cover queries are lazy over the delta: :meth:`pending` returns only the
+graphs whose verdict is still unknown **after** filtering — on a fresh
+pattern that is the filtered universe, after a
+:class:`~repro.graph.database.BatchUpdate` it is just the filtered
+*inserted* graphs, because :meth:`apply_update` clears exactly the bits
+of removed graphs and leaves every other verdict in place.  One code
+path therefore serves both initial coverage and incremental delta
+re-verification, and a MIDAS round re-verifies only changed graphs.
+
+The engine never runs VF2 itself; the caller (the
+:class:`~repro.patterns.metrics.CoverageOracle`) verifies pending hosts
+— through the embedding cache and kernel pool — and reports verdicts
+back via :meth:`commit`.  :meth:`vertex_domains` seeds those
+verifications with per-vertex candidate domains from the index.
+
+The module also hosts the ambient on/off toggle
+(:func:`set_covindex` / :func:`use_covindex` / :func:`covindex_enabled`)
+mirroring :mod:`repro.cache.stores`; the engine is off by default and
+``ExecutionConfig(covindex=True)`` turns it on for a scope.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from contextlib import contextmanager
+
+from ..graph.labeled_graph import LabeledGraph, VertexId
+from ..obs import get_registry
+from .bitset import bits_of, ids_of
+from .index import CoverageIndex
+
+#: Bound on concurrently tracked patterns.  MIDAS rounds evaluate many
+#: short-lived candidate patterns; evicting the oldest registration
+#: (re-verified from scratch if it ever returns) keeps bitset state
+#: proportional to the working set, not to history.
+MAX_TRACKED_PATTERNS = 1024
+
+
+class CoverageEngine:
+    """Filter-then-verify cover maintenance over one database view."""
+
+    def __init__(self, graphs: Mapping[int, LabeledGraph]) -> None:
+        self._graphs: dict[int, LabeledGraph] = dict(graphs)
+        self.index = CoverageIndex.build(self._graphs)
+        self._patterns: dict[tuple, LabeledGraph] = {}
+        self._match_bits: dict[tuple, int] = {}
+        self._seen_bits: dict[tuple, int] = {}
+        self._publish_gauges()
+
+    # ------------------------------------------------------------------
+    # view access
+    # ------------------------------------------------------------------
+    @property
+    def graphs(self) -> Mapping[int, LabeledGraph]:
+        return self._graphs
+
+    def graph_ids(self) -> set[int]:
+        return set(self._graphs)
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    # ------------------------------------------------------------------
+    # pattern registration
+    # ------------------------------------------------------------------
+    def register(self, key: tuple, pattern: LabeledGraph) -> None:
+        """Start tracking *pattern* under its canonical *key*."""
+        if key in self._patterns:
+            return
+        while len(self._patterns) >= MAX_TRACKED_PATTERNS:
+            oldest = next(iter(self._patterns))
+            self.discard(oldest)
+        self._patterns[key] = pattern
+        self._match_bits[key] = 0
+        self._seen_bits[key] = 0
+        self._publish_gauges()
+
+    def discard(self, key: tuple) -> None:
+        self._patterns.pop(key, None)
+        self._match_bits.pop(key, None)
+        self._seen_bits.pop(key, None)
+
+    def tracked(self, key: tuple) -> bool:
+        return key in self._patterns
+
+    # ------------------------------------------------------------------
+    # lazy filtered verification
+    # ------------------------------------------------------------------
+    def pending(self, key: tuple) -> list[int]:
+        """Graph IDs whose verdict for *key* is unknown, post-filter.
+
+        Unseen graphs rejected by the posting-list filter are marked
+        seen (non-matching) here without any VF2 work — that is the
+        "verify only what the filter cannot decide" half of the
+        contract.  The returned IDs are sorted, matching the order the
+        unfiltered serial loop would visit them in.
+        """
+        pattern = self._patterns[key]
+        unseen = self.index.universe_bits & ~self._seen_bits[key]
+        if not unseen:
+            return []
+        candidates = self.index.candidate_bits(pattern, within=unseen)
+        self._seen_bits[key] |= unseen & ~candidates
+        return list(ids_of(candidates))
+
+    def commit(self, key: tuple, graph_id: int, verdict: bool) -> None:
+        """Record one verification verdict for (*key*, *graph_id*)."""
+        bit = 1 << graph_id
+        self._seen_bits[key] |= bit
+        if verdict:
+            self._match_bits[key] |= bit
+        get_registry().counter("covindex.verifications").add(1)
+
+    def cover_ids(self, key: tuple) -> frozenset[int]:
+        """The verified cover set of *key* (call after draining pending)."""
+        return frozenset(ids_of(self._match_bits[key]))
+
+    def vertex_domains(
+        self, key: tuple, graph_id: int
+    ) -> dict[VertexId, set[VertexId]]:
+        """VF2 candidate domains for verifying *key* against *graph_id*."""
+        return self.index.vertex_domains(
+            self._patterns[key], graph_id, self._graphs[graph_id]
+        )
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def apply_update(
+        self,
+        added: Mapping[int, LabeledGraph],
+        removed_ids: Iterable[int],
+    ) -> None:
+        """Reconcile with a database batch without a rebuild.
+
+        Removed graphs leave the index and lose their verdict bits in
+        every tracked pattern; added graphs enter the index unverified,
+        so the next :meth:`pending` call per pattern surfaces exactly
+        the filtered delta.  Verdicts for untouched graphs survive.
+        """
+        removed = [gid for gid in removed_ids if gid in self._graphs]
+        for graph_id in removed:
+            self.index.remove_graph(graph_id)
+            del self._graphs[graph_id]
+        if removed:
+            keep = ~bits_of(removed)
+            for key in self._patterns:
+                self._match_bits[key] &= keep
+                self._seen_bits[key] &= keep
+        for graph_id, graph in added.items():
+            self._graphs[graph_id] = graph
+            self.index.add_graph(graph_id, graph)
+        registry = get_registry()
+        registry.counter("covindex.updates").add(1)
+        registry.counter("covindex.dirty_graphs").add(
+            len(added) + len(removed)
+        )
+        self._publish_gauges()
+
+    # ------------------------------------------------------------------
+    def _publish_gauges(self) -> None:
+        registry = get_registry()
+        registry.gauge("covindex.patterns").set(len(self._patterns))
+        registry.gauge("covindex.postings").set(self.index.num_postings())
+
+
+# ----------------------------------------------------------------------
+# ambient enable flag (mirrors repro.cache.stores)
+# ----------------------------------------------------------------------
+_enabled = False
+
+
+def set_covindex(enabled: bool) -> None:
+    """Globally enable/disable the coverage engine (CLI ``--covindex``)."""
+    global _enabled
+    _enabled = enabled
+
+
+def covindex_enabled() -> bool:
+    return _enabled
+
+
+@contextmanager
+def use_covindex(enabled: bool = True):
+    """Enable (or disable) the engine for the dynamic extent of the block."""
+    global _enabled
+    previous = _enabled
+    _enabled = enabled
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+__all__ = [
+    "MAX_TRACKED_PATTERNS",
+    "CoverageEngine",
+    "covindex_enabled",
+    "set_covindex",
+    "use_covindex",
+]

@@ -1,0 +1,274 @@
+"""Inverted posting lists over a graph-database view, keyed by invariants.
+
+:class:`CoverageIndex` indexes every graph of a view under three cheap
+invariant families, each a *necessary* condition for a monomorphism
+``pattern ⊆ graph`` (the filter half of filter-then-verify):
+
+* ``("vl", label, c)`` — graphs with ≥ *c* vertices labelled *label*;
+* ``("el", edge_label, c)`` — graphs with ≥ *c* edges labelled
+  *edge_label* (degree-capped: multiplicities saturate at
+  :data:`COUNT_CAP`);
+* ``("nb", label, nbr_label, c)`` — graphs containing a vertex labelled
+  *label* with ≥ *c* neighbours labelled *nbr_label* (the 1-hop
+  neighbourhood signature), plus ``("deg", label, d)`` for raw
+  degree-capped label/degree pairs.
+
+Posting lists are int-bitsets (:mod:`repro.covindex.bitset`), so a
+pattern's candidate host set is the AND of the posting lists of its
+invariant keys intersected with the view's universe — no database scan.
+
+The same per-vertex signatures also seed VF2: :meth:`vertex_domains`
+returns, for one surviving candidate host, the admissible host vertices
+of every pattern vertex (label equality, degree dominance, 1-hop
+neighbour-label multiset dominance via
+:func:`~repro.isomorphism.invariants.multiset_dominates`), shrinking the
+search tree of the verifications that survive filtering.
+
+Maintenance is incremental: :meth:`add_graph` / :meth:`remove_graph`
+update exactly the posting lists a graph participates in (a reverse
+key map makes removal O(keys-of-graph)); a from-scratch
+:meth:`build` is the fallback, and :meth:`snapshot` gives the canonical
+structural form both paths must agree on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..graph.labeled_graph import LabeledGraph, VertexId
+from ..isomorphism.invariants import multiset_dominates
+from ..obs import get_registry
+from .bitset import bits_of, ids_of
+
+#: Saturation cap for invariant multiplicities.  A pattern needing more
+#: than COUNT_CAP occurrences of an invariant queries the capped key —
+#: strictly weaker, never unsound — while posting-list count stays
+#: bounded per graph.
+COUNT_CAP = 4
+
+#: Saturation cap for vertex degrees in ``("deg", label, d)`` keys.
+DEGREE_CAP = 4
+
+
+def _neighbor_label_counts(
+    graph: LabeledGraph, vertex: VertexId
+) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for neighbor in graph.neighbors(vertex):
+        label = graph.label(neighbor)
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def graph_posting_keys(graph: LabeledGraph) -> set[tuple]:
+    """Every invariant key *graph* satisfies (its posting memberships)."""
+    keys: set[tuple] = set()
+    for label, n in graph.vertex_label_multiset().items():
+        for c in range(1, min(n, COUNT_CAP) + 1):
+            keys.add(("vl", label, c))
+    for edge_label, n in graph.edge_label_multiset().items():
+        for c in range(1, min(n, COUNT_CAP) + 1):
+            keys.add(("el", edge_label, c))
+    for vertex in graph.vertices():
+        label = graph.label(vertex)
+        degree = graph.degree(vertex)
+        for d in range(1, min(degree, DEGREE_CAP) + 1):
+            keys.add(("deg", label, d))
+        for nbr_label, n in _neighbor_label_counts(graph, vertex).items():
+            for c in range(1, min(n, COUNT_CAP) + 1):
+                keys.add(("nb", label, nbr_label, c))
+    return keys
+
+
+def pattern_query_keys(pattern: LabeledGraph) -> set[tuple]:
+    """The invariant keys a host must satisfy to possibly contain *pattern*.
+
+    Each key is a necessary condition for a monomorphism: label
+    multiplicities map injectively, pattern edges map to distinct host
+    edges, and each pattern vertex's degree and 1-hop neighbour-label
+    multiset must be dominated by its image's.
+    """
+    keys: set[tuple] = set()
+    for label, n in pattern.vertex_label_multiset().items():
+        keys.add(("vl", label, min(n, COUNT_CAP)))
+    for edge_label, n in pattern.edge_label_multiset().items():
+        keys.add(("el", edge_label, min(n, COUNT_CAP)))
+    for vertex in pattern.vertices():
+        label = pattern.label(vertex)
+        degree = pattern.degree(vertex)
+        if degree:
+            keys.add(("deg", label, min(degree, DEGREE_CAP)))
+        for nbr_label, n in _neighbor_label_counts(pattern, vertex).items():
+            keys.add(("nb", label, nbr_label, min(n, COUNT_CAP)))
+    return keys
+
+
+class CoverageIndex:
+    """Bitset posting lists plus per-graph vertex signature tables."""
+
+    def __init__(self) -> None:
+        self._postings: dict[tuple, int] = {}
+        self._keys_by_graph: dict[int, set[tuple]] = {}
+        self._universe = 0
+        # Lazily built per-graph tables for vertex_domains:
+        # graph id -> label -> [(vertex, degree, neighbour label counts)].
+        self._signature_tables: dict[int, dict] = {}
+
+    # ------------------------------------------------------------------
+    # construction & maintenance
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graphs: Mapping[int, LabeledGraph]) -> "CoverageIndex":
+        """Index a whole view from scratch (the rebuild fallback)."""
+        index = cls()
+        for graph_id in sorted(graphs):
+            index.add_graph(graph_id, graphs[graph_id])
+        get_registry().counter("covindex.rebuilds").add(1)
+        return index
+
+    def add_graph(self, graph_id: int, graph: LabeledGraph) -> None:
+        """Insert *graph_id* into every posting list it satisfies."""
+        if graph_id in self._keys_by_graph:
+            self.remove_graph(graph_id)
+        bit = 1 << graph_id
+        keys = graph_posting_keys(graph)
+        for key in keys:
+            self._postings[key] = self._postings.get(key, 0) | bit
+        self._keys_by_graph[graph_id] = keys
+        self._universe |= bit
+
+    def remove_graph(self, graph_id: int) -> None:
+        """Drop *graph_id* from its posting lists (no full scan)."""
+        keys = self._keys_by_graph.pop(graph_id, None)
+        if keys is None:
+            return
+        mask = ~(1 << graph_id)
+        for key in keys:
+            remaining = self._postings[key] & mask
+            if remaining:
+                self._postings[key] = remaining
+            else:
+                del self._postings[key]
+        self._universe &= mask
+        self._signature_tables.pop(graph_id, None)
+
+    # ------------------------------------------------------------------
+    # the filter
+    # ------------------------------------------------------------------
+    @property
+    def universe_bits(self) -> int:
+        return self._universe
+
+    def __contains__(self, graph_id: int) -> bool:
+        return bool(self._universe & (1 << graph_id))
+
+    def __len__(self) -> int:
+        return len(self._keys_by_graph)
+
+    def num_postings(self) -> int:
+        return len(self._postings)
+
+    def candidate_bits(
+        self, pattern: LabeledGraph, within: int | None = None
+    ) -> int:
+        """AND of *pattern*'s posting lists, restricted to *within*.
+
+        Sound: any graph containing *pattern* survives.  A pattern key
+        with no posting list proves no indexed graph can contain the
+        pattern, so the result collapses to zero immediately.
+        """
+        bits = self._universe if within is None else within & self._universe
+        registry = get_registry()
+        registry.counter("covindex.filter_queries").add(1)
+        before = bits.bit_count()
+        for key in pattern_query_keys(pattern):
+            bits &= self._postings.get(key, 0)
+            if not bits:
+                break
+        kept = bits.bit_count()
+        registry.counter("covindex.candidates_kept").add(kept)
+        registry.counter("covindex.candidates_pruned").add(before - kept)
+        return bits
+
+    def candidate_ids(
+        self, pattern: LabeledGraph, within: int | None = None
+    ) -> list[int]:
+        """Sorted candidate graph IDs (see :meth:`candidate_bits`)."""
+        return list(ids_of(self.candidate_bits(pattern, within)))
+
+    # ------------------------------------------------------------------
+    # VF2 candidate-domain seeding
+    # ------------------------------------------------------------------
+    def _signature_table(self, graph_id: int, graph: LabeledGraph) -> dict:
+        table = self._signature_tables.get(graph_id)
+        if table is None:
+            table = {}
+            for vertex in graph.vertices():
+                entry = (
+                    vertex,
+                    graph.degree(vertex),
+                    _neighbor_label_counts(graph, vertex),
+                )
+                table.setdefault(graph.label(vertex), []).append(entry)
+            self._signature_tables[graph_id] = table
+        return table
+
+    def vertex_domains(
+        self, pattern: LabeledGraph, graph_id: int, graph: LabeledGraph
+    ) -> dict[VertexId, set[VertexId]]:
+        """Admissible host vertices per pattern vertex, for VF2 seeding.
+
+        A host vertex is admissible when its label matches, its degree
+        dominates and its 1-hop neighbour-label multiset dominates the
+        pattern vertex's.  All three are necessary conditions, so the
+        domains never exclude a vertex participating in an embedding.
+        """
+        table = self._signature_table(graph_id, graph)
+        domains: dict[VertexId, set[VertexId]] = {}
+        for vertex in pattern.vertices():
+            degree = pattern.degree(vertex)
+            neighbors = _neighbor_label_counts(pattern, vertex)
+            domains[vertex] = {
+                host_vertex
+                for host_vertex, host_degree, host_neighbors in table.get(
+                    pattern.label(vertex), ()
+                )
+                if host_degree >= degree
+                and multiset_dominates(neighbors, host_neighbors)
+            }
+        return domains
+
+    # ------------------------------------------------------------------
+    # structural identity (incremental ≡ rebuild)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        """Canonical structural form: ``(universe, sorted postings)``.
+
+        Two indices over the same view must produce equal snapshots no
+        matter how they got there (incremental maintenance vs from-
+        scratch build); the equality test of the maintenance contract.
+        """
+        return (
+            self._universe,
+            tuple(sorted(self._postings.items())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoverageIndex):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CoverageIndex |D|={len(self)} "
+            f"postings={len(self._postings)}>"
+        )
+
+
+__all__ = [
+    "COUNT_CAP",
+    "DEGREE_CAP",
+    "CoverageIndex",
+    "graph_posting_keys",
+    "pattern_query_keys",
+]

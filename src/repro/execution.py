@@ -33,6 +33,11 @@ class ExecutionConfig:
         Worker processes for the kernel pool; ``1`` = serial.
     cache:
         Enable the canonical-form result caches (:mod:`repro.cache`).
+    covindex:
+        Enable the filter-then-verify coverage engine
+        (:mod:`repro.covindex`): posting-list candidate filtering, VF2
+        domain seeding and incremental cover maintenance.  Results are
+        identical with the engine on or off.
     deadline_ms:
         Wall-clock budget for the wrapped scope; ``None`` = unbounded.
     degrade:
@@ -43,6 +48,7 @@ class ExecutionConfig:
 
     workers: int = 1
     cache: bool = False
+    covindex: bool = False
     deadline_ms: float | None = None
     degrade: bool = True
 
@@ -56,6 +62,7 @@ class ExecutionConfig:
     def apply(self):
         """Install this policy (pool, caches, budget, degradation) ambiently."""
         from .cache.stores import use_caching
+        from .covindex.engine import use_covindex
         from .parallel.pool import shared_pool, use_pool
         from .resilience.budget import Deadline, use_budget
         from .resilience.degrade import degradation_enabled, set_degradation
@@ -65,6 +72,8 @@ class ExecutionConfig:
                 stack.enter_context(use_pool(shared_pool(self.workers)))
             if self.cache:
                 stack.enter_context(use_caching(True))
+            if self.covindex:
+                stack.enter_context(use_covindex(True))
             if not self.degrade and degradation_enabled():
                 set_degradation(False)
                 stack.callback(set_degradation, True)

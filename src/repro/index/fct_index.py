@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 
 from ..graph.labeled_graph import LabeledGraph
+from ..isomorphism.invariants import prune_by_counts
+from ..obs import get_registry
 from ..resilience.degrade import resilient_count
 from ..trees.canonical import TreeCode
 from ..trees.mining import MinedTree
@@ -167,7 +169,12 @@ class FCTIndex:
         counts: every feature embedded in *pattern* must be embedded at
         least as often in the graph.  Patterns with no indexed features
         cannot be filtered and the universe is returned unchanged.
+
+        The per-feature pattern-side embedding counts are VF2 matcher
+        invocations spent on cover computation, so they count toward
+        ``vf2.cover_calls`` (the coverage-engine comparison metric).
         """
+        get_registry().counter("vf2.cover_calls").add(len(self._features))
         pattern_counts: dict[TreeCode, int] = {}
         for key, feature in self._features.items():
             count = count_embeddings(
@@ -175,19 +182,7 @@ class FCTIndex:
             )
             if count:
                 pattern_counts[key] = count
-        candidates = set(universe)
-        if not pattern_counts:
-            return candidates
-        for key, needed in pattern_counts.items():
-            row = self.tg.row(key)
-            candidates = {
-                graph_id
-                for graph_id in candidates
-                if row.get(graph_id, 0) >= needed
-            }
-            if not candidates:
-                break
-        return candidates
+        return prune_by_counts(set(universe), pattern_counts, self.tg.row)
 
     def memory_bytes(self) -> int:
         return self.tg.memory_bytes() + self.tp.memory_bytes()

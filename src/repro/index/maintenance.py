@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 
 from ..graph.labeled_graph import EdgeLabel, LabeledGraph
+from ..isomorphism.invariants import prune_by_counts
 from ..obs import get_registry
 from ..trees.maintenance import FCTSet
 from .fct_index import EMBEDDING_COUNT_CAP, FCTIndex, count_embeddings
@@ -83,20 +84,12 @@ class IndexPair:
         """Containment prefilter across both indices (Section 6.1)."""
         get_registry().counter("index.prefilter_queries").add(1)
         candidates = self.fct.candidate_graphs(pattern, universe)
-        if not candidates:
-            return candidates
-        for label, needed in pattern.edge_label_multiset().items():
-            if not self.ife.is_indexed(label):
-                continue
-            row = self.ife.eg.row(label)
-            candidates = {
-                graph_id
-                for graph_id in candidates
-                if row.get(graph_id, 0) >= needed
-            }
-            if not candidates:
-                break
-        return candidates
+        requirements = {
+            label: needed
+            for label, needed in pattern.edge_label_multiset().items()
+            if self.ife.is_indexed(label)
+        }
+        return prune_by_counts(candidates, requirements, self.ife.eg.row)
 
     def memory_bytes(self) -> int:
         return self.fct.memory_bytes() + self.ife.memory_bytes()

@@ -11,7 +11,11 @@ with:
   to a host edge; extra host edges are fine) and **induced** semantics,
 * existence tests, match iteration and embedding counting,
 * an inexpensive invariant prefilter (label multisets, degree sequences)
-  that resolves most negative queries without search.
+  that resolves most negative queries without search — shared with the
+  index layers via :mod:`repro.isomorphism.invariants`,
+* optional precomputed **candidate domains** (pattern vertex → admissible
+  host vertices) that seed the search with the signature-based pruning of
+  the coverage engine (:mod:`repro.covindex`).
 
 Monomorphism is the semantics of "query graph contains pattern" in visual
 query formulation: dragging a canned pattern onto the canvas contributes
@@ -20,14 +24,19 @@ its vertices and edges, and the query may add more edges between them.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterator, Mapping, Set
 
 from ..graph.labeled_graph import LabeledGraph, VertexId
 from ..obs import get_registry
 from ..resilience.budget import CHECK_STRIDE, current_budget
 from ..resilience.faults import trip
+from .invariants import invariant_prefilter
 
 Assignment = dict[VertexId, VertexId]
+
+#: Candidate domains: pattern vertex → host vertices it may map to.
+#: Vertices absent from the mapping are unrestricted.
+Domains = Mapping[VertexId, Set[VertexId]]
 
 
 class VF2Matcher:
@@ -44,6 +53,12 @@ class VF2Matcher:
     node_match:
         Optional custom predicate ``(pattern_label, host_label) -> bool``;
         defaults to label equality.
+    domains:
+        Optional precomputed candidate domains (pattern vertex → set of
+        admissible host vertices), e.g. the per-vertex signature domains
+        of the :mod:`repro.covindex` engine.  Domains must be *sound*
+        (never exclude a host vertex that participates in an embedding);
+        they shrink the search tree without changing any result.
     """
 
     def __init__(
@@ -52,11 +67,13 @@ class VF2Matcher:
         host: LabeledGraph,
         induced: bool = False,
         node_match: Callable[[str, str], bool] | None = None,
+        domains: Domains | None = None,
     ) -> None:
         self.pattern = pattern
         self.host = host
         self.induced = induced
         self._node_match = node_match or (lambda a, b: a == b)
+        self._domains = domains
         # Candidate order: most-constrained pattern vertices first
         # (high degree, rare label), then connectivity order so each new
         # vertex is adjacent to an already-mapped one when possible.
@@ -98,19 +115,14 @@ class VF2Matcher:
     # ------------------------------------------------------------------
     def _prefilter(self) -> bool:
         """Cheap necessary conditions for a match to exist."""
-        pattern, host = self.pattern, self.host
-        if pattern.num_vertices > host.num_vertices:
+        get_registry().counter("vf2.calls").add(1)
+        if not invariant_prefilter(self.pattern, self.host):
             return False
-        if pattern.num_edges > host.num_edges:
-            return False
-        host_labels = host.vertex_label_multiset()
-        for label, count in pattern.vertex_label_multiset().items():
-            if host_labels.get(label, 0) < count:
-                return False
-        host_edge_labels = host.edge_label_multiset()
-        for edge_label, count in pattern.edge_label_multiset().items():
-            if host_edge_labels.get(edge_label, 0) < count:
-                return False
+        if self._domains is not None:
+            for vertex in self.pattern.vertices():
+                domain = self._domains.get(vertex)
+                if domain is not None and not domain:
+                    return False
         return True
 
     def _matching_order(self) -> list[VertexId]:
@@ -145,6 +157,11 @@ class VF2Matcher:
     ) -> Iterator[VertexId]:
         """Candidate host vertices for *pattern_vertex* given partial map."""
         pattern, host = self.pattern, self.host
+        domain = (
+            self._domains.get(pattern_vertex)
+            if self._domains is not None
+            else None
+        )
         mapped_neighbors = [
             n for n in pattern.neighbors(pattern_vertex) if n in mapping
         ]
@@ -154,6 +171,10 @@ class VF2Matcher:
             candidate_pool = set(host.neighbors(first))
             for other in mapped_neighbors[1:]:
                 candidate_pool &= host.neighbors(mapping[other])
+            if domain is not None:
+                candidate_pool &= set(domain)
+        elif domain is not None:
+            candidate_pool = set(domain)
         else:
             candidate_pool = set(host.vertices())
         want_label = pattern.label(pattern_vertex)

@@ -45,6 +45,22 @@ def contains_kernel(payload, chunk):
     return [contains(host, pattern) for host in chunk]
 
 
+def contains_seeded_kernel(payload, chunk):
+    """``chunk``: list of ``(host, domains)`` pairs; payload: the pattern.
+
+    The coverage-engine variant of :func:`contains_kernel`: each host
+    arrives with precomputed VF2 candidate domains.  Domains are sound
+    (they never exclude a vertex of a real embedding) so verdicts are
+    identical to the unseeded kernel's.
+    """
+    from ..isomorphism.matcher import contains
+
+    pattern = payload
+    return [
+        contains(host, pattern, domains=domains) for host, domains in chunk
+    ]
+
+
 def mccs_kernel(payload, chunk):
     """``chunk``: list of graphs; payload: the seed graph.
 
@@ -109,6 +125,7 @@ def pairwise_ged_matrix(
 __all__ = [
     "candidate_score_kernel",
     "contains_kernel",
+    "contains_seeded_kernel",
     "ged_pairs_kernel",
     "mccs_kernel",
     "pairwise_ged_matrix",

@@ -24,11 +24,13 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 
 from ..cache.stores import cached_ged_value, caching_enabled, get_caches
+from ..covindex.engine import CoverageEngine, covindex_enabled
 from ..graph.canonical import canonical_certificate
 from ..graph.labeled_graph import LabeledGraph
 from ..index.maintenance import IndexPair
 from ..isomorphism.matcher import contains
-from ..parallel.kernels import contains_kernel
+from ..obs import get_registry
+from ..parallel.kernels import contains_kernel, contains_seeded_kernel
 from ..parallel.pool import current_pool
 from .pattern import CannedPattern, PatternSet
 
@@ -87,15 +89,27 @@ class CoverageOracle:
     index_pair:
         Optional FCT/IFE indices; when provided, containment checks only
         run on graphs surviving the count prefilter (Section 6.1).
+    engine:
+        Optional :class:`~repro.covindex.engine.CoverageEngine` over the
+        same view.  When attached (or auto-built because the ambient
+        ``covindex`` toggle is on), cover queries route through its
+        posting-list filter and VF2 domain seeding instead of the
+        FCT/IFE prefilter, and :meth:`apply_update` maintains verdicts
+        incrementally.  Cover sets are identical either way — the filter
+        only skips hosts proven not to match.
     """
 
     def __init__(
         self,
         graphs: Mapping[int, LabeledGraph],
         index_pair: IndexPair | None = None,
+        engine: CoverageEngine | None = None,
     ) -> None:
         self._graphs = dict(graphs)
         self._index_pair = index_pair
+        if engine is None and covindex_enabled():
+            engine = CoverageEngine(self._graphs)
+        self._engine = engine
         self._cover_cache: dict[tuple, frozenset[int]] = {}
         self._lcov_cache: dict[tuple, frozenset[int]] = {}
         #: Number of VF2 containment tests actually executed (for the
@@ -106,8 +120,42 @@ class CoverageOracle:
     def universe_size(self) -> int:
         return len(self._graphs)
 
+    @property
+    def delta_capable(self) -> bool:
+        """Whether :meth:`apply_update` preserves per-graph verdicts."""
+        return self._engine is not None
+
     def graph_ids(self) -> set[int]:
         return set(self._graphs)
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def apply_update(
+        self,
+        added: Mapping[int, LabeledGraph],
+        removed_ids: Iterable[int],
+    ) -> None:
+        """Reconcile the oracle's view with a database batch in place.
+
+        The memo tables key by pattern certificate but their *values*
+        are graph-id sets over the old view, so every entry is stale
+        the moment the view changes — both tables are dropped
+        unconditionally (this was silently wrong before: a deleted
+        graph stayed in cached cover sets and ``scov`` never moved).
+        With an engine attached the per-graph verdicts survive inside
+        its bitsets, so the next :meth:`cover` call re-verifies only
+        the filtered delta instead of the whole view.
+        """
+        removed = [gid for gid in removed_ids if gid in self._graphs]
+        for graph_id in removed:
+            del self._graphs[graph_id]
+        for graph_id, graph in added.items():
+            self._graphs[graph_id] = graph
+        if self._engine is not None:
+            self._engine.apply_update(added, removed)
+        self._cover_cache.clear()
+        self._lcov_cache.clear()
 
     # ------------------------------------------------------------------
     def cover(self, pattern: LabeledGraph) -> frozenset[int]:
@@ -124,6 +172,15 @@ class CoverageOracle:
         cached = self._cover_cache.get(key)
         if cached is not None:
             return cached
+        if self._engine is not None:
+            result = self._engine_cover(key, pattern)
+        else:
+            result = self._scan_cover(pattern)
+        self._cover_cache[key] = result
+        return result
+
+    def _scan_cover(self, pattern: LabeledGraph) -> frozenset[int]:
+        """The unfiltered path: FCT/IFE prefilter + full verification."""
         if self._index_pair is not None:
             candidates = self._index_pair.candidate_graphs(
                 pattern, self._graphs
@@ -143,29 +200,90 @@ class CoverageOracle:
                         covered.add(graph_id)
                     continue
             pending.append(graph_id)
+        verdicts = self._verify(pattern, pending)
+        for graph_id, verdict in zip(pending, verdicts):
+            if verdict:
+                covered.add(graph_id)
+        return frozenset(covered)
+
+    def _engine_cover(
+        self, key: tuple, pattern: LabeledGraph
+    ) -> frozenset[int]:
+        """The engine path: posting-list filter + lazy delta verification.
+
+        Only graphs whose verdict is unknown (fresh view, or inserted
+        since the last query of this pattern) reach verification, and
+        each verification is seeded with the engine's vertex domains.
+        """
+        engine = self._engine
+        engine.register(key, pattern)
+        pending = engine.pending(key)
+        caches = get_caches() if caching_enabled() else None
+        unresolved: list[int] = []
+        for graph_id in pending:
+            if caches is not None:
+                verdict = caches.embeddings.get_contains(
+                    pattern, self._graphs[graph_id]
+                )
+                if verdict is not None:
+                    engine.commit(key, graph_id, verdict)
+                    continue
+            unresolved.append(graph_id)
+        domains = {
+            graph_id: engine.vertex_domains(key, graph_id)
+            for graph_id in unresolved
+        }
+        verdicts = self._verify(pattern, unresolved, domains)
+        for graph_id, verdict in zip(unresolved, verdicts):
+            engine.commit(key, graph_id, verdict)
+        return engine.cover_ids(key)
+
+    def _verify(
+        self,
+        pattern: LabeledGraph,
+        pending: list[int],
+        domains: Mapping[int, Mapping] | None = None,
+    ) -> list[bool]:
+        """Run VF2 on *pending* hosts (pool fan-out when worthwhile).
+
+        Verdicts are written back to the embedding cache when caching is
+        enabled; ``isomorphism_tests`` counts exactly these tests.
+        """
+        get_registry().counter("vf2.cover_calls").add(len(pending))
+        caches = get_caches() if caching_enabled() else None
         pool = current_pool()
         if pool.worth_parallelizing(len(pending)):
-            verdicts = pool.map(
-                contains_kernel,
-                [self._graphs[graph_id] for graph_id in pending],
-                payload=pattern,
-            )
+            if domains is not None:
+                verdicts = pool.map(
+                    contains_seeded_kernel,
+                    [
+                        (self._graphs[graph_id], domains[graph_id])
+                        for graph_id in pending
+                    ],
+                    payload=pattern,
+                )
+            else:
+                verdicts = pool.map(
+                    contains_kernel,
+                    [self._graphs[graph_id] for graph_id in pending],
+                    payload=pattern,
+                )
         else:
             verdicts = [
-                contains(self._graphs[graph_id], pattern)
+                contains(
+                    self._graphs[graph_id],
+                    pattern,
+                    domains=None if domains is None else domains[graph_id],
+                )
                 for graph_id in pending
             ]
         self.isomorphism_tests += len(pending)
-        for graph_id, verdict in zip(pending, verdicts):
-            if caches is not None:
+        if caches is not None:
+            for graph_id, verdict in zip(pending, verdicts):
                 host = self._graphs[graph_id]
                 caches.embeddings.put_contains(pattern, host, verdict)
                 caches.embeddings.bind(graph_id, host)
-            if verdict:
-                covered.add(graph_id)
-        result = frozenset(covered)
-        self._cover_cache[key] = result
-        return result
+        return verdicts
 
     def scov(self, pattern: LabeledGraph) -> float:
         """``scov(p) = |G_p| / |D_s|``."""

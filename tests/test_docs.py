@@ -8,9 +8,9 @@ Four guarantees:
   as a string literal somewhere under src/repro — the catalogue cannot
   drift from the instrumentation;
 * the reverse, for the execution-layer namespaces: every ``parallel.*``
-  / ``cache.*`` metric literal under src/repro is catalogued in
-  OBSERVABILITY.md — the instrumentation cannot drift from the
-  catalogue;
+  / ``cache.*`` / ``covindex.*`` / ``vf2.*`` metric literal under
+  src/repro is catalogued in OBSERVABILITY.md — the instrumentation
+  cannot drift from the catalogue;
 * every kernel named in docs/PERFORMANCE.md's kernel table is a real
   function in ``repro.parallel``.
 """
@@ -98,14 +98,17 @@ def test_documented_span_exists_in_source(name, source_text):
     )
 
 
-EXECUTION_METRIC_PATTERN = re.compile(r'"((?:parallel|cache)\.[a-z_][a-z_.]*)"')
+EXECUTION_METRIC_PATTERN = re.compile(
+    r'"((?:parallel|cache|covindex|vf2)\.[a-z_][a-z_.]*)"'
+)
 
-# Budget-check site names share the dotted spelling but are not metrics.
-EXECUTION_SITE_NAMES = {"parallel.map"}
+# Budget-check and fault-injection site names share the dotted spelling
+# but are not metrics.
+EXECUTION_SITE_NAMES = {"parallel.map", "vf2.search"}
 
 
 def test_execution_metrics_are_catalogued(source_text):
-    """Every parallel.* / cache.* literal in code is in the catalogue."""
+    """Every parallel./cache./covindex./vf2. literal is catalogued."""
     emitted = (
         set(EXECUTION_METRIC_PATTERN.findall(source_text))
         - EXECUTION_SITE_NAMES

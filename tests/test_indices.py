@@ -167,6 +167,74 @@ class TestIndexPair:
             )
         assert pair.ife.edge_labels() == fresh.ife.edge_labels()
 
+    def test_apply_update_deletion_heavy(self, setting):
+        """A batch deleting most of the database must leave both indices
+        structurally equal to a from-scratch rebuild — deletions drive
+        feature churn (support drops below sup_min) as well as column
+        removal, which is the hard half of the maintenance path."""
+        graphs, fct_set = setting
+        pair = IndexPair.build(fct_set, graphs)
+        removed = sorted(graphs)[: len(graphs) - 3]
+        fct_set.apply(added={}, removed=removed)
+        new_graphs = {
+            g: v for g, v in graphs.items() if g not in set(removed)
+        }
+        pair.apply_update(
+            fct_set, new_graphs, added_ids=[], removed_ids=removed
+        )
+        fresh = IndexPair.build(fct_set, new_graphs)
+        assert pair.fct.feature_keys() == fresh.fct.feature_keys()
+        for key in fresh.fct.feature_keys():
+            assert pair.fct.tg.row(key) == fresh.fct.tg.row(key)
+        assert pair.ife.edge_labels() == fresh.ife.edge_labels()
+        for label in fresh.ife.edge_labels():
+            assert pair.ife.graphs_with_edge(label) == (
+                fresh.ife.graphs_with_edge(label)
+            )
+
+    def test_apply_update_mixed_batch(self, setting):
+        """Simultaneous deletions and insertions in one batch: the
+        reconciled indices must equal a rebuild and the containment
+        prefilter must stay sound over the post-batch database."""
+        graphs, fct_set = setting
+        pair = IndexPair.build(fct_set, graphs)
+        removed = sorted(graphs)[:3]
+        additions = {
+            200: make_graph("COSN", [(0, 1), (1, 2), (0, 3)]),
+            201: make_graph("COO", [(0, 1), (0, 2)]),
+            202: make_graph("CN", [(0, 1)]),
+        }
+        fct_set.apply(added=additions, removed=removed)
+        new_graphs = {
+            g: v for g, v in graphs.items() if g not in set(removed)
+        }
+        new_graphs.update(additions)
+        pair.apply_update(
+            fct_set,
+            new_graphs,
+            added_ids=additions,
+            removed_ids=removed,
+        )
+        fresh = IndexPair.build(fct_set, new_graphs)
+        assert pair.fct.feature_keys() == fresh.fct.feature_keys()
+        for key in fresh.fct.feature_keys():
+            assert pair.fct.tg.row(key) == fresh.fct.tg.row(key)
+        for label in fresh.ife.edge_labels():
+            assert pair.ife.graphs_with_edge(label) == (
+                fresh.ife.graphs_with_edge(label)
+            )
+        for pattern in (
+            make_graph("CO", [(0, 1)]),
+            make_graph("CON", [(0, 1), (0, 2)]),
+            make_graph("COS", [(0, 1), (1, 2)]),
+        ):
+            truth = {
+                gid
+                for gid, graph in new_graphs.items()
+                if contains(graph, pattern)
+            }
+            assert truth <= pair.candidate_graphs(pattern, new_graphs)
+
     def test_sync_patterns(self, setting):
         graphs, fct_set = setting
         pair = IndexPair.build(fct_set, graphs)
