@@ -25,13 +25,17 @@ def bits_of(ids: Iterable[int]) -> int:
 
 
 def ids_of(bits: int) -> Iterator[int]:
-    """Yield the set graph IDs of *bits* in ascending order."""
-    graph_id = 0
+    """Yield the set graph IDs of *bits* in ascending order.
+
+    Iterates set bits directly (``bits & -bits`` isolates the lowest
+    one), so cost scales with the population count — not with the
+    highest graph ID ever allocated, which only grows on long-running
+    maintenance trajectories.
+    """
     while bits:
-        if bits & 1:
-            yield graph_id
-        bits >>= 1
-        graph_id += 1
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
 
 
 def count(bits: int) -> int:

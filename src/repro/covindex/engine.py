@@ -73,8 +73,16 @@ class CoverageEngine:
     # pattern registration
     # ------------------------------------------------------------------
     def register(self, key: tuple, pattern: LabeledGraph) -> None:
-        """Start tracking *pattern* under its canonical *key*."""
+        """Start tracking *pattern* under its canonical *key*.
+
+        Re-registering a tracked key keeps the stored pattern object —
+        verdicts are isomorphism-invariant, so the bits stay valid —
+        and refreshes its recency.  Callers must therefore verify with
+        :meth:`pattern`, whose vertex IDs :meth:`vertex_domains` is
+        keyed by, not with their own isomorphic copy.
+        """
         if key in self._patterns:
+            self._touch(key)
             return
         while len(self._patterns) >= MAX_TRACKED_PATTERNS:
             oldest = next(iter(self._patterns))
@@ -83,6 +91,15 @@ class CoverageEngine:
         self._match_bits[key] = 0
         self._seen_bits[key] = 0
         self._publish_gauges()
+
+    def _touch(self, key: tuple) -> None:
+        """Move *key* to the back of the eviction order (LRU, not FIFO)."""
+        self._patterns[key] = self._patterns.pop(key)
+
+    def pattern(self, key: tuple) -> LabeledGraph:
+        """The stored pattern for *key* — the object whose vertex IDs
+        :meth:`vertex_domains` is expressed in."""
+        return self._patterns[key]
 
     def discard(self, key: tuple) -> None:
         self._patterns.pop(key, None)
@@ -104,6 +121,7 @@ class CoverageEngine:
         contract.  The returned IDs are sorted, matching the order the
         unfiltered serial loop would visit them in.
         """
+        self._touch(key)
         pattern = self._patterns[key]
         unseen = self.index.universe_bits & ~self._seen_bits[key]
         if not unseen:
@@ -122,6 +140,7 @@ class CoverageEngine:
 
     def cover_ids(self, key: tuple) -> frozenset[int]:
         """The verified cover set of *key* (call after draining pending)."""
+        self._touch(key)
         return frozenset(ids_of(self._match_bits[key]))
 
     def vertex_domains(
@@ -145,14 +164,18 @@ class CoverageEngine:
         Removed graphs leave the index and lose their verdict bits in
         every tracked pattern; added graphs enter the index unverified,
         so the next :meth:`pending` call per pattern surfaces exactly
-        the filtered delta.  Verdicts for untouched graphs survive.
+        the filtered delta.  Adding a graph_id already in the view is an
+        in-place replacement: its old verdicts are cleared too, exactly
+        as if it had been removed and re-added.  Verdicts for untouched
+        graphs survive.
         """
         removed = [gid for gid in removed_ids if gid in self._graphs]
         for graph_id in removed:
             self.index.remove_graph(graph_id)
             del self._graphs[graph_id]
-        if removed:
-            keep = ~bits_of(removed)
+        stale = removed + [gid for gid in added if gid in self._graphs]
+        if stale:
+            keep = ~bits_of(stale)
             for key in self._patterns:
                 self._match_bits[key] &= keep
                 self._seen_bits[key] &= keep

@@ -214,9 +214,17 @@ class CoverageOracle:
         Only graphs whose verdict is unknown (fresh view, or inserted
         since the last query of this pattern) reach verification, and
         each verification is seeded with the engine's vertex domains.
+
+        Verification runs on the engine's *stored* pattern for *key*,
+        not the caller's object: isomorphic patterns share the canonical
+        key but may permute vertex IDs, and the seeded domains are keyed
+        by the stored pattern's vertex IDs.  The verdicts (and the
+        embedding-cache keys, which are canonical) are identical either
+        way.
         """
         engine = self._engine
         engine.register(key, pattern)
+        pattern = engine.pattern(key)
         pending = engine.pending(key)
         caches = get_caches() if caching_enabled() else None
         unresolved: list[int] = []

@@ -76,6 +76,11 @@ class TestBitset:
         assert set(ids_of(a | b)) == {1, 2, 3, 4}
         assert set(ids_of(a & ~b)) == {1}
 
+    def test_sparse_high_ids(self):
+        """ids_of skips zero runs instead of walking every bit position."""
+        ids = {2, 100_000, 1_000_000}
+        assert list(ids_of(bits_of(ids))) == sorted(ids)
+
 
 # ----------------------------------------------------------------------
 # the index: filter soundness and incremental maintenance
@@ -245,6 +250,38 @@ class TestCoverageEngine:
             == MAX_TRACKED_PATTERNS
         )
 
+    def test_eviction_is_lru_not_fifo(self):
+        """A queried pattern survives eviction pressure; an idle one
+        registered later is evicted first (register alone is not recency)."""
+        from repro.covindex.engine import MAX_TRACKED_PATTERNS
+
+        graphs = {0: make_graph("CO", [(0, 1)])}
+        engine = CoverageEngine(graphs)
+        for i in range(MAX_TRACKED_PATTERNS):
+            engine.register(("k", i), make_graph("CO", [(0, 1)]))
+        engine.pending(("k", 0))  # touch the oldest registration
+        engine.register(("k", MAX_TRACKED_PATTERNS), make_graph("CO", [(0, 1)]))
+        assert engine.tracked(("k", 0))
+        assert not engine.tracked(("k", 1))
+
+    def test_replacing_added_graph_clears_stale_verdicts(self):
+        """Re-adding an existing graph_id is remove+add: old match/seen
+        bits must not survive into the replacement graph's verdict."""
+        engine = CoverageEngine({0: make_graph("CO", [(0, 1)])})
+        pattern = make_graph("CO", [(0, 1)])
+        key = graph_key(pattern)
+        engine.register(key, pattern)
+        for gid in engine.pending(key):
+            engine.commit(key, gid, True)
+        assert engine.cover_ids(key) == {0}
+        engine.apply_update({0: make_graph("NN", [(0, 1)])}, [])
+        remaining = engine.pending(key)
+        for gid in remaining:
+            engine.commit(
+                key, gid, contains(engine.graphs[gid], pattern)
+            )
+        assert 0 not in engine.cover_ids(key)
+
     def test_engine_is_deepcopyable(self, molecule_graphs):
         """Midas transactional rounds deep-copy the oracle (and with it
         the engine); the copy must be independent of the original."""
@@ -362,6 +399,27 @@ class TestOracleEngine:
         newcomer = make_graph("CO", [(0, 1)])
         oracle.apply_update({7777: newcomer}, [])
         assert 7777 in oracle.cover(pattern)
+
+    def test_permuted_isomorphic_pattern_after_update(self):
+        """Isomorphic patterns share the canonical key but may permute
+        vertex-ID→label assignments; verification must use the engine's
+        stored pattern or the seeded domains exclude valid hosts
+        (regression: false-negative containment on the delta path)."""
+        pattern_a = make_graph("CO", [(0, 1)])  # vertex 0 is C
+        pattern_b = make_graph("OC", [(0, 1)])  # vertex 0 is O
+        assert graph_key(pattern_a) == graph_key(pattern_b)
+        graphs = {0: make_graph("COS", [(0, 1), (1, 2)])}
+        with use_covindex(True):
+            oracle = CoverageOracle(graphs)
+        assert oracle.cover(pattern_a) == {0}
+        oracle.apply_update({1: make_graph("NCO", [(0, 1), (1, 2)])}, [])
+        # Cover queried through the permuted twin must still see the
+        # newly inserted host.
+        assert oracle.cover(pattern_b) == {0, 1}
+        plain = CoverageOracle(
+            {0: graphs[0], 1: make_graph("NCO", [(0, 1), (1, 2)])}
+        )
+        assert oracle.cover(pattern_b) == plain.cover(pattern_b)
 
 
 # ----------------------------------------------------------------------
