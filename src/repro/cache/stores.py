@@ -34,6 +34,7 @@ from collections.abc import Iterable
 from contextlib import contextmanager
 from typing import Any
 
+from ..check.invariants import check_cache_fidelity, check_enabled
 from ..obs import get_registry
 from .keys import graph_key
 
@@ -160,6 +161,16 @@ class GedCache:
             FIDELITY_RANK.get(fidelity, -1) < FIDELITY_RANK.get(existing[1], -1)
         ):
             return
+        if check_enabled() and existing is not None:
+            # The accepted write must be an upgrade (or a refresh at the
+            # same rung) — the refusal branch above is the only thing
+            # standing between the ladder and silently serving looser
+            # values as tighter ones.
+            check_cache_fidelity(
+                FIDELITY_RANK.get(existing[1], -1),
+                FIDELITY_RANK.get(fidelity, -1),
+                f"ged:{method}",
+            )
         self._store.put(key, (value, fidelity))
 
     def clear(self) -> None:

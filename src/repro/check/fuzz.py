@@ -1,0 +1,481 @@
+"""Deterministic workload fuzzing, shrinking, and replay artifacts.
+
+Every random choice flows through one :class:`random.Random` seeded per
+case from ``(seed, case_index)``, so a failure reported as
+``--oracle X --seed S`` is exactly reproducible — and once shrunk, the
+minimal workload plus its expected mismatch are serialised to a JSON
+*replay artifact* that :func:`replay` re-evaluates without any
+randomness at all.
+
+The generators here are also the single source of random graphs for the
+property-based test suites (``tests/test_property_based.py`` routes its
+hypothesis strategies through :func:`random_labeled_graph` /
+:func:`random_connected_pattern` instead of keeping private copies).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..datasets.molecules import MoleculeGenerator
+from ..graph.io import FormatError
+from ..graph.labeled_graph import LabeledGraph
+from ..obs import get_registry
+from .invariants import use_check
+from .oracles import Oracle, get_oracle
+from .shrink import shrink
+from .workload import (
+    Mismatch,
+    Workload,
+    WorkloadBatch,
+    permuted_copy,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+ARTIFACT_FORMAT = "repro-check-artifact-v1"
+
+#: Default vertex-label alphabet of the random generators (the heavy
+#: atoms of the molecule profiles, so fuzz and dataset graphs mix).
+LABELS = "CNOS"
+
+
+# ----------------------------------------------------------------------
+# graph generators (deduplicated from the property-based test suites)
+# ----------------------------------------------------------------------
+def random_labeled_graph(
+    rng: random.Random,
+    max_vertices: int = 7,
+    labels: str = LABELS,
+    edge_probability: float = 0.4,
+) -> LabeledGraph:
+    """A random labelled simple graph with 0..n-1 integer vertex IDs."""
+    n = rng.randint(1, max_vertices)
+    graph = LabeledGraph()
+    for v in range(n):
+        graph.add_vertex(v, rng.choice(labels))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_labeled_tree(
+    rng: random.Random, max_vertices: int = 8, labels: str = LABELS
+) -> LabeledGraph:
+    """A random labelled free tree (each vertex attaches to a prior one)."""
+    n = rng.randint(1, max_vertices)
+    graph = LabeledGraph()
+    graph.add_vertex(0, rng.choice(labels))
+    for v in range(1, n):
+        graph.add_vertex(v, rng.choice(labels))
+        graph.add_edge(v, rng.randrange(v))
+    return graph
+
+
+def random_connected_pattern(
+    rng: random.Random,
+    min_edges: int = 1,
+    max_edges: int = 5,
+    max_vertices: int | None = None,
+    labels: str = LABELS,
+) -> LabeledGraph:
+    """A connected pattern grown edge-by-edge (new vertex or cycle close)."""
+    target_edges = rng.randint(min_edges, max_edges)
+    graph = LabeledGraph()
+    graph.add_vertex(0, rng.choice(labels))
+    graph.add_vertex(1, rng.choice(labels))
+    graph.add_edge(0, 1)
+    while graph.num_edges < target_edges:
+        vertices = list(range(graph.num_vertices))
+        anchor = rng.choice(vertices)
+        can_grow = (
+            max_vertices is None or graph.num_vertices < max_vertices
+        )
+        if can_grow and (len(vertices) < 3 or rng.random() < 0.7):
+            new = graph.num_vertices
+            graph.add_vertex(new, rng.choice(labels))
+            graph.add_edge(anchor, new)
+        else:
+            other = rng.choice([v for v in vertices if v != anchor])
+            if not graph.has_edge(anchor, other):
+                graph.add_edge(anchor, other)
+            elif not can_grow:
+                break  # saturated: every allowed edge exists
+    return graph
+
+
+def _trimmed_molecule(
+    rng: random.Random, max_vertices: int
+) -> LabeledGraph:
+    """A generator molecule truncated (BFS) to ``max_vertices`` vertices."""
+    molecule = MoleculeGenerator(seed=rng.randrange(2**31)).generate()
+    order = sorted(molecule.vertices(), key=repr)
+    if len(order) > max_vertices:
+        start = rng.choice(order)
+        keep: list = []
+        queue = [start]
+        seen = {start}
+        while queue and len(keep) < max_vertices:
+            vertex = queue.pop(0)
+            keep.append(vertex)
+            for neighbor in sorted(molecule.neighbors(vertex), key=repr):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        kept = set(keep)
+        renumber = {v: i for i, v in enumerate(sorted(kept, key=repr))}
+        trimmed = LabeledGraph(name=molecule.name)
+        for v in kept:
+            trimmed.add_vertex(renumber[v], molecule.label(v))
+        for u, v in molecule.edges():
+            if u in kept and v in kept:
+                trimmed.add_edge(renumber[u], renumber[v])
+        return trimmed
+    renumber = {v: i for i, v in enumerate(order)}
+    normalized = LabeledGraph(name=molecule.name)
+    for v in order:
+        normalized.add_vertex(renumber[v], molecule.label(v))
+    for u, v in molecule.edges():
+        normalized.add_edge(renumber[u], renumber[v])
+    return normalized
+
+
+def _edge_subgraph(
+    rng: random.Random,
+    host: LabeledGraph,
+    max_edges: int,
+    max_vertices: int | None,
+) -> LabeledGraph | None:
+    """A connected edge-subgraph of *host* — a pattern that must cover it."""
+    edges = list(host.edges())
+    if not edges:
+        return None
+    start = rng.choice(edges)
+    chosen = [start]
+    vertices = {start[0], start[1]}
+    target = rng.randint(1, max_edges)
+    while len(chosen) < target:
+        frontier = [
+            (u, v)
+            for u, v in edges
+            if (u in vertices) != (v in vertices)
+            or (u in vertices and v in vertices and (u, v) not in chosen)
+        ]
+        if max_vertices is not None:
+            frontier = [
+                (u, v)
+                for u, v in frontier
+                if len(vertices | {u, v}) <= max_vertices
+            ]
+        if not frontier:
+            break
+        edge = rng.choice(frontier)
+        chosen.append(edge)
+        vertices |= {edge[0], edge[1]}
+    renumber = {v: i for i, v in enumerate(sorted(vertices, key=repr))}
+    pattern = LabeledGraph()
+    for v in vertices:
+        pattern.add_vertex(renumber[v], host.label(v))
+    for u, v in chosen:
+        pattern.add_edge(renumber[u], renumber[v])
+    return pattern
+
+
+# ----------------------------------------------------------------------
+# workload generation
+# ----------------------------------------------------------------------
+def random_workload(
+    rng: random.Random,
+    *,
+    num_graphs: int = 5,
+    max_graph_vertices: int = 9,
+    num_patterns: int = 3,
+    min_pattern_edges: int = 1,
+    max_pattern_edges: int = 4,
+    max_pattern_vertices: int | None = None,
+    num_batches: int = 2,
+    insert_only: bool = False,
+    max_deletion_fraction: float = 0.5,
+    molecule_fraction: float = 0.3,
+) -> Workload:
+    """One adversarial workload: view + patterns + batch sequence.
+
+    Patterns mix edge-subgraphs of hosts (guaranteed non-empty covers),
+    free random connected patterns, and permuted isomorphic twins of
+    earlier patterns — the PR-4 shared-canonical-key bug class.  Batches
+    mix insertions, deletions (bounded by *max_deletion_fraction* of the
+    current view) and occasional in-place replacements; *insert_only*
+    restricts them to fresh insertions.
+    """
+
+    def host() -> LabeledGraph:
+        if rng.random() < molecule_fraction:
+            return _trimmed_molecule(rng, max_graph_vertices)
+        if rng.random() < 0.3:
+            return random_labeled_tree(rng, max_graph_vertices)
+        return random_labeled_graph(rng, max_graph_vertices)
+
+    graphs = {gid: host() for gid in range(rng.randint(1, num_graphs))}
+    next_id = len(graphs)
+
+    patterns: list[LabeledGraph] = []
+    for _ in range(rng.randint(1, num_patterns)):
+        roll = rng.random()
+        pattern = None
+        if roll < 0.45 and graphs:
+            pattern = _edge_subgraph(
+                rng,
+                graphs[rng.choice(sorted(graphs))],
+                max_pattern_edges,
+                max_pattern_vertices,
+            )
+        elif roll < 0.6 and patterns:
+            pattern = permuted_copy(
+                rng.choice(patterns), rng.randrange(2**16)
+            )
+        if pattern is None:
+            pattern = random_connected_pattern(
+                rng,
+                min_pattern_edges,
+                max_pattern_edges,
+                max_pattern_vertices,
+            )
+        patterns.append(pattern)
+
+    view_ids = set(graphs)
+    batches: list[WorkloadBatch] = []
+    for _ in range(rng.randint(0, num_batches) if num_batches else 0):
+        removed: tuple[int, ...] = ()
+        if not insert_only and view_ids:
+            cap = int(len(view_ids) * max_deletion_fraction)
+            count = rng.randint(0, cap) if cap else 0
+            removed = tuple(rng.sample(sorted(view_ids), count))
+        added: dict[int, LabeledGraph] = {}
+        for _ in range(rng.randint(0, 2)):
+            survivors = sorted(view_ids - set(removed))
+            if (
+                not insert_only
+                and survivors
+                and rng.random() < 0.1
+            ):
+                gid = rng.choice(survivors)  # in-place replacement
+            else:
+                gid = next_id
+                next_id += 1
+            added[gid] = host()
+        view_ids -= set(removed)
+        view_ids |= set(added)
+        batches.append(WorkloadBatch(added=added, removed=removed))
+
+    return Workload(
+        graphs=graphs, patterns=tuple(patterns), batches=tuple(batches)
+    )
+
+
+# ----------------------------------------------------------------------
+# evaluation + fuzz loop
+# ----------------------------------------------------------------------
+def evaluate(oracle: Oracle, workload: Workload) -> Mismatch | None:
+    """Run *oracle* on *workload* with invariant guards armed.
+
+    Any escaped exception is itself a finding — converted into a
+    ``Mismatch(code="exception")`` so crashes shrink and replay exactly
+    like value disagreements.
+    """
+    registry = get_registry()
+    registry.counter("check.fuzz_cases").add(1)
+    with use_check(True):
+        try:
+            mismatch = oracle.fn(workload)
+        except Exception as exc:  # noqa: BLE001 - crash == finding
+            mismatch = Mismatch(
+                oracle.name,
+                "exception",
+                {"type": type(exc).__name__, "message": str(exc)},
+            )
+    if mismatch is not None:
+        registry.counter("check.mismatches").add(1)
+    return mismatch
+
+
+def case_rng(seed: int, case: int) -> random.Random:
+    """The per-case RNG: stable under seed and case index only."""
+    return random.Random((seed & 0xFFFFFFFF) * 1_000_003 + case)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_oracle` campaign."""
+
+    oracle: str
+    seed: int
+    budget: int
+    cases: int
+    mismatch: Mismatch | None = None
+    workload: Workload | None = None
+    original: Workload | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.mismatch is None
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"oracle {self.oracle!r}: {self.cases} cases passed "
+                f"(seed {self.seed})"
+            )
+        lines = [
+            f"oracle {self.oracle!r}: MISMATCH after {self.cases} cases "
+            f"(seed {self.seed})",
+            str(self.mismatch),
+        ]
+        if self.original is not None and self.workload is not None:
+            lines.append(
+                f"shrunk: {self.original.describe()} "
+                f"-> {self.workload.describe()}"
+            )
+        return "\n".join(lines)
+
+
+def run_oracle(
+    name: str,
+    seed: int = 0,
+    budget: int = 100,
+    shrink_failures: bool = True,
+    time_budget_s: float | None = None,
+    max_shrink_evals: int = 2000,
+) -> FuzzReport:
+    """Fuzz one oracle for up to *budget* cases (or *time_budget_s*).
+
+    On the first mismatch the workload is greedily shrunk (preserving
+    the mismatch signature) and the campaign stops — one minimal repro
+    per run beats a pile of duplicates of the same bug.
+    """
+    oracle = get_oracle(name)
+    deadline = (
+        time.monotonic() + time_budget_s
+        if time_budget_s is not None
+        else None
+    )
+    cases = 0
+    for case in range(budget):
+        if deadline is not None and time.monotonic() > deadline:
+            break
+        workload = random_workload(
+            case_rng(seed, case), **oracle.workload_kwargs
+        )
+        cases += 1
+        mismatch = evaluate(oracle, workload)
+        if mismatch is None:
+            continue
+        shrunk = workload
+        final = mismatch
+        if shrink_failures:
+            signature = mismatch.signature()
+
+            def still_fails(candidate: Workload) -> bool:
+                found = evaluate(oracle, candidate)
+                return (
+                    found is not None
+                    and found.signature() == signature
+                )
+
+            shrunk = shrink(
+                workload, still_fails, max_evals=max_shrink_evals
+            )
+            final = evaluate(oracle, shrunk) or mismatch
+        return FuzzReport(
+            oracle=name,
+            seed=seed,
+            budget=budget,
+            cases=cases,
+            mismatch=final,
+            workload=shrunk,
+            original=workload,
+        )
+    return FuzzReport(oracle=name, seed=seed, budget=budget, cases=cases)
+
+
+# ----------------------------------------------------------------------
+# replay artifacts
+# ----------------------------------------------------------------------
+def build_artifact(report: FuzzReport) -> dict:
+    """The JSON payload of a failed campaign (mismatch + minimal repro)."""
+    if report.ok or report.workload is None:
+        raise ValueError("cannot build an artifact from a passing report")
+    return {
+        "format": ARTIFACT_FORMAT,
+        "oracle": report.oracle,
+        "seed": report.seed,
+        "mismatch": report.mismatch.to_dict(),
+        "workload": workload_to_dict(report.workload),
+        "original_size": (
+            None
+            if report.original is None
+            else list(report.original.size())
+        ),
+        "shrunk_size": list(report.workload.size()),
+    }
+
+
+def write_artifact(path: str | Path, report: FuzzReport) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(build_artifact(report), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_artifact(path: str | Path) -> dict:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != ARTIFACT_FORMAT:
+        raise FormatError(
+            f"unsupported artifact format: {payload.get('format')!r}"
+        )
+    return payload
+
+
+def replay(artifact: Mapping) -> Mismatch | None:
+    """Re-evaluate an artifact's workload against its oracle.
+
+    Returns the mismatch the oracle reports *now* — equal to the
+    recorded one while the bug is alive, ``None`` once it is fixed.
+    """
+    get_registry().counter("check.replays").add(1)
+    oracle = get_oracle(artifact["oracle"])
+    workload = workload_from_dict(artifact["workload"])
+    return evaluate(oracle, workload)
+
+
+def recorded_mismatch(artifact: Mapping) -> Mismatch:
+    """The mismatch stored in an artifact (what :func:`replay` is
+    compared against)."""
+    return Mismatch.from_dict(artifact["mismatch"])
+
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "FuzzReport",
+    "LABELS",
+    "build_artifact",
+    "case_rng",
+    "evaluate",
+    "load_artifact",
+    "random_connected_pattern",
+    "random_labeled_graph",
+    "random_labeled_tree",
+    "random_workload",
+    "recorded_mismatch",
+    "replay",
+    "run_oracle",
+    "write_artifact",
+]

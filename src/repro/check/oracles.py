@@ -1,0 +1,636 @@
+"""The oracle registry: fast-path vs reference differential checks.
+
+Every performance-bearing path in the repo promises *byte-identical*
+results to a slow reference — parallel kernels vs serial, canonical-form
+caches vs cold, covindex delta coverage vs full VF2 rescan, incremental
+FCT/index maintenance vs rebuild.  Each :class:`Oracle` here packages
+one such promise as a pure function ``(workload) -> Mismatch | None``:
+it runs both sides on the same :class:`~repro.check.workload.Workload`
+and reports the first disagreement.  Metamorphic oracles (``canonical``,
+``ged``, ``scov``) check properties with no second implementation —
+vertex-ID permutation invariance, bound sandwiches, the triangle
+inequality, insert-only monotonicity.
+
+Oracles are deterministic, isolated (each installs its own ambient
+toggles and a fresh cache manager; nothing leaks between runs) and
+exception-safe only by convention — the fuzzer's ``evaluate`` wrapper
+converts an escaped exception into a ``Mismatch(code="exception")``, so
+a crash is a finding, not a harness failure.
+
+``workload_kwargs`` per oracle tunes the fuzzer's generator: the ``vf2``
+and ``ged`` oracles need tiny graphs (brute force / exact A*), ``index``
+bounds the deletion fraction per batch because the FCT incremental ≡
+rebuild identity holds only while support inflation stays under the 2×
+relaxed-threshold headroom (paper Lemmas 3.4/4.5 — see
+``docs/CORRECTNESS.md``), and ``scov`` wants insert-only batches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from ..cache.keys import graph_key
+from ..cache.stores import (
+    CacheManager,
+    cached_ged_value,
+    set_caches,
+    use_caching,
+)
+from ..covindex.engine import use_covindex
+from ..covindex.index import CoverageIndex
+from ..exceptions import InvariantViolation
+from ..ged import ged
+from ..graph.canonical import canonical_certificate
+from ..graph.labeled_graph import LabeledGraph
+from ..index.maintenance import IndexPair
+from ..isomorphism.matcher import contains, count_embeddings
+from ..parallel.pool import shared_pool, use_pool
+from ..patterns.metrics import CoverageOracle
+from ..trees.maintenance import FCTSet
+from .invariants import check_coverage_index, check_engine
+from .workload import Mismatch, Workload, permuted_copy
+
+#: Support threshold used by the ``index`` oracle's FCT sets — high
+#: enough that mining tiny fuzz views stays cheap.
+FCT_SUP_MIN = 0.4
+
+#: Exact GED (A*) and the triangle-inequality sweep only run on graphs
+#: this small; beyond it the ``ged`` oracle checks bound consistency.
+EXACT_GED_MAX_VERTICES = 4
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One differential (or metamorphic) check, registry-addressable."""
+
+    name: str
+    description: str
+    fn: Callable[[Workload], Mismatch | None]
+    #: Generator hints for :func:`repro.check.fuzz.random_workload`.
+    workload_kwargs: Mapping = field(default_factory=dict)
+
+    def __call__(self, workload: Workload) -> Mismatch | None:
+        return self.fn(workload)
+
+
+# ----------------------------------------------------------------------
+# shared helpers
+# ----------------------------------------------------------------------
+def _all_graphs(workload: Workload) -> list[tuple[str, LabeledGraph]]:
+    """Every distinct graph object in the workload, with a locator tag."""
+    entries = [
+        (f"initial[{gid}]", graph)
+        for gid, graph in sorted(workload.graphs.items())
+    ]
+    for step, batch in enumerate(workload.batches):
+        entries.extend(
+            (f"batch[{step}].added[{gid}]", graph)
+            for gid, graph in sorted(batch.added.items())
+        )
+    entries.extend(
+        (f"pattern[{i}]", pattern)
+        for i, pattern in enumerate(workload.patterns)
+    )
+    return entries
+
+
+def _cover_ged_trace(workload: Workload) -> list[tuple]:
+    """Per-view cover sets and pairwise GED values, via ambient knobs.
+
+    Runs the exact production call path (plain :class:`CoverageOracle`
+    per view plus :func:`cached_ged_value`), so whatever toggles the
+    caller installed — caching, a kernel pool — are what's under test.
+    """
+    trace: list[tuple] = []
+    pairs = list(itertools.combinations(workload.patterns, 2))
+    for view in workload.views():
+        oracle = CoverageOracle(view)
+        covers = tuple(
+            oracle.cover(pattern) for pattern in workload.patterns
+        )
+        distances = tuple(
+            cached_ged_value(a, b, method)
+            for method in ("lower", "tight_lower")
+            for a, b in pairs
+        )
+        trace.append((covers, distances))
+    return trace
+
+
+def _brute_force_embeddings(
+    host: LabeledGraph, pattern: LabeledGraph
+) -> int:
+    """Count monomorphisms by enumerating injective vertex maps.
+
+    The independent reference for VF2: label-preserving injections under
+    which every pattern edge maps to a host edge (non-induced, matching
+    :func:`repro.isomorphism.matcher.contains`).
+    """
+    pattern_vertices = sorted(pattern.vertices(), key=repr)
+    pattern_edges = list(pattern.edges())
+    host_vertices = sorted(host.vertices(), key=repr)
+    if len(pattern_vertices) > len(host_vertices):
+        return 0
+    count = 0
+    for image in itertools.permutations(
+        host_vertices, len(pattern_vertices)
+    ):
+        mapping = dict(zip(pattern_vertices, image))
+        if any(
+            pattern.label(v) != host.label(mapping[v])
+            for v in pattern_vertices
+        ):
+            continue
+        if all(
+            host.has_edge(mapping[u], mapping[v])
+            for u, v in pattern_edges
+        ):
+            count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# differential oracles
+# ----------------------------------------------------------------------
+def vf2_oracle(workload: Workload) -> Mismatch | None:
+    """VF2 seeded vs unseeded vs brute force on small graphs."""
+    hosts = [
+        (tag, graph)
+        for tag, graph in _all_graphs(workload)
+        if not tag.startswith("pattern")
+    ]
+    for tag, host in hosts:
+        index = CoverageIndex.build({0: host})
+        for i, pattern in enumerate(workload.patterns):
+            brute = _brute_force_embeddings(host, pattern)
+            plain = contains(host, pattern)
+            if plain != (brute > 0):
+                return Mismatch(
+                    "vf2",
+                    "contains_vs_brute_force",
+                    {"host": tag, "pattern": i, "vf2": plain, "brute": brute},
+                )
+            candidates = index.candidate_bits(pattern)
+            if brute > 0 and not candidates:
+                return Mismatch(
+                    "vf2",
+                    "filter_unsound",
+                    {"host": tag, "pattern": i, "brute": brute},
+                )
+            if candidates:
+                domains = index.vertex_domains(pattern, 0, host)
+                seeded = contains(host, pattern, domains=domains)
+                if seeded != plain:
+                    return Mismatch(
+                        "vf2",
+                        "seeded_vs_unseeded",
+                        {
+                            "host": tag,
+                            "pattern": i,
+                            "seeded": seeded,
+                            "unseeded": plain,
+                        },
+                    )
+            counted = count_embeddings(host, pattern)
+            if counted != brute:
+                return Mismatch(
+                    "vf2",
+                    "count_vs_brute_force",
+                    {"host": tag, "pattern": i, "vf2": counted, "brute": brute},
+                )
+    return None
+
+
+def covindex_oracle(workload: Workload) -> Mismatch | None:
+    """Engine-backed delta coverage vs a full-scan oracle per view."""
+    with use_covindex(True):
+        fast = CoverageOracle(dict(workload.graphs))
+    for step, view in enumerate(workload.views()):
+        if step > 0:
+            batch = workload.batches[step - 1]
+            fast.apply_update(batch.added, batch.removed)
+        with use_covindex(False):
+            reference = CoverageOracle(view)
+        for i, pattern in enumerate(workload.patterns):
+            got = fast.cover(pattern)
+            want = reference.cover(pattern)
+            if got != want:
+                return Mismatch(
+                    "covindex",
+                    "cover_mismatch",
+                    {
+                        "view": step,
+                        "pattern": i,
+                        "engine": sorted(got),
+                        "full_scan": sorted(want),
+                    },
+                )
+        engine = fast._engine  # noqa: SLF001 - oracle inspects internals
+        if engine is None:
+            continue
+        if engine.index.snapshot() != CoverageIndex.build(view).snapshot():
+            return Mismatch(
+                "covindex",
+                "index_snapshot_drift",
+                {"view": step},
+            )
+        try:
+            check_engine(engine)
+            check_coverage_index(engine.index, view)
+        except InvariantViolation as exc:
+            return Mismatch(
+                "covindex",
+                "invariant",
+                {"view": step, "name": exc.name, "detail": exc.detail},
+            )
+    return None
+
+
+def cache_oracle(workload: Workload) -> Mismatch | None:
+    """Cache-on (cold and warm) vs cache-off cover/GED traces."""
+    with use_covindex(False), use_caching(False):
+        baseline = _cover_ged_trace(workload)
+    previous = set_caches(CacheManager())
+    try:
+        with use_covindex(False), use_caching(True):
+            cold = _cover_ged_trace(workload)
+            warm = _cover_ged_trace(workload)
+    finally:
+        set_caches(previous)
+    for label, trace in (("cold", cold), ("warm", warm)):
+        if trace != baseline:
+            view = next(
+                i for i, (a, b) in enumerate(zip(trace, baseline)) if a != b
+            )
+            return Mismatch(
+                "cache",
+                f"{label}_mismatch",
+                {"view": view},
+            )
+    return None
+
+
+def parallel_oracle(workload: Workload) -> Mismatch | None:
+    """workers=2 kernel fan-out vs the serial loop, same trace."""
+    with use_covindex(False), use_caching(False):
+        serial = _cover_ged_trace(workload)
+        with use_pool(shared_pool(2)):
+            fanned = _cover_ged_trace(workload)
+    if fanned != serial:
+        view = next(
+            i for i, (a, b) in enumerate(zip(fanned, serial)) if a != b
+        )
+        return Mismatch("parallel", "trace_mismatch", {"view": view})
+    return None
+
+
+def _fct_snapshot(fct_set: FCTSet) -> set[tuple]:
+    return {(repr(t.key), t.support_count) for t in fct_set.fcts()}
+
+
+def _index_pair_state(pair: IndexPair) -> tuple:
+    rows = tuple(
+        (repr(key), tuple(sorted(pair.fct.tg.row(key).items())))
+        for key in sorted(pair.fct.feature_keys(), key=repr)
+    )
+    labels = tuple(sorted(pair.ife.edge_labels()))
+    postings = tuple(
+        (label, tuple(sorted(pair.ife.graphs_with_edge(label))))
+        for label in labels
+    )
+    return (rows, labels, postings)
+
+
+def index_oracle(workload: Workload) -> Mismatch | None:
+    """Incremental FCT/index/covindex maintenance vs rebuild per view.
+
+    Precondition (enforced by the generator hints): deletions per batch
+    stay well under half the view, the Lemma 3.4/4.5 regime in which the
+    relaxed-threshold pool provably absorbs support inflation.
+    """
+    views = list(workload.views())
+    if not views[0]:
+        return None
+    incremental = FCTSet(views[0], sup_min=FCT_SUP_MIN)
+    pair = IndexPair.build(incremental, views[0])
+    cov = CoverageIndex.build(views[0])
+    current = dict(views[0])
+    for step, batch in enumerate(workload.batches):
+        view = views[step + 1]
+        removed = [gid for gid in batch.removed if gid in current]
+        # An insert of an existing id is an in-place replacement; the
+        # FCT/index layers model it as remove-then-add.
+        removed += [
+            gid
+            for gid in batch.added
+            if gid in current and gid not in removed
+        ]
+        incremental.apply(added=batch.added, removed=removed)
+        scratch = FCTSet(view, sup_min=FCT_SUP_MIN)
+        if _fct_snapshot(incremental) != _fct_snapshot(scratch):
+            return Mismatch(
+                "index",
+                "fct_incremental_vs_rebuild",
+                {
+                    "view": step + 1,
+                    "incremental": sorted(_fct_snapshot(incremental)),
+                    "rebuild": sorted(_fct_snapshot(scratch)),
+                },
+            )
+        pair.apply_update(incremental, view, list(batch.added), removed)
+        fresh = IndexPair.build(incremental, view)
+        if _index_pair_state(pair) != _index_pair_state(fresh):
+            return Mismatch(
+                "index",
+                "index_pair_incremental_vs_rebuild",
+                {"view": step + 1},
+            )
+        for gid in removed:
+            cov.remove_graph(gid)
+        for gid, graph in batch.added.items():
+            cov.add_graph(gid, graph)
+        if cov.snapshot() != CoverageIndex.build(view).snapshot():
+            return Mismatch(
+                "index",
+                "covindex_incremental_vs_rebuild",
+                {"view": step + 1},
+            )
+        try:
+            check_coverage_index(cov, view)
+        except InvariantViolation as exc:
+            return Mismatch(
+                "index",
+                "invariant",
+                {"view": step + 1, "name": exc.name, "detail": exc.detail},
+            )
+        current = dict(view)
+    return None
+
+
+# ----------------------------------------------------------------------
+# metamorphic oracles
+# ----------------------------------------------------------------------
+def canonical_oracle(workload: Workload) -> Mismatch | None:
+    """Canonical certificates are vertex-ID permutation invariant."""
+    for tag, graph in _all_graphs(workload):
+        certificate = canonical_certificate(graph)
+        key = graph_key(graph)
+        for seed in (1, 2, 3):
+            twin = permuted_copy(graph, seed)
+            if canonical_certificate(twin) != certificate:
+                return Mismatch(
+                    "canonical",
+                    "certificate_not_invariant",
+                    {"graph": tag, "seed": seed},
+                )
+            if graph_key(twin) != key:
+                return Mismatch(
+                    "canonical",
+                    "graph_key_not_invariant",
+                    {"graph": tag, "seed": seed},
+                )
+    return None
+
+
+def ged_oracle(workload: Workload) -> Mismatch | None:
+    """GED bound sandwich, identity, permutation invariance, triangle.
+
+    ``bipartite`` and ``beam`` are excluded from the invariance sweep:
+    both derive their bound from one concrete edit path (the assignment
+    scipy's LP tie-breaking picks / the beam's expansion order), so the
+    *value* is legitimately vertex-order dependent even though it always
+    stays a sound upper bound — the fuzzer found exactly this on its
+    first sweep (triaged waiver in ``docs/CORRECTNESS.md``).  The
+    permuted upper bounds are still checked against the (invariant)
+    lower bounds.
+    """
+    graphs = [g for _, g in _all_graphs(workload)][:6]
+    tiny = [g for g in graphs if g.num_vertices <= EXACT_GED_MAX_VERTICES]
+    for i, graph in enumerate(graphs):
+        for method in ("lower", "tight_lower"):
+            if ged(graph, graph, method=method) != 0:
+                return Mismatch(
+                    "ged", "identity_not_zero", {"graph": i, "method": method}
+                )
+    for i, j in itertools.combinations(range(len(graphs)), 2):
+        a, b = graphs[i], graphs[j]
+        lower = ged(a, b, method="lower")
+        tight = ged(a, b, method="tight_lower")
+        bipartite = ged(a, b, method="bipartite")
+        beam = ged(a, b, method="beam")
+        bounds = {
+            "lower": lower,
+            "tight_lower": tight,
+            "bipartite": bipartite,
+            "beam": beam,
+        }
+        if not (lower <= tight <= min(bipartite, beam)):
+            return Mismatch(
+                "ged", "bound_sandwich", {"pair": [i, j], **bounds}
+            )
+        if a in tiny and b in tiny:
+            exact = ged(a, b, method="exact")
+            if not (tight <= exact <= min(bipartite, beam)):
+                return Mismatch(
+                    "ged",
+                    "exact_outside_bounds",
+                    {"pair": [i, j], "exact": exact, **bounds},
+                )
+        for method in ("lower", "tight_lower"):
+            permuted = ged(permuted_copy(a, 5), b, method=method)
+            if permuted != bounds[method]:
+                return Mismatch(
+                    "ged",
+                    "not_permutation_invariant",
+                    {
+                        "pair": [i, j],
+                        "method": method,
+                        "original": bounds[method],
+                        "permuted": permuted,
+                    },
+                )
+        # Upper bounds may move under permutation (see docstring) but
+        # must remain upper bounds: never below the invariant lower
+        # bounds of the same pair.
+        for method in ("bipartite", "beam"):
+            permuted = ged(permuted_copy(a, 5), b, method=method)
+            if permuted < tight:
+                return Mismatch(
+                    "ged",
+                    "permuted_upper_below_lower",
+                    {
+                        "pair": [i, j],
+                        "method": method,
+                        "permuted_upper": permuted,
+                        "tight_lower": tight,
+                    },
+                )
+    for a, b, c in itertools.combinations(tiny[:4], 3):
+        direct = ged(a, c, method="exact")
+        detour = ged(a, b, method="exact") + ged(b, c, method="exact")
+        if direct > detour:
+            return Mismatch(
+                "ged",
+                "triangle_inequality",
+                {"direct": direct, "detour": detour},
+            )
+    return None
+
+
+def scov_oracle(workload: Workload) -> Mismatch | None:
+    """Maintained covers track fresh covers; insert-only covers grow.
+
+    Checks (a) the memoisation staleness contract — a maintained plain
+    oracle must agree with a fresh one after every ``apply_update`` —
+    and (b) scov monotonicity: a pure-insertion batch can only enlarge
+    each cover set (and hence ``set_scov``'s numerator).
+    """
+    views = list(workload.views())
+    with use_covindex(False):
+        maintained = CoverageOracle(views[0])
+        previous = [
+            maintained.cover(p) for p in workload.patterns
+        ]
+        for step, batch in enumerate(workload.batches):
+            view = views[step + 1]
+            pure_insert = not batch.removed and not (
+                set(batch.added) & set(views[step])
+            )
+            maintained.apply_update(batch.added, batch.removed)
+            fresh = CoverageOracle(view)
+            current = []
+            for i, pattern in enumerate(workload.patterns):
+                got = maintained.cover(pattern)
+                want = fresh.cover(pattern)
+                if got != want:
+                    return Mismatch(
+                        "scov",
+                        "stale_memo",
+                        {
+                            "view": step + 1,
+                            "pattern": i,
+                            "maintained": sorted(got),
+                            "fresh": sorted(want),
+                        },
+                    )
+                current.append(got)
+                if pure_insert and not previous[i] <= got:
+                    return Mismatch(
+                        "scov",
+                        "cover_shrank_on_insert",
+                        {
+                            "view": step + 1,
+                            "pattern": i,
+                            "lost": sorted(previous[i] - got),
+                        },
+                    )
+            previous = current
+    return None
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+ORACLES: dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in (
+        Oracle(
+            "vf2",
+            "VF2 (seeded and unseeded) vs brute-force monomorphism "
+            "enumeration on small graphs",
+            vf2_oracle,
+            {
+                "num_graphs": 3,
+                "max_graph_vertices": 7,
+                "num_patterns": 3,
+                "max_pattern_edges": 3,
+                "max_pattern_vertices": 4,
+                "num_batches": 1,
+            },
+        ),
+        Oracle(
+            "covindex",
+            "coverage engine (filter + delta verification) vs a fresh "
+            "full-scan CoverageOracle at every view",
+            covindex_oracle,
+            {"num_graphs": 5, "num_batches": 2},
+        ),
+        Oracle(
+            "cache",
+            "canonical-form caches on (cold and warm) vs off",
+            cache_oracle,
+            {"num_graphs": 4, "num_batches": 2},
+        ),
+        Oracle(
+            "parallel",
+            "workers=2 kernel pool vs the serial loop",
+            parallel_oracle,
+            {"num_graphs": 4, "num_batches": 1},
+        ),
+        Oracle(
+            "index",
+            "incremental FCT/FCT-IFE/covindex maintenance vs rebuild "
+            "(bounded-deletion regime)",
+            index_oracle,
+            {
+                "num_graphs": 5,
+                "max_graph_vertices": 8,
+                "num_batches": 2,
+                "max_deletion_fraction": 0.3,
+            },
+        ),
+        Oracle(
+            "canonical",
+            "canonical certificates and cache keys are vertex-ID "
+            "permutation invariant",
+            canonical_oracle,
+            {"num_graphs": 4, "num_batches": 1},
+        ),
+        Oracle(
+            "ged",
+            "GED bound sandwich, identity, permutation invariance and "
+            "exact triangle inequality on tiny graphs",
+            ged_oracle,
+            {
+                "num_graphs": 3,
+                "max_graph_vertices": 5,
+                "num_patterns": 3,
+                "max_pattern_edges": 3,
+                "max_pattern_vertices": 4,
+                "num_batches": 0,
+            },
+        ),
+        Oracle(
+            "scov",
+            "maintained oracle vs fresh oracle after updates; covers "
+            "monotone under pure insertion",
+            scov_oracle,
+            {"insert_only": True, "num_batches": 3},
+        ),
+    )
+}
+
+
+def get_oracle(name: str) -> Oracle:
+    try:
+        return ORACLES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown oracle {name!r}; choose from {sorted(ORACLES)}"
+        ) from None
+
+
+def oracle_names() -> list[str]:
+    return sorted(ORACLES)
+
+
+__all__ = [
+    "EXACT_GED_MAX_VERTICES",
+    "FCT_SUP_MIN",
+    "ORACLES",
+    "Oracle",
+    "get_oracle",
+    "oracle_names",
+]

@@ -1,0 +1,230 @@
+"""Greedy workload minimisation (delta-debugging style).
+
+Given a failing :class:`~repro.check.workload.Workload` and a predicate
+("does this workload still trigger the *same* mismatch signature?"),
+:func:`shrink` applies one-step reductions in decreasing order of
+impact — drop a graph, drop a batch, drop one batch op, drop a pattern,
+drop a vertex, remove an edge, contract an edge, collapse the label
+alphabet towards two letters — keeping any reduction the predicate
+accepts, and loops to a fixpoint.  The result is a *1-minimal* repro:
+no single remaining reduction preserves the failure.
+
+Every accepted reduction bumps the ``check.shrink_steps`` counter;
+predicate evaluations are capped by ``max_evals`` so a slow oracle
+cannot stall the fuzzer indefinitely (the best workload found so far is
+returned on cap).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from ..graph.labeled_graph import LabeledGraph
+from ..obs import get_registry
+from .workload import Workload, WorkloadBatch
+
+#: Labels the relabelling pass collapses the alphabet towards.
+SHRINK_ALPHABET = ("A", "B")
+
+
+# ----------------------------------------------------------------------
+# graph-level edits (pure; vertices renumbered to 0..n-1, sorted order)
+# ----------------------------------------------------------------------
+def _parts(graph: LabeledGraph) -> tuple[list, list]:
+    order = sorted(graph.vertices(), key=repr)
+    labels = [(v, graph.label(v)) for v in order]
+    position = {v: i for i, v in enumerate(order)}
+    edges = sorted(
+        tuple(sorted((position[u], position[v]))) for u, v in graph.edges()
+    )
+    return [(position[v], label) for v, label in labels], edges
+
+
+def _assemble(labels: list, edges: list, name: str | None) -> LabeledGraph:
+    keep = sorted(v for v, _ in labels)
+    renumber = {v: i for i, v in enumerate(keep)}
+    graph = LabeledGraph(name=name)
+    for v, label in sorted(labels):
+        graph.add_vertex(renumber[v], label)
+    seen = set()
+    for u, v in edges:
+        edge = tuple(sorted((renumber[u], renumber[v])))
+        if edge[0] != edge[1] and edge not in seen:
+            seen.add(edge)
+            graph.add_edge(*edge)
+    return graph
+
+
+def _graph_reductions(graph: LabeledGraph) -> Iterator[LabeledGraph]:
+    """One-step structural reductions of a single graph, biggest first."""
+    labels, edges = _parts(graph)
+    if len(labels) <= 1:
+        return
+    # Drop one vertex (with its incident edges).
+    for v, _ in labels:
+        yield _assemble(
+            [(w, lab) for w, lab in labels if w != v],
+            [e for e in edges if v not in e],
+            graph.name,
+        )
+    # Contract one edge (merge the higher endpoint into the lower).
+    for u, v in edges:
+        yield _assemble(
+            [(w, lab) for w, lab in labels if w != v],
+            [
+                tuple(sorted((u if a == v else a, u if b == v else b)))
+                for a, b in edges
+                if (a, b) != (u, v)
+            ],
+            graph.name,
+        )
+    # Remove one edge (endpoints survive, possibly isolated).
+    for i in range(len(edges)):
+        yield _assemble(labels, edges[:i] + edges[i + 1 :], graph.name)
+
+
+def _relabeled(graph: LabeledGraph, mapping: dict[str, str]) -> LabeledGraph:
+    labels, edges = _parts(graph)
+    return _assemble(
+        [(v, mapping.get(label, label)) for v, label in labels],
+        edges,
+        graph.name,
+    )
+
+
+# ----------------------------------------------------------------------
+# workload-level reductions
+# ----------------------------------------------------------------------
+def _replace_graph(
+    workload: Workload, site: tuple, graph: LabeledGraph
+) -> Workload:
+    if site[0] == "initial":
+        graphs = dict(workload.graphs)
+        graphs[site[1]] = graph
+        return Workload(graphs, workload.patterns, workload.batches)
+    if site[0] == "batch":
+        batches = list(workload.batches)
+        batch = batches[site[1]]
+        added = dict(batch.added)
+        added[site[2]] = graph
+        batches[site[1]] = WorkloadBatch(added, batch.removed)
+        return Workload(workload.graphs, workload.patterns, tuple(batches))
+    patterns = list(workload.patterns)
+    patterns[site[1]] = graph
+    return Workload(workload.graphs, tuple(patterns), workload.batches)
+
+
+def _graph_sites(workload: Workload) -> list[tuple[tuple, LabeledGraph]]:
+    sites: list[tuple[tuple, LabeledGraph]] = [
+        (("initial", gid), graph)
+        for gid, graph in sorted(workload.graphs.items())
+    ]
+    for step, batch in enumerate(workload.batches):
+        sites.extend(
+            (("batch", step, gid), graph)
+            for gid, graph in sorted(batch.added.items())
+        )
+    sites.extend(
+        (("pattern", i), pattern)
+        for i, pattern in enumerate(workload.patterns)
+    )
+    return sites
+
+
+def _reductions(workload: Workload) -> Iterator[Workload]:
+    """All one-step workload reductions, in decreasing order of impact."""
+    # 1. Drop one initial graph.
+    for gid in sorted(workload.graphs):
+        graphs = {
+            g: graph for g, graph in workload.graphs.items() if g != gid
+        }
+        yield Workload(graphs, workload.patterns, workload.batches)
+    # 2. Drop one whole batch.
+    for step in range(len(workload.batches)):
+        yield Workload(
+            workload.graphs,
+            workload.patterns,
+            workload.batches[:step] + workload.batches[step + 1 :],
+        )
+    # 3. Drop one batch op (one insertion or one removal).
+    for step, batch in enumerate(workload.batches):
+        for gid in sorted(batch.added):
+            added = {g: gr for g, gr in batch.added.items() if g != gid}
+            batches = list(workload.batches)
+            batches[step] = WorkloadBatch(added, batch.removed)
+            yield Workload(
+                workload.graphs, workload.patterns, tuple(batches)
+            )
+        for gid in batch.removed:
+            removed = tuple(g for g in batch.removed if g != gid)
+            batches = list(workload.batches)
+            batches[step] = WorkloadBatch(batch.added, removed)
+            yield Workload(
+                workload.graphs, workload.patterns, tuple(batches)
+            )
+    # 4. Drop one pattern.
+    for i in range(len(workload.patterns)):
+        yield Workload(
+            workload.graphs,
+            workload.patterns[:i] + workload.patterns[i + 1 :],
+            workload.batches,
+        )
+    # 5–7. Shrink one graph in place (vertex drop / contraction / edge
+    # removal, in that order inside _graph_reductions).
+    for site, graph in _graph_sites(workload):
+        for reduced in _graph_reductions(graph):
+            yield _replace_graph(workload, site, reduced)
+    # 8. Collapse the label alphabet towards {A, B}.
+    alphabet = sorted(
+        {
+            label
+            for _, graph in _graph_sites(workload)
+            for label in graph.vertex_label_multiset()
+        }
+    )
+    for label in alphabet:
+        for target in SHRINK_ALPHABET:
+            if label == target:
+                continue
+            mapping = {label: target}
+            candidate = workload
+            for site, graph in _graph_sites(workload):
+                candidate = _replace_graph(
+                    candidate, site, _relabeled(graph, mapping)
+                )
+            yield candidate
+
+
+def shrink(
+    workload: Workload,
+    predicate: Callable[[Workload], bool],
+    max_evals: int = 2000,
+) -> Workload:
+    """Greedily minimise *workload* while *predicate* stays true.
+
+    *predicate* must be true for *workload* itself (the caller observed
+    the failure there); it is re-run on every candidate reduction.
+    Returns the smallest accepted workload — 1-minimal if the eval
+    budget was not exhausted.
+    """
+    registry = get_registry()
+    current = workload
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in _reductions(current):
+            if candidate.size() >= current.size():
+                continue
+            evals += 1
+            if predicate(candidate):
+                registry.counter("check.shrink_steps").add(1)
+                current = candidate
+                improved = True
+                break
+            if evals >= max_evals:
+                break
+    return current
+
+
+__all__ = ["SHRINK_ALPHABET", "shrink"]

@@ -1,0 +1,265 @@
+"""Workloads and mismatches: the common currency of the check harness.
+
+A :class:`Workload` is the *whole input* of a differential test case —
+an initial database view, a pattern set, and a sequence of batch
+updates — in one serialisable value.  Oracles
+(:mod:`repro.check.oracles`) consume workloads and return a
+:class:`Mismatch` (or ``None``); the fuzzer generates them, the
+shrinker edits them, and replay artifacts round-trip them through JSON
+(:func:`workload_to_dict` / :func:`workload_from_dict`, built on
+:mod:`repro.graph.io` so permuted vertex-ID→label assignments — the
+PR-4 bug class — survive serialisation byte-for-byte).
+
+Graph IDs are explicit everywhere (both the initial view and batch
+insertions) so a workload names the exact id-space the live
+:class:`~repro.graph.database.GraphDatabase` would produce, without
+depending on allocator state.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field
+
+from ..graph.io import FormatError, graph_from_dict, graph_to_dict
+from ..graph.labeled_graph import LabeledGraph
+
+
+@dataclass(frozen=True)
+class WorkloadBatch:
+    """One batch step: graphs added under explicit IDs, IDs removed."""
+
+    added: Mapping[int, LabeledGraph] = field(default_factory=dict)
+    removed: tuple[int, ...] = ()
+
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WorkloadBatch +{len(self.added)} -{len(self.removed)}>"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An initial view, a pattern set, and a batch-update sequence."""
+
+    graphs: Mapping[int, LabeledGraph] = field(default_factory=dict)
+    patterns: tuple[LabeledGraph, ...] = ()
+    batches: tuple[WorkloadBatch, ...] = ()
+
+    # ------------------------------------------------------------------
+    # view evolution
+    # ------------------------------------------------------------------
+    def views(self) -> Iterator[dict[int, LabeledGraph]]:
+        """Yield the view after each prefix of batches (initial first).
+
+        Each yielded dict is fresh — callers may mutate or retain it.
+        Removals of absent IDs are ignored (the shrinker may drop the
+        insertion that introduced an ID while keeping its removal).
+        """
+        view = dict(self.graphs)
+        yield dict(view)
+        for batch in self.batches:
+            for graph_id in batch.removed:
+                view.pop(graph_id, None)
+            view.update(batch.added)
+            yield dict(view)
+
+    def final_view(self) -> dict[int, LabeledGraph]:
+        view: dict[int, LabeledGraph] = {}
+        for view in self.views():
+            pass
+        return view
+
+    # ------------------------------------------------------------------
+    # size accounting (the shrinker minimises these)
+    # ------------------------------------------------------------------
+    def num_graphs(self) -> int:
+        """Distinct graph objects across the initial view and batches."""
+        total = len(self.graphs)
+        for batch in self.batches:
+            total += len(batch.added)
+        return total
+
+    def num_edges(self) -> int:
+        total = sum(g.num_edges for g in self.graphs.values())
+        for batch in self.batches:
+            total += sum(g.num_edges for g in batch.added.values())
+        total += sum(p.num_edges for p in self.patterns)
+        return total
+
+    def alphabet(self) -> set[str]:
+        labels: set[str] = set()
+        for graph in self.graphs.values():
+            labels |= set(graph.vertex_label_multiset())
+        for batch in self.batches:
+            for graph in batch.added.values():
+                labels |= set(graph.vertex_label_multiset())
+        for pattern in self.patterns:
+            labels |= set(pattern.vertex_label_multiset())
+        return labels
+
+    def num_vertices(self) -> int:
+        total = sum(g.num_vertices for g in self.graphs.values())
+        for batch in self.batches:
+            total += sum(g.num_vertices for g in batch.added.values())
+        total += sum(p.num_vertices for p in self.patterns)
+        return total
+
+    def size(self) -> tuple[int, int, int, int, int, int]:
+        """Lexicographic shrink objective
+        (graphs, ops, patterns, edges, vertices, labels)."""
+        ops = sum(
+            len(b.added) + len(b.removed) for b in self.batches
+        )
+        return (
+            self.num_graphs(),
+            ops,
+            len(self.patterns),
+            self.num_edges(),
+            self.num_vertices(),
+            len(self.alphabet()),
+        )
+
+    def describe(self) -> str:
+        graphs, ops, patterns, edges, vertices, labels = self.size()
+        return (
+            f"{graphs} graphs, {len(self.batches)} batches "
+            f"({ops} ops), {patterns} patterns, "
+            f"{vertices} vertices, {edges} edges, {labels} labels"
+        )
+
+
+# ----------------------------------------------------------------------
+# JSON (de)serialisation — the replay-artifact format
+# ----------------------------------------------------------------------
+def workload_to_dict(workload: Workload) -> dict:
+    return {
+        "graphs": {
+            str(gid): graph_to_dict(graph)
+            for gid, graph in sorted(workload.graphs.items())
+        },
+        "patterns": [graph_to_dict(p) for p in workload.patterns],
+        "batches": [
+            {
+                "added": {
+                    str(gid): graph_to_dict(graph)
+                    for gid, graph in sorted(batch.added.items())
+                },
+                "removed": list(batch.removed),
+            }
+            for batch in workload.batches
+        ],
+    }
+
+
+def workload_from_dict(payload: Mapping) -> Workload:
+    try:
+        graphs = {
+            int(gid): graph_from_dict(g)
+            for gid, g in payload["graphs"].items()
+        }
+        patterns = tuple(
+            graph_from_dict(p) for p in payload["patterns"]
+        )
+        batches = tuple(
+            WorkloadBatch(
+                added={
+                    int(gid): graph_from_dict(g)
+                    for gid, g in batch["added"].items()
+                },
+                removed=tuple(batch["removed"]),
+            )
+            for batch in payload["batches"]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FormatError(f"malformed workload payload: {exc}") from exc
+    return Workload(graphs=graphs, patterns=patterns, batches=batches)
+
+
+def workload_to_json(workload: Workload) -> str:
+    return json.dumps(workload_to_dict(workload), indent=2, sort_keys=True)
+
+
+def workload_from_json(text: str) -> Workload:
+    return workload_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# graph transforms shared by generators, oracles and the shrinker
+# ----------------------------------------------------------------------
+def permuted_copy(graph: LabeledGraph, seed: int) -> LabeledGraph:
+    """An isomorphic copy with a permuted vertex-ID→label assignment.
+
+    The twin has the same 0..n-1 integer ID space (so it survives the
+    JSON round-trip of :func:`graph_to_dict` unchanged) but a shuffled
+    assignment — the exact shape of the PR-4 shared-canonical-key bug
+    class, and the input of every permutation-invariance oracle.
+    """
+    order = sorted(graph.vertices(), key=repr)
+    positions = list(range(len(order)))
+    random.Random(seed).shuffle(positions)
+    renumber = {v: positions[i] for i, v in enumerate(order)}
+    twin = LabeledGraph(name=graph.name)
+    for vertex in order:
+        twin.add_vertex(renumber[vertex], graph.label(vertex))
+    for u, v in graph.edges():
+        twin.add_edge(renumber[u], renumber[v])
+    return twin
+
+
+# ----------------------------------------------------------------------
+# mismatches
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Mismatch:
+    """A differential-oracle failure: fast path disagreed with reference.
+
+    ``detail`` carries free-form diagnostics (the disagreeing values,
+    the pattern index, the exception text...).  Two mismatches are
+    *the same bug* for shrinking purposes when their
+    :meth:`signature` — oracle name plus stable failure code — agree;
+    ``detail`` is allowed to change as the workload shrinks.
+    """
+
+    oracle: str
+    code: str
+    detail: Mapping = field(default_factory=dict)
+
+    def signature(self) -> tuple[str, str]:
+        return (self.oracle, self.code)
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "code": self.code,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Mismatch":
+        return cls(
+            oracle=payload["oracle"],
+            code=payload["code"],
+            detail=dict(payload.get("detail", {})),
+        )
+
+    def __str__(self) -> str:
+        parts = [f"[{self.oracle}] {self.code}"]
+        for key, value in sorted(self.detail.items()):
+            parts.append(f"  {key}: {value}")
+        return "\n".join(parts)
+
+
+__all__ = [
+    "Mismatch",
+    "Workload",
+    "WorkloadBatch",
+    "permuted_copy",
+    "workload_from_dict",
+    "workload_from_json",
+    "workload_to_dict",
+    "workload_to_json",
+]

@@ -6,6 +6,8 @@ Usage::
     python -m repro bench --figure fig12      # regenerate one paper figure
     python -m repro bench --all               # regenerate every figure
     python -m repro dataset --profile aids --count 100 --out db.json
+    python -m repro check --oracle covindex --seed 7 --budget 50
+    python -m repro check --replay artifact.json
     python -m repro info                      # version + experiment index
 
 The ``bench`` subcommand drives exactly the same experiment code the
@@ -137,6 +139,7 @@ def _execution_from_args(
         workers=getattr(args, "workers", 1),
         cache=getattr(args, "cache", "off") == "on",
         covindex=getattr(args, "covindex", "off") == "on",
+        check=getattr(args, "check", "off") == "on",
         deadline_ms=deadline_ms,
         degrade=getattr(args, "degrade", "on") != "off",
     )
@@ -242,6 +245,75 @@ def cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from .check import (
+        ORACLES,
+        load_artifact,
+        oracle_names,
+        recorded_mismatch,
+        replay,
+        run_oracle,
+        write_artifact,
+    )
+
+    if args.list:
+        print("Available oracles (see docs/CORRECTNESS.md):")
+        for name in oracle_names():
+            print(f"  {name:<10} {ORACLES[name].description}")
+        return 0
+
+    if args.replay:
+        try:
+            artifact = load_artifact(args.replay)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load {args.replay}: {exc}", file=sys.stderr)
+            return 2
+        mismatch = replay(artifact)
+        recorded = recorded_mismatch(artifact)
+        if mismatch is None:
+            print(
+                f"replay of {args.replay}: clean — recorded mismatch "
+                f"[{recorded.oracle}] {recorded.code} no longer reproduces"
+            )
+            return 0
+        print(f"replay of {args.replay}: still failing")
+        print(mismatch)
+        return 1
+
+    if args.all_oracles:
+        targets = oracle_names()
+    elif args.oracle:
+        targets = [args.oracle]
+    else:
+        print(
+            "specify --oracle NAME, --all-oracles, --replay PATH or --list",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures = 0
+    for name in targets:
+        report = run_oracle(
+            name,
+            seed=args.seed,
+            budget=args.budget,
+            shrink_failures=not args.no_shrink,
+        )
+        print(report.summary())
+        if not report.ok:
+            failures += 1
+            path = write_artifact(
+                f"{args.artifact_dir}/{name}-seed{args.seed}.json", report
+            )
+            print(f"  artifact written to {path}")
+    if len(targets) > 1:
+        print(
+            f"\n{len(targets) - failures}/{len(targets)} oracles clean "
+            f"(seed {args.seed}, budget {args.budget})"
+        )
+    return 1 if failures else 0
+
+
 def cmd_info(_: argparse.Namespace) -> int:
     print(f"repro {__version__} — MIDAS (SIGMOD 2021) reproduction")
     print("\nExperiment index (see DESIGN.md):")
@@ -317,6 +389,14 @@ def build_parser() -> argparse.ArgumentParser:
             "maintenance; results are identical either way (see "
             "docs/PERFORMANCE.md)",
         )
+        sub.add_argument(
+            "--check",
+            choices=("on", "off"),
+            default="off",
+            help="'on' arms the runtime invariant guards (repro.check): "
+            "a violated invariant raises and rolls the maintenance "
+            "round back (see docs/CORRECTNESS.md)",
+        )
 
     demo = subparsers.add_parser("demo", help="run the quickstart demo")
     add_metrics_flags(demo)
@@ -357,6 +437,57 @@ def build_parser() -> argparse.ArgumentParser:
     dataset_cmd.add_argument("--seed", type=int, default=0)
     dataset_cmd.add_argument("--out", default="dataset.json")
     dataset_cmd.set_defaults(func=cmd_dataset)
+
+    check = subparsers.add_parser(
+        "check",
+        help="fuzz the differential-correctness oracles / replay artifacts",
+    )
+    check.add_argument(
+        "--oracle",
+        metavar="NAME",
+        help="one oracle to fuzz (see --list)",
+    )
+    check.add_argument(
+        "--all-oracles",
+        action="store_true",
+        help="fuzz every registered oracle in turn",
+    )
+    check.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed; each case derives its own RNG from (seed, case)",
+    )
+    check.add_argument(
+        "--budget",
+        type=int,
+        default=100,
+        metavar="N",
+        help="random workloads per oracle (default 100)",
+    )
+    check.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="re-evaluate a shrunk failure artifact instead of fuzzing",
+    )
+    check.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered oracles and exit",
+    )
+    check.add_argument(
+        "--artifact-dir",
+        default="check-artifacts",
+        metavar="DIR",
+        help="where shrunk failure artifacts are written (default "
+        "check-artifacts/)",
+    )
+    check.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report the first failing workload without minimising it",
+    )
+    check.set_defaults(func=cmd_check)
 
     info = subparsers.add_parser("info", help="version and experiment index")
     info.set_defaults(func=cmd_info)

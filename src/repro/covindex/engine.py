@@ -33,6 +33,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from contextlib import contextmanager
 
+from ..check.invariants import check_enabled, check_engine
 from ..graph.labeled_graph import LabeledGraph, VertexId
 from ..obs import get_registry
 from .bitset import bits_of, ids_of
@@ -141,6 +142,8 @@ class CoverageEngine:
     def cover_ids(self, key: tuple) -> frozenset[int]:
         """The verified cover set of *key* (call after draining pending)."""
         self._touch(key)
+        if check_enabled():
+            check_engine(self)
         return frozenset(ids_of(self._match_bits[key]))
 
     def vertex_domains(
@@ -187,6 +190,8 @@ class CoverageEngine:
         registry.counter("covindex.dirty_graphs").add(
             len(added) + len(removed)
         )
+        if check_enabled():
+            check_engine(self)
         self._publish_gauges()
 
     # ------------------------------------------------------------------

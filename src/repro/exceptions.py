@@ -63,10 +63,30 @@ class RolledBack(MaintenanceError, ResilienceError):
     pre-round snapshot.  The original failure is chained as ``cause``."""
 
 
+class InvariantViolation(ReproError):
+    """A runtime invariant guard (``repro.check.invariants``) failed.
+
+    Deliberately *not* a :class:`ResilienceError`: raised inside a
+    transactional maintenance round it takes the generic-failure path of
+    ``Midas.apply_update`` — the round is rolled back to its pre-round
+    snapshot and re-raised as :class:`RolledBack` with this violation
+    chained as ``cause`` — rather than producing an aborted report.
+    """
+
+    def __init__(self, name: str, detail: str = ""):
+        message = f"invariant {name!r} violated"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.name = name
+        self.detail = detail
+
+
 __all__ = [
     "BudgetExhausted",
     "ConfigurationError",
     "DeadlineExceeded",
+    "InvariantViolation",
     "MaintenanceError",
     "ReproError",
     "ResilienceError",

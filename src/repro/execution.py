@@ -3,7 +3,8 @@
 :class:`ExecutionConfig` is the one knob bundle that every entry point
 accepts — ``repro.api.select`` / ``repro.api.maintain``, the pipeline
 and maintainer configs (``CatapultConfig.execution``), and the CLI
-(``--workers``, ``--cache``, ``--deadline-ms``, ``--degrade``).  It
+(``--workers``, ``--cache``, ``--covindex``, ``--check``,
+``--deadline-ms``, ``--degrade``).  It
 replaces the per-call resilience kwargs that had accreted on individual
 signatures.
 
@@ -38,6 +39,13 @@ class ExecutionConfig:
         (:mod:`repro.covindex`): posting-list candidate filtering, VF2
         domain seeding and incremental cover maintenance.  Results are
         identical with the engine on or off.
+    check:
+        Arm the runtime invariant guards (:mod:`repro.check`): bitset
+        and posting-list consistency in the coverage engine, cache
+        fidelity monotonicity, pattern-budget bounds after maintenance
+        rounds.  A failed guard raises
+        :class:`~repro.exceptions.InvariantViolation`, which a
+        transactional round maps to a rollback.
     deadline_ms:
         Wall-clock budget for the wrapped scope; ``None`` = unbounded.
     degrade:
@@ -49,6 +57,7 @@ class ExecutionConfig:
     workers: int = 1
     cache: bool = False
     covindex: bool = False
+    check: bool = False
     deadline_ms: float | None = None
     degrade: bool = True
 
@@ -62,6 +71,7 @@ class ExecutionConfig:
     def apply(self):
         """Install this policy (pool, caches, budget, degradation) ambiently."""
         from .cache.stores import use_caching
+        from .check.invariants import use_check
         from .covindex.engine import use_covindex
         from .parallel.pool import shared_pool, use_pool
         from .resilience.budget import Deadline, use_budget
@@ -74,6 +84,8 @@ class ExecutionConfig:
                 stack.enter_context(use_caching(True))
             if self.covindex:
                 stack.enter_context(use_covindex(True))
+            if self.check:
+                stack.enter_context(use_check(True))
             if not self.degrade and degradation_enabled():
                 set_degradation(False)
                 stack.callback(set_degradation, True)

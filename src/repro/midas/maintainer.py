@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from ..cache.stores import caching_enabled, get_caches
 from ..catapult.candidate import CandidateGenerator
+from ..check.invariants import check_enabled, check_pattern_budget
 from ..catapult.pipeline import CatapultPlusPlus, CatapultResult
 from ..exceptions import ConfigurationError, ResilienceError, RolledBack
 from ..execution import ExecutionConfig
@@ -470,6 +471,12 @@ class Midas:
         if self.index_pair is not None:
             with span("index"):
                 self.index_pair.sync_patterns(self.patterns.graphs())
+
+        if check_enabled():
+            # A violation raises out of the round body, so the
+            # transactional wrapper rolls the whole round back — an
+            # over-budget or out-of-band pattern set can never commit.
+            check_pattern_budget(self.pattern_graphs(), config.budget)
 
         return {
             "classification": classification,

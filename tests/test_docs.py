@@ -8,9 +8,11 @@ Four guarantees:
   as a string literal somewhere under src/repro — the catalogue cannot
   drift from the instrumentation;
 * the reverse, for the execution-layer namespaces: every ``parallel.*``
-  / ``cache.*`` / ``covindex.*`` / ``vf2.*`` metric literal under
-  src/repro is catalogued in OBSERVABILITY.md — the instrumentation
-  cannot drift from the catalogue;
+  / ``cache.*`` / ``covindex.*`` / ``vf2.*`` / ``check.*`` metric
+  literal under src/repro is catalogued in OBSERVABILITY.md — the
+  instrumentation cannot drift from the catalogue;
+* the invariant catalogue in docs/CORRECTNESS.md matches the guard
+  names raised by ``repro.check.invariants``, in both directions;
 * every kernel named in docs/PERFORMANCE.md's kernel table is a real
   function in ``repro.parallel``.
 """
@@ -99,19 +101,48 @@ def test_documented_span_exists_in_source(name, source_text):
 
 
 EXECUTION_METRIC_PATTERN = re.compile(
-    r'"((?:parallel|cache|covindex|vf2)\.[a-z_][a-z_.]*)"'
+    r'"((?:parallel|cache|covindex|vf2|check)\.[a-z_][a-z_.]*)"'
 )
 
 # Budget-check and fault-injection site names share the dotted spelling
 # but are not metrics.
 EXECUTION_SITE_NAMES = {"parallel.map", "vf2.search"}
 
+DOTTED_NAME_PATTERN = re.compile(r'"([a-z_]+(?:\.[a-z_]+)+)"')
+
+
+def _invariant_names_in_source() -> set[str]:
+    """Guard names raised by repro.check.invariants (not metrics).
+
+    Every dotted string literal in the module is either a guard name or
+    one of the two ``check.*`` counters it emits.
+    """
+    text = (
+        REPO_ROOT / "src" / "repro" / "check" / "invariants.py"
+    ).read_text()
+    return set(DOTTED_NAME_PATTERN.findall(text)) - {
+        "check.assertions",
+        "check.violations",
+    }
+
+
+def _correctness_invariant_names() -> set[str]:
+    """First-column names of the CORRECTNESS.md invariant catalogue."""
+    text = (REPO_ROOT / "docs" / "CORRECTNESS.md").read_text()
+    names = set()
+    for line in text.splitlines():
+        match = TABLE_NAME_PATTERN.match(line)
+        if match and "." in match.group(1):
+            names.add(match.group(1))
+    return names
+
 
 def test_execution_metrics_are_catalogued(source_text):
-    """Every parallel./cache./covindex./vf2. literal is catalogued."""
+    """Every parallel./cache./covindex./vf2./check. literal is catalogued."""
     emitted = (
         set(EXECUTION_METRIC_PATTERN.findall(source_text))
         - EXECUTION_SITE_NAMES
+        - _invariant_names_in_source()
     )
     assert emitted, "expected parallel.*/cache.* metric literals in src/repro"
     documented = set(_catalogue_names("## Metric catalogue"))
@@ -119,6 +150,17 @@ def test_execution_metrics_are_catalogued(source_text):
     assert not undocumented, (
         f"metrics emitted under src/repro but missing from the "
         f"OBSERVABILITY.md catalogue: {undocumented}"
+    )
+
+
+def test_invariant_catalogue_matches_source():
+    """docs/CORRECTNESS.md and repro.check.invariants agree exactly."""
+    in_source = _invariant_names_in_source()
+    in_docs = _correctness_invariant_names()
+    assert in_source, "expected guard names in repro/check/invariants.py"
+    assert in_source == in_docs, (
+        f"undocumented guards: {sorted(in_source - in_docs)}; "
+        f"documented but not raised: {sorted(in_docs - in_source)}"
     )
 
 

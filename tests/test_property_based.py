@@ -1,7 +1,9 @@
 """Property-based tests (hypothesis) for core invariants.
 
-Strategies generate small random labelled graphs and trees; properties
-cover the substrate invariants everything else relies on:
+Strategies draw a seed and feed it to the deterministic generators of
+``repro.check.fuzz`` (the same ones the differential fuzzer uses — one
+source of random graphs, no private copies); properties cover the
+substrate invariants everything else relies on:
 
 * canonical certificates are isomorphism invariants,
 * VF2 monomorphism is reflexive and respects subgraph construction,
@@ -18,13 +20,15 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.check.fuzz import random_labeled_graph, random_labeled_tree
+from repro.check.workload import permuted_copy as permuted
 from repro.ged import (
     ged_bipartite_upper_bound,
     ged_exact,
     ged_label_lower_bound,
     ged_tight_lower_bound,
 )
-from repro.graph import LabeledGraph, canonical_certificate
+from repro.graph import canonical_certificate
 from repro.graphlets import count_graphlets, count_graphlets_bruteforce
 from repro.index import SparseCountMatrix
 from repro.isomorphism import contains, count_embeddings
@@ -32,52 +36,25 @@ from repro.trees import tree_certificate, canonical_tokens, tree_from_tokens
 
 LABELS = "CNOS"
 
+#: hypothesis explores the generators' seed space; the graphs themselves
+#: come from repro.check.fuzz, exactly as in ``python -m repro check``.
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
 
-@st.composite
-def labeled_graphs(draw, max_vertices: int = 7) -> LabeledGraph:
-    n = draw(st.integers(min_value=1, max_value=max_vertices))
-    labels = draw(
-        st.lists(
-            st.sampled_from(LABELS), min_size=n, max_size=n
+
+def labeled_graphs(max_vertices: int = 7):
+    return SEEDS.map(
+        lambda seed: random_labeled_graph(
+            random.Random(seed), max_vertices=max_vertices
         )
     )
-    graph = LabeledGraph()
-    for vertex, label in enumerate(labels):
-        graph.add_vertex(vertex, label)
-    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
-    if possible:
-        chosen = draw(
-            st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+
+
+def labeled_trees(max_vertices: int = 8):
+    return SEEDS.map(
+        lambda seed: random_labeled_tree(
+            random.Random(seed), max_vertices=max_vertices
         )
-        for u, v in chosen:
-            graph.add_edge(u, v)
-    return graph
-
-
-@st.composite
-def labeled_trees(draw, max_vertices: int = 8) -> LabeledGraph:
-    n = draw(st.integers(min_value=1, max_value=max_vertices))
-    graph = LabeledGraph()
-    graph.add_vertex(0, draw(st.sampled_from(LABELS)))
-    for vertex in range(1, n):
-        graph.add_vertex(vertex, draw(st.sampled_from(LABELS)))
-        parent = draw(st.integers(min_value=0, max_value=vertex - 1))
-        graph.add_edge(vertex, parent)
-    return graph
-
-
-def permuted(graph: LabeledGraph, seed: int) -> LabeledGraph:
-    rng = random.Random(seed)
-    vertices = sorted(graph.vertices(), key=repr)
-    shuffled = list(vertices)
-    rng.shuffle(shuffled)
-    mapping = dict(zip(vertices, shuffled))
-    clone = LabeledGraph()
-    for v in vertices:
-        clone.add_vertex(mapping[v], graph.label(v))
-    for u, v in graph.edges():
-        clone.add_edge(mapping[u], mapping[v])
-    return clone
+    )
 
 
 class TestCanonicalProperties:

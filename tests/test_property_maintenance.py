@@ -1,8 +1,10 @@
 """Property-based tests for the maintenance-layer invariants.
 
 hypothesis drives random pattern sets, candidate pools and update
-sequences through the swap strategy, the CSG closure and the sampler,
-asserting the guarantees the paper proves:
+sequences through the swap strategy, the CSG closure and the sampler
+(graphs come from the shared ``repro.check.fuzz`` generators — the
+same ones the differential fuzzer uses), asserting the guarantees the
+paper proves:
 
 * multi-scan swap never regresses scov/div/lcov and never raises cog;
 * γ is invariant under swapping;
@@ -13,9 +15,12 @@ asserting the guarantees the paper proves:
 
 from __future__ import annotations
 
+import random
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.check.fuzz import random_connected_pattern
 from repro.csg import SummaryGraph
 from repro.graph import LabeledGraph
 from repro.isomorphism import contains
@@ -23,39 +28,20 @@ from repro.midas import MultiScanSwapper
 from repro.patterns import CoverageOracle, PatternSet, pattern_set_quality
 from repro.utils import LazySampler
 
-LABELS = "CNOS"
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
 
 
-@st.composite
-def connected_patterns(draw, min_edges: int = 2, max_edges: int = 5):
+def connected_patterns(min_edges: int = 2, max_edges: int = 5):
     """A random connected labelled graph grown edge by edge."""
-    num_edges = draw(st.integers(min_edges, max_edges))
-    graph = LabeledGraph()
-    graph.add_vertex(0, draw(st.sampled_from(LABELS)))
-    graph.add_vertex(1, draw(st.sampled_from(LABELS)))
-    graph.add_edge(0, 1)
-    while graph.num_edges < num_edges:
-        anchor = draw(
-            st.sampled_from(sorted(graph.vertices()))
+    return SEEDS.map(
+        lambda seed: random_connected_pattern(
+            random.Random(seed), min_edges=min_edges, max_edges=max_edges
         )
-        close_cycle = draw(st.booleans())
-        others = [
-            v
-            for v in sorted(graph.vertices())
-            if v != anchor and not graph.has_edge(anchor, v)
-        ]
-        if close_cycle and others:
-            graph.add_edge(anchor, draw(st.sampled_from(others)))
-        else:
-            new_vertex = graph.num_vertices
-            graph.add_vertex(new_vertex, draw(st.sampled_from(LABELS)))
-            graph.add_edge(anchor, new_vertex)
-    return graph
+    )
 
 
-@st.composite
-def host_graphs(draw):
-    return draw(connected_patterns(min_edges=3, max_edges=10))
+def host_graphs():
+    return connected_patterns(min_edges=3, max_edges=10)
 
 
 class TestSwapInvariants:
