@@ -48,6 +48,7 @@ from ..index.maintenance import IndexPair
 from ..isomorphism.matcher import contains, count_embeddings
 from ..parallel.pool import shared_pool, use_pool
 from ..patterns.metrics import CoverageOracle
+from ..serve.snapshot import SnapshotStore, build_snapshot
 from ..trees.maintenance import FCTSet
 from .invariants import check_coverage_index, check_engine
 from .workload import Mismatch, Workload, permuted_copy
@@ -530,6 +531,96 @@ def scov_oracle(workload: Workload) -> Mismatch | None:
     return None
 
 
+def _snapshot_signature(snapshot) -> tuple:
+    """Everything a reader can observe through a pinned snapshot."""
+    return (
+        snapshot.version,
+        snapshot.database_size,
+        snapshot.sample_size,
+        snapshot.set_scov,
+        tuple(
+            (entry.pattern_id, tuple(sorted(entry.cover)), entry.scov)
+            for entry in snapshot.patterns
+        ),
+    )
+
+
+def serve_oracle(workload: Workload) -> Mismatch | None:
+    """Published snapshots match a fresh oracle; pinned reads never drift.
+
+    Replays the workload exactly as the serving layer does: one
+    *maintained* CoverageOracle advances through the views via
+    ``apply_update`` and every view publishes one snapshot into a
+    :class:`~repro.serve.snapshot.SnapshotStore`, while a lease pinned
+    at each version stays held across all later publishes.  Checks
+    (a) each published snapshot's covers / scov / set_scov agree with a
+    fresh per-view CoverageOracle, and (b) no pinned snapshot changes,
+    however many rounds commit after the pin — the snapshot-isolation
+    contract of ``docs/SERVING.md``.
+    """
+    store = SnapshotStore()
+    views = list(workload.views())
+    patterns = list(enumerate(workload.patterns))
+    graphs = [pattern for _, pattern in patterns]
+    with use_covindex(False):
+        maintained = CoverageOracle(views[0])
+        pinned: list[tuple] = []
+        for step, view in enumerate(views):
+            if step > 0:
+                batch = workload.batches[step - 1]
+                maintained.apply_update(batch.added, batch.removed)
+            snapshot = store.publish(
+                build_snapshot(
+                    step + 1,
+                    ((i, pattern, "fuzz") for i, pattern in patterns),
+                    maintained,
+                    database_size=len(view),
+                )
+            )
+            fresh = CoverageOracle(view)
+            for i, pattern in patterns:
+                entry = snapshot.pattern(i)
+                want = fresh.cover(pattern)
+                if entry.cover != want:
+                    return Mismatch(
+                        "serve",
+                        "snapshot_cover_vs_fresh",
+                        {
+                            "view": step,
+                            "pattern": i,
+                            "snapshot": sorted(entry.cover),
+                            "fresh": sorted(want),
+                        },
+                    )
+                if entry.scov != fresh.scov(pattern):
+                    return Mismatch(
+                        "serve",
+                        "snapshot_scov_vs_fresh",
+                        {"view": step, "pattern": i},
+                    )
+            if snapshot.set_scov != fresh.set_scov(graphs):
+                return Mismatch(
+                    "serve",
+                    "snapshot_set_scov_vs_fresh",
+                    {"view": step},
+                )
+            pinned.append((store.pin(), step, _snapshot_signature(snapshot)))
+        for lease, step, signature in pinned:
+            drifted = _snapshot_signature(lease.snapshot) != signature
+            lag = lease.release()
+            if drifted:
+                return Mismatch(
+                    "serve", "pinned_snapshot_drifted", {"view": step}
+                )
+            if lease.version != step + 1 or lag != len(views) - (step + 1):
+                return Mismatch(
+                    "serve",
+                    "version_accounting",
+                    {"view": step, "version": lease.version, "lag": lag},
+                )
+    return None
+
+
 # ----------------------------------------------------------------------
 # the registry
 # ----------------------------------------------------------------------
@@ -608,6 +699,13 @@ ORACLES: dict[str, Oracle] = {
             "monotone under pure insertion",
             scov_oracle,
             {"insert_only": True, "num_batches": 3},
+        ),
+        Oracle(
+            "serve",
+            "published snapshots vs a fresh per-view oracle; pinned "
+            "snapshots never drift across later publishes",
+            serve_oracle,
+            {"num_graphs": 4, "num_batches": 2},
         ),
     )
 }

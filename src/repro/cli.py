@@ -8,6 +8,9 @@ Usage::
     python -m repro dataset --profile aids --count 100 --out db.json
     python -m repro check --oracle covindex --seed 7 --budget 50
     python -m repro check --replay artifact.json
+    python -m repro serve --port 8373         # the pattern-serving service
+    python -m repro serve --smoke             # CI gate: hit every endpoint
+    python -m repro serve-bench --out BENCH_serve.json
     python -m repro info                      # version + experiment index
 
 The ``bench`` subcommand drives exactly the same experiment code the
@@ -245,6 +248,141 @@ def cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bootstrap_service(args: argparse.Namespace):
+    """Load or generate a database, then bootstrap the maintainer for it.
+
+    Shared by ``serve`` and ``serve-bench`` so both commands serve an
+    identically configured pattern set.
+    """
+    from . import api
+    from .bench.common import dataset
+    from .graph.io import FormatError, read_database
+    from .midas.config import MidasConfig
+    from .patterns.budget import PatternBudget
+
+    if args.db:
+        try:
+            database = read_database(args.db)
+        except (OSError, FormatError, ValueError) as exc:
+            print(f"cannot load {args.db}: {exc}", file=sys.stderr)
+            return None
+        source = args.db
+    else:
+        database = dataset(args.profile, args.count, args.seed)
+        source = f"synthetic {args.profile} x{args.count} (seed {args.seed})"
+    config = MidasConfig(
+        budget=PatternBudget(args.eta_min, args.eta_max, args.gamma),
+        num_clusters=args.clusters,
+        sample_cap=args.sample_cap,
+        seed=args.seed,
+    )
+    started = time.perf_counter()
+    midas = api.bootstrap(
+        database, config=config, execution=_execution_from_args(args)
+    )
+    print(
+        f"bootstrapped {len(midas.patterns)} patterns over "
+        f"{len(database)} graphs ({source}) "
+        f"in {time.perf_counter() - started:.1f}s"
+    )
+    return midas
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import PatternServer, PatternService, endpoints
+    from .serve.bench import run_smoke
+
+    if not _check_metrics_path(args):
+        return 2
+    midas = _bootstrap_service(args)
+    if midas is None:
+        return 2
+    if args.smoke:
+        code = run_smoke(midas)
+        _export_metrics(args)
+        return code
+
+    server = PatternServer(
+        PatternService(midas), host=args.host, port=args.port
+    )
+
+    async def _run() -> None:
+        host, port = await server.start()
+        print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
+        for line in endpoints():
+            print(f"  {line}")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    _export_metrics(args)
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve.bench import run_bench
+
+    if not _check_metrics_path(args):
+        return 2
+    midas = _bootstrap_service(args)
+    if midas is None:
+        return 2
+    figure = run_bench(
+        midas,
+        duration_seconds=args.duration,
+        clients=args.clients,
+        update_interval_seconds=args.update_interval,
+        update_batch_size=args.update_batch,
+        seed=args.seed,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(figure, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    throughput = figure["throughput"]
+    staleness = figure["staleness"]
+    updates = figure["updates"]
+    print(
+        f"\nserve-bench: {throughput['total_requests']} requests in "
+        f"{throughput['elapsed_seconds']:.1f}s — "
+        f"{throughput['sustained_qps']:.0f} QPS sustained, "
+        f"{throughput['errors']} errors"
+    )
+    for endpoint, stats in figure["latency_ms"].items():
+        print(
+            f"  {endpoint:<14} p50 {stats['p50_ms']:7.2f} ms   "
+            f"p99 {stats['p99_ms']:7.2f} ms   ({stats['count']} samples)"
+        )
+    print(
+        f"  staleness window: max {staleness['window_ms_max']:.2f} ms, "
+        f"mean {staleness['window_ms_mean']:.2f} ms across "
+        f"{staleness['snapshots_published']} snapshots"
+    )
+    outcome_parts = ", ".join(
+        f"{state} {count}"
+        for state, count in sorted(updates.items())
+        if state != "submitted"
+    )
+    print(f"  updates: {updates['submitted']} submitted ({outcome_parts})")
+    print(f"wrote {args.out}")
+    _export_metrics(args)
+    unapplied = sum(
+        count
+        for state, count in updates.items()
+        if state not in ("submitted", "applied")
+    )
+    return 1 if throughput["errors"] or unapplied else 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     from .check import (
         ORACLES,
@@ -345,16 +483,25 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     def add_execution_flags(sub: argparse.ArgumentParser) -> None:
-        # One flag per ExecutionConfig field; old spellings stay as
-        # hidden aliases so existing invocations keep working.
+        # One flag per ExecutionConfig field.  The pre-rename spellings
+        # (--deadline, --jobs, --caching) still parse, but each is its
+        # own help-suppressed action writing to the canonical dest so
+        # only the canonical names show up in --help.
         sub.add_argument(
             "--deadline-ms",
-            "--deadline",
             type=float,
             metavar="MS",
             help="wall-clock deadline: per figure for bench, whole run "
             "for demo; expensive kernels degrade to cheaper bounds "
             "instead of overrunning (see docs/ROBUSTNESS.md)",
+        )
+        sub.add_argument(
+            "--deadline",
+            type=float,
+            dest="deadline_ms",
+            default=argparse.SUPPRESS,
+            metavar="MS",
+            help=argparse.SUPPRESS,
         )
         sub.add_argument(
             "--degrade",
@@ -365,7 +512,6 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--workers",
-            "--jobs",
             type=int,
             default=1,
             metavar="N",
@@ -373,12 +519,26 @@ def build_parser() -> argparse.ArgumentParser:
             "= serial); results are byte-identical at any worker count",
         )
         sub.add_argument(
+            "--jobs",
+            type=int,
+            dest="workers",
+            default=argparse.SUPPRESS,
+            metavar="N",
+            help=argparse.SUPPRESS,
+        )
+        sub.add_argument(
             "--cache",
-            "--caching",
             choices=("on", "off"),
             default="off",
             help="'on' memoises GED / embedding / graphlet results under "
             "canonical-form keys (see docs/PERFORMANCE.md)",
+        )
+        sub.add_argument(
+            "--caching",
+            choices=("on", "off"),
+            dest="cache",
+            default=argparse.SUPPRESS,
+            help=argparse.SUPPRESS,
         )
         sub.add_argument(
             "--covindex",
@@ -437,6 +597,139 @@ def build_parser() -> argparse.ArgumentParser:
     dataset_cmd.add_argument("--seed", type=int, default=0)
     dataset_cmd.add_argument("--out", default="dataset.json")
     dataset_cmd.set_defaults(func=cmd_dataset)
+
+    def add_serve_dataset_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--db",
+            metavar="PATH",
+            help="serve a dataset file written by 'repro dataset' "
+            "instead of generating one",
+        )
+        sub.add_argument(
+            "--profile",
+            choices=("aids", "pubchem", "emol"),
+            default="aids",
+            help="synthetic dataset profile when no --db is given "
+            "(default: aids)",
+        )
+        sub.add_argument(
+            "--count",
+            type=int,
+            default=80,
+            metavar="N",
+            help="graphs to generate when no --db is given (default 80)",
+        )
+        sub.add_argument(
+            "--seed",
+            type=int,
+            default=0,
+            help="seed for dataset generation, bootstrap and load "
+            "generation (default 0)",
+        )
+        sub.add_argument(
+            "--eta-min",
+            type=int,
+            default=3,
+            metavar="N",
+            help="minimum pattern size η_min (default 3)",
+        )
+        sub.add_argument(
+            "--eta-max",
+            type=int,
+            default=7,
+            metavar="N",
+            help="maximum pattern size η_max (default 7)",
+        )
+        sub.add_argument(
+            "--gamma",
+            type=int,
+            default=10,
+            metavar="N",
+            help="pattern-set size γ (default 10)",
+        )
+        sub.add_argument(
+            "--clusters",
+            type=int,
+            default=4,
+            metavar="N",
+            help="clusters for the CATAPULT++ bootstrap (default 4)",
+        )
+        sub.add_argument(
+            "--sample-cap",
+            type=int,
+            default=100,
+            metavar="N",
+            help="maintained sample view size cap |D_s| (default 100)",
+        )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the pattern-serving HTTP service (see docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8373,
+        help="TCP port; 0 picks a free one (default 8373)",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="exercise every endpoint once against an ephemeral server "
+        "and exit (the CI serve gate)",
+    )
+    add_serve_dataset_flags(serve)
+    add_metrics_flags(serve)
+    add_execution_flags(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench",
+        help="load-test the serving service; writes BENCH_serve.json",
+    )
+    add_serve_dataset_flags(serve_bench)
+    serve_bench.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="load-generation window in seconds (default 5)",
+    )
+    serve_bench.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent simulated users (default 8)",
+    )
+    serve_bench.add_argument(
+        "--update-interval",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="seconds between background update batches (default 0.5)",
+    )
+    serve_bench.add_argument(
+        "--update-batch",
+        type=int,
+        default=3,
+        metavar="N",
+        help="insertions per background update batch (default 3)",
+    )
+    serve_bench.add_argument(
+        "--out",
+        default="BENCH_serve.json",
+        metavar="PATH",
+        help="where the figure JSON is written (default BENCH_serve.json)",
+    )
+    add_metrics_flags(serve_bench)
+    add_execution_flags(serve_bench)
+    serve_bench.set_defaults(func=cmd_serve_bench)
 
     check = subparsers.add_parser(
         "check",

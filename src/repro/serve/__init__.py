@@ -1,0 +1,42 @@
+"""The pattern-serving service (see ``docs/SERVING.md``).
+
+A visual query interface at scale is a *service*: many users fetching
+the current canned-pattern set and issuing coverage queries while MIDAS
+maintains the panel in the background.  This package provides that
+serving path, stdlib-only:
+
+* :mod:`repro.serve.snapshot` — immutable, versioned pattern-set
+  snapshots published copy-on-write at each committed maintenance
+  round; readers pin a version for the duration of a request;
+* :mod:`repro.serve.service` — :class:`PatternService`, the single
+  writer: a background maintenance loop draining submitted
+  :class:`~repro.graph.database.BatchUpdate`\\ s through
+  ``Midas.apply_update`` in a worker thread;
+* :mod:`repro.serve.http` — the asyncio HTTP/JSON front-end
+  (``python -m repro serve``);
+* :mod:`repro.serve.bench` — the smoke gate and the ``serve-bench``
+  load generator (``BENCH_serve.json``).
+"""
+
+from .http import PatternServer, ROUTES, endpoints
+from .service import PatternService, UpdateStatus
+from .snapshot import (
+    PatternSnapshot,
+    SnapshotLease,
+    SnapshotPattern,
+    SnapshotStore,
+    build_snapshot,
+)
+
+__all__ = [
+    "PatternServer",
+    "PatternService",
+    "PatternSnapshot",
+    "ROUTES",
+    "SnapshotLease",
+    "SnapshotPattern",
+    "SnapshotStore",
+    "UpdateStatus",
+    "build_snapshot",
+    "endpoints",
+]

@@ -1,0 +1,492 @@
+"""Serve-side load generation: the smoke test and ``serve-bench``.
+
+Two drivers over a real in-process :class:`~repro.serve.http.
+PatternServer` (actual TCP, actual HTTP parsing — nothing is mocked):
+
+* :func:`run_smoke` — exercise every endpoint once, success and error
+  paths, then shut down cleanly.  This is the CI serve gate
+  (``python -m repro serve --smoke``).
+* :func:`run_bench` — drive the :mod:`repro.workload.user_model`
+  simulated users concurrently against the server while a background
+  writer submits update batches, then report p50/p99 latency per
+  endpoint, sustained QPS and the staleness window.  The CLI
+  (``python -m repro serve-bench``) writes the result as
+  ``BENCH_serve.json``.
+
+Each simulated client does what a VQI front-end does per query: fetch
+the panel (``GET /patterns``), run the PR-0 user model over the fetched
+patterns to formulate a query locally, then issue ``GET /cover`` and
+``GET /scov`` for the pattern it used.  Latencies are measured
+client-side around whole HTTP round trips.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+
+from ..datasets.molecules import MoleculeGenerator
+from ..graph.io import graph_from_dict, graph_to_dict
+from ..midas.maintainer import Midas
+from ..obs import get_registry
+from ..workload.queries import generate_queries
+from ..workload.user_model import SimulatedUser
+from .http import PatternServer
+from .service import PatternService
+
+
+class HttpClient:
+    """A minimal keep-alive HTTP/1.1 JSON client (stdlib only)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "HttpClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(
+        self, method: str, target: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: localhost\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        data = await self._reader.readexactly(length) if length else b"{}"
+        return status, json.loads(data.decode("utf-8"))
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+# ----------------------------------------------------------------------
+# percentile helper (client-side, nearest rank)
+# ----------------------------------------------------------------------
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = round((q / 100.0) * (len(ordered) - 1))
+    return ordered[rank]
+
+
+def _latency_summary(samples: dict[str, list[float]]) -> dict[str, dict]:
+    return {
+        endpoint: {
+            "count": len(values),
+            "p50_ms": _percentile(values, 50),
+            "p99_ms": _percentile(values, 99),
+            "max_ms": max(values) if values else 0.0,
+        }
+        for endpoint, values in sorted(samples.items())
+    }
+
+
+# ----------------------------------------------------------------------
+# the smoke test (CI serve gate)
+# ----------------------------------------------------------------------
+async def _smoke_session(midas: Midas) -> list[str]:
+    """Hit every route (success + error paths); return failure strings."""
+    failures: list[str] = []
+
+    def expect(label: str, got, want) -> None:
+        if got != want:
+            failures.append(f"{label}: expected {want!r}, got {got!r}")
+
+    server = PatternServer(PatternService(midas), port=0)
+    host, port = await server.start()
+    client = await HttpClient.connect(host, port)
+    try:
+        status, body = await client.request("GET", "/healthz")
+        expect("GET /healthz status", status, 200)
+        expect("healthz status field", body.get("status"), "ok")
+
+        status, body = await client.request("GET", "/patterns")
+        expect("GET /patterns status", status, 200)
+        pattern_ids = [p["id"] for p in body.get("patterns", [])]
+        if not pattern_ids:
+            failures.append("GET /patterns returned an empty panel")
+        version = body.get("version")
+
+        if pattern_ids:
+            status, body = await client.request(
+                "GET", f"/cover?pattern={pattern_ids[0]}"
+            )
+            expect("GET /cover status", status, 200)
+            expect("cover version pins", body.get("version"), version)
+
+            status, body = await client.request(
+                "GET", f"/scov?pattern={pattern_ids[0]}"
+            )
+            expect("GET /scov status", status, 200)
+
+        status, body = await client.request("GET", "/scov")
+        expect("GET /scov (set) status", status, 200)
+
+        status, body = await client.request("GET", "/cover?pattern=999999")
+        expect("GET /cover unknown-pattern status", status, 404)
+        status, body = await client.request("GET", "/cover?pattern=xyz")
+        expect("GET /cover bad-param status", status, 400)
+        status, body = await client.request("GET", "/nope")
+        expect("GET /nope status", status, 404)
+        status, body = await client.request("POST", "/patterns")
+        expect("POST /patterns status", status, 405)
+
+        generator = MoleculeGenerator(seed=20260808)
+        update = {
+            "insertions": [
+                graph_to_dict(g) for g in generator.generate_many(2)
+            ],
+            "deletions": [],
+        }
+        status, body = await client.request(
+            "POST", "/updates?wait=1", payload=update
+        )
+        expect("POST /updates status", status, 200)
+        expect("update applied", body.get("status"), "applied")
+        expect("update version", body.get("version"), (version or 0) + 1)
+
+        status, body = await client.request("GET", "/patterns")
+        expect("post-update version", body.get("version"), (version or 0) + 1)
+
+        status, body = await client.request("GET", "/metricz")
+        expect("GET /metricz status", status, 200)
+        counters = body.get("counters", {})
+        if "serve.requests" not in counters:
+            failures.append("/metricz is missing the serve.requests counter")
+    finally:
+        await client.close()
+        await server.close()
+    return failures
+
+
+def run_smoke(midas: Midas) -> int:
+    """Exercise every endpoint against *midas*; 0 on success, 1 on failure."""
+    failures = asyncio.run(_smoke_session(midas))
+    if failures:
+        for failure in failures:
+            print(f"  SMOKE FAIL {failure}")
+        return 1
+    print(
+        f"serve smoke ok: {len(set(path for _, path in _routes()))} "
+        f"endpoints exercised, clean shutdown"
+    )
+    return 0
+
+
+def _routes():
+    from .http import ROUTES
+
+    return ROUTES
+
+
+# ----------------------------------------------------------------------
+# the load-generator harness
+# ----------------------------------------------------------------------
+async def _client_loop(
+    host: str,
+    port: int,
+    stop_at: float,
+    user: SimulatedUser,
+    queries,
+    samples: dict[str, list[float]],
+    observations: list[tuple[float, int]],
+    skew: list[int],
+    errors: list[str],
+) -> None:
+    client = await HttpClient.connect(host, port)
+    rng = random.Random(user.seed)
+    iteration = 0
+    try:
+        while time.monotonic() < stop_at:
+            started = time.perf_counter()
+            status, body = await client.request("GET", "/patterns")
+            samples["GET /patterns"].append(
+                (time.perf_counter() - started) * 1000.0
+            )
+            if status != 200:
+                errors.append(f"GET /patterns -> {status}")
+                continue
+            panel_version = body["version"]
+            observations.append((time.monotonic(), panel_version))
+            panel = [
+                graph_from_dict(p["graph"]) for p in body["patterns"]
+            ]
+            pattern_ids = [p["id"] for p in body["patterns"]]
+            if queries and panel:
+                query = queries[iteration % len(queries)]
+                user.formulate(query, panel, trial=iteration)
+            if pattern_ids:
+                target = rng.choice(pattern_ids)
+                for endpoint in (
+                    f"/cover?pattern={target}",
+                    f"/scov?pattern={target}",
+                ):
+                    started = time.perf_counter()
+                    status, body = await client.request("GET", endpoint)
+                    label = f"GET {endpoint.split('?')[0]}"
+                    samples[label].append(
+                        (time.perf_counter() - started) * 1000.0
+                    )
+                    if status == 200:
+                        observations.append(
+                            (time.monotonic(), body["version"])
+                        )
+                        # A maintenance round committed between the panel
+                        # fetch and this follow-up query (or the pattern
+                        # was swapped out: 404 below).
+                        if body["version"] != panel_version:
+                            skew.append(body["version"] - panel_version)
+                    elif status == 404:
+                        skew.append(1)
+                    else:
+                        errors.append(f"{label} -> {status}")
+            iteration += 1
+    finally:
+        await client.close()
+
+
+def _staleness_windows(
+    store, observations: list[tuple[float, int]]
+) -> list[float]:
+    """Per published version: seconds until a client first observed it.
+
+    This is the operational staleness window — how long after a commit
+    the fleet of readers kept being answered from the previous snapshot.
+    """
+    windows = []
+    ordered = sorted(observations)
+    for version in range(2, store.version + 1):
+        published = store.published_monotonic(version)
+        if published is None:
+            continue
+        first_seen = next(
+            (t for t, seen in ordered if seen >= version and t >= published),
+            None,
+        )
+        if first_seen is not None:
+            windows.append(max(0.0, first_seen - published))
+    return windows
+
+
+async def _writer_loop(
+    host: str,
+    port: int,
+    stop_at: float,
+    interval_seconds: float,
+    batch_size: int,
+    seed: int,
+    samples: dict[str, list[float]],
+    outcomes: dict[str, int],
+    errors: list[str],
+) -> None:
+    """Submit update batches while the clients read.
+
+    Batches alternate pure insertion with mixed insert/delete, deleting
+    only ids this writer inserted earlier — the server reports them back
+    in the ``applied`` status.
+    """
+    client = await HttpClient.connect(host, port)
+    generator = MoleculeGenerator(seed=seed)
+    rng = random.Random(seed)
+    owned_ids: list[int] = []
+    try:
+        while time.monotonic() < stop_at:
+            await asyncio.sleep(interval_seconds)
+            if time.monotonic() >= stop_at:
+                break
+            deletions = []
+            if owned_ids and rng.random() < 0.5:
+                rng.shuffle(owned_ids)
+                deletions = [
+                    owned_ids.pop()
+                    for _ in range(min(2, len(owned_ids)))
+                ]
+            payload = {
+                "insertions": [
+                    graph_to_dict(g)
+                    for g in generator.generate_many(batch_size)
+                ],
+                "deletions": deletions,
+            }
+            started = time.perf_counter()
+            status, body = await client.request(
+                "POST", "/updates?wait=1", payload=payload
+            )
+            samples["POST /updates"].append(
+                (time.perf_counter() - started) * 1000.0
+            )
+            if status != 200:
+                errors.append(f"POST /updates -> {status}")
+                continue
+            state = body.get("status", "unknown")
+            outcomes[state] = outcomes.get(state, 0) + 1
+            if state == "applied":
+                owned_ids.extend(body.get("inserted_ids", []))
+    finally:
+        await client.close()
+
+
+async def _bench_session(
+    midas: Midas,
+    *,
+    duration_seconds: float,
+    clients: int,
+    update_interval_seconds: float,
+    update_batch_size: int,
+    seed: int,
+) -> dict:
+    registry = get_registry()
+    server = PatternServer(PatternService(midas), port=0)
+    host, port = await server.start()
+
+    queries = generate_queries(
+        dict(midas.database.items()), count=24, size_range=(2, 6), seed=seed
+    )
+    samples: dict[str, list[float]] = {
+        "GET /patterns": [],
+        "GET /cover": [],
+        "GET /scov": [],
+        "POST /updates": [],
+    }
+    observations: list[tuple[float, int]] = []
+    skew: list[int] = []
+    errors: list[str] = []
+    outcomes: dict[str, int] = {}
+
+    started = time.monotonic()
+    stop_at = started + duration_seconds
+    tasks = [
+        asyncio.create_task(
+            _client_loop(
+                host,
+                port,
+                stop_at,
+                SimulatedUser(seed=seed + i),
+                queries,
+                samples,
+                observations,
+                skew,
+                errors,
+            )
+        )
+        for i in range(clients)
+    ]
+    tasks.append(
+        asyncio.create_task(
+            _writer_loop(
+                host,
+                port,
+                stop_at,
+                update_interval_seconds,
+                update_batch_size,
+                seed + 10_007,
+                samples,
+                outcomes,
+                errors,
+            )
+        )
+    )
+    await asyncio.gather(*tasks)
+    elapsed = time.monotonic() - started
+    windows = _staleness_windows(server.service.store, observations)
+    await server.close()
+
+    staleness_versions = registry.get("serve.staleness_versions")
+    read_requests = sum(
+        len(values)
+        for endpoint, values in samples.items()
+        if endpoint.startswith("GET")
+    )
+    total_requests = sum(len(values) for values in samples.values())
+    return {
+        "figure": "serve",
+        "generated_by": "python -m repro serve-bench",
+        "config": {
+            "duration_seconds": duration_seconds,
+            "clients": clients,
+            "update_interval_seconds": update_interval_seconds,
+            "update_batch_size": update_batch_size,
+            "seed": seed,
+            "database_size": len(midas.database),
+        },
+        "latency_ms": _latency_summary(samples),
+        "throughput": {
+            "total_requests": total_requests,
+            "read_requests": read_requests,
+            "elapsed_seconds": elapsed,
+            "sustained_qps": total_requests / elapsed if elapsed else 0.0,
+            "errors": len(errors),
+        },
+        "staleness": {
+            "snapshots_published": server.service.store.version,
+            "max_version_seen": (
+                max(seen for _, seen in observations) if observations else 0
+            ),
+            "window_ms_max": max(windows) * 1000.0 if windows else 0.0,
+            "window_ms_mean": (
+                sum(windows) / len(windows) * 1000.0 if windows else 0.0
+            ),
+            "cross_version_iterations": len(skew),
+            "stale_reads": registry.counter("serve.stale_reads").value,
+            "max_in_request_lag": (
+                staleness_versions.max if staleness_versions else None
+            )
+            or 0,
+        },
+        "updates": {"submitted": sum(outcomes.values()), **outcomes},
+    }
+
+
+def run_bench(
+    midas: Midas,
+    *,
+    duration_seconds: float = 5.0,
+    clients: int = 8,
+    update_interval_seconds: float = 0.5,
+    update_batch_size: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Run the concurrent read/maintain load test; returns the figure."""
+    return asyncio.run(
+        _bench_session(
+            midas,
+            duration_seconds=duration_seconds,
+            clients=clients,
+            update_interval_seconds=update_interval_seconds,
+            update_batch_size=update_batch_size,
+            seed=seed,
+        )
+    )
+
+
+__all__ = ["HttpClient", "run_bench", "run_smoke"]

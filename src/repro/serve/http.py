@@ -1,0 +1,438 @@
+"""A stdlib-only asyncio HTTP/JSON front-end for the pattern service.
+
+Endpoint reference, response schemas and error codes are documented in
+``docs/SERVING.md``; ``tests/test_docs.py`` keeps that document and the
+:data:`ROUTES` table below in lock-step, in both directions.
+
+Design constraints:
+
+* **stdlib only** — the transport is a hand-rolled HTTP/1.1 subset over
+  ``asyncio.start_server`` (request line + headers + Content-Length
+  body; keep-alive honoured) because the container has no web
+  framework, and none is needed for six JSON routes;
+* **reads never touch the maintainer** — every read handler pins a
+  :class:`~repro.serve.snapshot.PatternSnapshot` and answers from it,
+  so a background maintenance round can commit mid-request without the
+  reader ever observing it (see docs/SERVING.md, "Snapshot isolation");
+* **structured errors** — failures return
+  ``{"error": {"code": ..., "message": ...}}`` with conventional HTTP
+  statuses (400, 404, 405, 413, 500).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from urllib.parse import parse_qs, urlsplit
+
+from ..graph.database import BatchUpdate
+from ..graph.io import FormatError, graph_from_dict
+from ..obs import get_registry, metrics_snapshot
+from .service import PatternService
+
+#: Largest accepted request body (a batch update of graph JSON).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Reason phrases for the statuses this server emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A structured, client-visible request failure."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def payload(self) -> dict:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, list[str]]
+    headers: dict[str, str]
+    body: bytes
+
+    def param(self, name: str) -> str | None:
+        values = self.query.get(name)
+        return values[0] if values else None
+
+    def int_param(self, name: str) -> int | None:
+        raw = self.param(name)
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            raise HttpError(
+                400, "bad_request", f"query parameter {name!r} must be an "
+                f"integer, got {raw!r}"
+            ) from None
+
+    def flag_param(self, name: str) -> bool:
+        return (self.param(name) or "").lower() in ("1", "true", "yes")
+
+    def json_body(self) -> dict:
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(
+                400, "bad_json", f"request body is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise HttpError(
+                400, "bad_json", "request body must be a JSON object"
+            )
+        return payload
+
+
+# ----------------------------------------------------------------------
+# handlers — one per (method, path); all read paths answer from a pinned
+# snapshot only
+# ----------------------------------------------------------------------
+async def handle_patterns(
+    service: PatternService, request: Request
+) -> tuple[int, dict]:
+    """GET /patterns — the current canned-pattern set, one version."""
+    with service.store.pin() as lease:
+        include_graphs = not request.flag_param("meta_only")
+        return 200, lease.snapshot.to_dict(include_graphs=include_graphs)
+
+
+def _snapshot_pattern(lease, request: Request):
+    pattern_id = request.int_param("pattern")
+    if pattern_id is None:
+        raise HttpError(
+            400, "bad_request", "missing required query parameter 'pattern'"
+        )
+    entry = lease.snapshot.pattern(pattern_id)
+    if entry is None:
+        raise HttpError(
+            404,
+            "unknown_pattern",
+            f"no pattern with id {pattern_id} at version "
+            f"{lease.snapshot.version}",
+        )
+    return entry
+
+
+async def handle_cover(
+    service: PatternService, request: Request
+) -> tuple[int, dict]:
+    """GET /cover?pattern=ID — the pattern's cover set at one version."""
+    with service.store.pin() as lease:
+        entry = _snapshot_pattern(lease, request)
+        return 200, {
+            "version": lease.snapshot.version,
+            "pattern": entry.pattern_id,
+            "cover": sorted(entry.cover),
+            "scov": entry.scov,
+            "sample_size": lease.snapshot.sample_size,
+        }
+
+
+async def handle_scov(
+    service: PatternService, request: Request
+) -> tuple[int, dict]:
+    """GET /scov[?pattern=ID] — per-pattern or whole-set coverage."""
+    with service.store.pin() as lease:
+        if request.param("pattern") is None:
+            return 200, {
+                "version": lease.snapshot.version,
+                "set_scov": lease.snapshot.set_scov,
+                "patterns": len(lease.snapshot.patterns),
+                "sample_size": lease.snapshot.sample_size,
+            }
+        entry = _snapshot_pattern(lease, request)
+        return 200, {
+            "version": lease.snapshot.version,
+            "pattern": entry.pattern_id,
+            "scov": entry.scov,
+            "sample_size": lease.snapshot.sample_size,
+        }
+
+
+def _parse_update(payload: dict) -> BatchUpdate:
+    insertions = payload.get("insertions", [])
+    deletions = payload.get("deletions", [])
+    if not isinstance(insertions, list) or not isinstance(deletions, list):
+        raise HttpError(
+            400, "bad_update", "'insertions' and 'deletions' must be lists"
+        )
+    graphs = []
+    for position, entry in enumerate(insertions):
+        try:
+            graphs.append(graph_from_dict(entry))
+        except (FormatError, TypeError, KeyError, ValueError) as exc:
+            raise HttpError(
+                400,
+                "bad_update",
+                f"insertions[{position}] is not a valid graph payload: {exc}",
+            ) from None
+    ids = []
+    for position, entry in enumerate(deletions):
+        if isinstance(entry, bool) or not isinstance(entry, int):
+            raise HttpError(
+                400,
+                "bad_update",
+                f"deletions[{position}] must be an integer graph id",
+            )
+        ids.append(entry)
+    return BatchUpdate.of(insertions=graphs, deletions=ids)
+
+
+async def handle_updates(
+    service: PatternService, request: Request
+) -> tuple[int, dict]:
+    """POST /updates — submit a BatchUpdate; ``?wait=1`` for the outcome."""
+    update = _parse_update(request.json_body())
+    status = service.submit(update)
+    if request.flag_param("wait"):
+        status = await service.wait_for(status.update_id)
+        return 200, status.to_dict()
+    return 202, status.to_dict()
+
+
+async def handle_healthz(
+    service: PatternService, request: Request
+) -> tuple[int, dict]:
+    """GET /healthz — liveness, head version, queue depth."""
+    with service.store.pin() as lease:
+        return 200, {
+            "status": "ok",
+            "version": lease.snapshot.version,
+            "patterns": len(lease.snapshot.patterns),
+            "database_size": lease.snapshot.database_size,
+            "queue_depth": service.queue_depth,
+            "uptime_seconds": time.time() - service.started_at,
+        }
+
+
+async def handle_metricz(
+    service: PatternService, request: Request
+) -> tuple[int, dict]:
+    """GET /metricz — the full MetricsRegistry snapshot (PR-1 layer)."""
+    return 200, metrics_snapshot()
+
+
+#: The complete routing table; docs/SERVING.md catalogues exactly these.
+ROUTES = {
+    ("GET", "/patterns"): handle_patterns,
+    ("GET", "/cover"): handle_cover,
+    ("GET", "/scov"): handle_scov,
+    ("POST", "/updates"): handle_updates,
+    ("GET", "/healthz"): handle_healthz,
+    ("GET", "/metricz"): handle_metricz,
+}
+
+
+def endpoints() -> list[str]:
+    """``"METHOD /path"`` strings for every route (the doc-gate surface)."""
+    return sorted(f"{method} {path}" for method, path in ROUTES)
+
+
+# ----------------------------------------------------------------------
+# the server
+# ----------------------------------------------------------------------
+def _encode_response(
+    status: int, payload: dict, *, keep_alive: bool
+) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {REASONS.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Request | None:
+    """Parse one request; ``None`` on a cleanly closed connection."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, "bad_request", "malformed request line")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HttpError(
+            400, "bad_request", "malformed Content-Length header"
+        ) from None
+    if length > MAX_BODY_BYTES:
+        raise HttpError(
+            413,
+            "payload_too_large",
+            f"request body of {length} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte limit",
+        )
+    body = await reader.readexactly(length) if length else b""
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=split.path or "/",
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+class PatternServer:
+    """The asyncio TCP server wrapping one :class:`PatternService`."""
+
+    def __init__(
+        self,
+        service: PatternService,
+        host: str = "127.0.0.1",
+        port: int = 8373,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind, start the maintenance loop, return the bound address."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, drain the maintainer, release the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        registry = get_registry()
+        registry.counter("serve.connections").add(1)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except HttpError as exc:
+                    registry.counter("serve.errors").add(1)
+                    writer.write(
+                        _encode_response(
+                            exc.status, exc.payload(), keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    return
+                except asyncio.IncompleteReadError:
+                    return
+                if request is None:
+                    return
+                keep_alive = (
+                    request.headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                status, payload = await self._dispatch(request)
+                writer.write(
+                    _encode_response(status, payload, keep_alive=keep_alive)
+                )
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: Request) -> tuple[int, dict]:
+        registry = get_registry()
+        registry.counter("serve.requests").add(1)
+        started = time.perf_counter()
+        try:
+            handler = ROUTES.get((request.method, request.path))
+            if handler is None:
+                known_paths = {path for _, path in ROUTES}
+                if request.path in known_paths:
+                    raise HttpError(
+                        405,
+                        "method_not_allowed",
+                        f"{request.method} is not supported on "
+                        f"{request.path}",
+                    )
+                raise HttpError(
+                    404, "not_found", f"unknown path {request.path!r}"
+                )
+            return await handler(self.service, request)
+        except HttpError as exc:
+            registry.counter("serve.errors").add(1)
+            return exc.status, exc.payload()
+        except Exception as exc:  # noqa: BLE001 - boundary: never kill the
+            # connection loop on a handler bug; surface it as a 500.
+            registry.counter("serve.errors").add(1)
+            return 500, HttpError(
+                500, "internal_error", f"{type(exc).__name__}: {exc}"
+            ).payload()
+        finally:
+            registry.histogram("serve.request_ms").record(
+                (time.perf_counter() - started) * 1000.0
+            )
+
+
+__all__ = [
+    "HttpError",
+    "MAX_BODY_BYTES",
+    "PatternServer",
+    "ROUTES",
+    "Request",
+    "endpoints",
+]

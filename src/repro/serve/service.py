@@ -1,0 +1,212 @@
+"""The pattern-serving service: reads off snapshots, writes via a queue.
+
+:class:`PatternService` glues the three pieces of the serving story
+together:
+
+* it owns a bootstrapped :class:`~repro.midas.maintainer.Midas` — the
+  single writer of maintained state;
+* it publishes an immutable :class:`~repro.serve.snapshot.PatternSnapshot`
+  into a :class:`~repro.serve.snapshot.SnapshotStore` after every
+  *committed* maintenance round (rolled-back, aborted and rejected
+  rounds publish nothing, so readers can never observe them);
+* it drains submitted :class:`~repro.graph.database.BatchUpdate`\\ s
+  through a single background maintenance loop, running each round in
+  a worker thread so the asyncio event loop keeps answering reads while
+  MIDAS maintains in the background.
+
+The HTTP layer (:mod:`repro.serve.http`) never touches the maintainer:
+every read handler pins a snapshot and answers from it alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError, ReproError, RolledBack
+from ..graph.database import BatchUpdate
+from ..midas.maintainer import Midas
+from ..obs import get_registry
+from .snapshot import PatternSnapshot, SnapshotStore, build_snapshot
+
+#: Submitted updates an operator can still query the status of; older
+#: entries are evicted FIFO (the queue itself is never bounded by this).
+STATUS_BACKLOG = 1024
+
+
+@dataclass
+class UpdateStatus:
+    """The lifecycle record of one submitted batch update."""
+
+    update_id: int
+    state: str  # queued | applied | rejected | rolled_back | aborted
+    detail: str = ""
+    #: Snapshot version this update published (``applied`` only).
+    version: int | None = None
+    inserted_ids: list[int] = field(default_factory=list)
+    deleted_ids: list[int] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "update_id": self.update_id,
+            "status": self.state,
+        }
+        if self.detail:
+            payload["detail"] = self.detail
+        if self.version is not None:
+            payload["version"] = self.version
+        if self.state == "applied":
+            payload["inserted_ids"] = list(self.inserted_ids)
+            payload["deleted_ids"] = list(self.deleted_ids)
+        return payload
+
+
+class PatternService:
+    """Snapshot-isolated serving facade over one :class:`Midas` maintainer."""
+
+    def __init__(self, midas: Midas) -> None:
+        self.midas = midas
+        self.store = SnapshotStore()
+        self.started_at = time.time()
+        self._ids = itertools.count(1)
+        self._queue: asyncio.Queue[tuple[int, BatchUpdate]] = asyncio.Queue()
+        self._statuses: dict[int, UpdateStatus] = {}
+        self._events: dict[int, asyncio.Event] = {}
+        self._maintainer: asyncio.Task | None = None
+        self.store.publish(self._freeze(version=1))
+
+    # ------------------------------------------------------------------
+    # snapshot construction (runs on the maintainer side only)
+    # ------------------------------------------------------------------
+    def _freeze(self, version: int) -> PatternSnapshot:
+        midas = self.midas
+        return build_snapshot(
+            version,
+            (
+                (p.pattern_id, p.graph, p.provenance)
+                for p in midas.patterns
+            ),
+            midas.oracle,
+            database_size=len(midas.database),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the background maintenance loop (idempotent)."""
+        if self._maintainer is None or self._maintainer.done():
+            self._maintainer = asyncio.get_running_loop().create_task(
+                self._maintain_loop()
+            )
+
+    async def close(self) -> None:
+        """Stop the maintenance loop; pending updates stay queued."""
+        if self._maintainer is not None:
+            self._maintainer.cancel()
+            try:
+                await self._maintainer
+            except asyncio.CancelledError:
+                pass
+            self._maintainer = None
+
+    # ------------------------------------------------------------------
+    # the write path
+    # ------------------------------------------------------------------
+    def submit(self, update: BatchUpdate) -> UpdateStatus:
+        """Queue *update* for the background maintainer; returns queued
+        status immediately (use :meth:`wait_for` for the outcome)."""
+        registry = get_registry()
+        update_id = next(self._ids)
+        status = UpdateStatus(update_id=update_id, state="queued")
+        self._statuses[update_id] = status
+        self._events[update_id] = asyncio.Event()
+        self._queue.put_nowait((update_id, update))
+        registry.counter("serve.updates_accepted").add(1)
+        registry.gauge("serve.queue_depth").set(self._queue.qsize())
+        self._trim_backlog()
+        return status
+
+    def status_of(self, update_id: int) -> UpdateStatus | None:
+        return self._statuses.get(update_id)
+
+    async def wait_for(self, update_id: int) -> UpdateStatus:
+        """Wait until the maintainer has resolved *update_id*."""
+        event = self._events.get(update_id)
+        if event is not None:
+            await event.wait()
+        status = self._statuses.get(update_id)
+        if status is None:
+            raise KeyError(f"unknown update id {update_id}")
+        return status
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def _trim_backlog(self) -> None:
+        while len(self._statuses) > STATUS_BACKLOG:
+            oldest = next(iter(self._statuses))
+            self._statuses.pop(oldest, None)
+            self._events.pop(oldest, None)
+
+    # ------------------------------------------------------------------
+    # the maintenance loop
+    # ------------------------------------------------------------------
+    async def _maintain_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        registry = get_registry()
+        while True:
+            update_id, update = await self._queue.get()
+            registry.gauge("serve.queue_depth").set(self._queue.qsize())
+            status = await loop.run_in_executor(
+                None, self._apply_one, update_id, update
+            )
+            self._statuses[update_id] = status
+            event = self._events.get(update_id)
+            if event is not None:
+                event.set()
+            self._queue.task_done()
+
+    def _apply_one(self, update_id: int, update: BatchUpdate) -> UpdateStatus:
+        """One maintenance round, worker-thread side.
+
+        Only a committed round builds and publishes a snapshot; every
+        failure path leaves the published head exactly as it was, which
+        is the serving half of the PR-2 transactional guarantee.
+        """
+        registry = get_registry()
+        try:
+            report = self.midas.apply_update(update)
+        except ConfigurationError as exc:
+            registry.counter("serve.updates_rejected").add(1)
+            return UpdateStatus(update_id, "rejected", detail=str(exc))
+        except RolledBack as exc:
+            registry.counter("serve.updates_rolled_back").add(1)
+            return UpdateStatus(update_id, "rolled_back", detail=str(exc))
+        except ReproError as exc:
+            registry.counter("serve.updates_rejected").add(1)
+            return UpdateStatus(
+                update_id,
+                "rejected",
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        if report.aborted:
+            registry.counter("serve.updates_aborted").add(1)
+            return UpdateStatus(
+                update_id, "aborted", detail=report.abort_reason or ""
+            )
+        snapshot = self.store.publish(self._freeze(self.store.version + 1))
+        registry.counter("serve.updates_applied").add(1)
+        return UpdateStatus(
+            update_id,
+            "applied",
+            version=snapshot.version,
+            inserted_ids=list(report.inserted_ids),
+            deleted_ids=list(report.deleted_ids),
+        )
+
+
+__all__ = ["PatternService", "STATUS_BACKLOG", "UpdateStatus"]

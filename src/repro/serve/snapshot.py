@@ -1,0 +1,245 @@
+"""Copy-on-write pattern-set snapshots with version-pinned reads.
+
+The serving layer never hands a reader live maintainer state: every
+committed maintenance round publishes one immutable
+:class:`PatternSnapshot` into the :class:`SnapshotStore`, and a reader
+*pins* whatever snapshot is current when its request starts
+(:meth:`SnapshotStore.pin`).  Because snapshots are frozen values —
+cover sets are ``frozenset``s computed at publish time, pattern graphs
+are the maintainer's own immutable :class:`~repro.patterns.pattern.
+CannedPattern` graphs, never mutated in place — a pinned reader can
+take arbitrarily long without ever observing a half-committed round,
+and a rollback (PR 2) simply never publishes.
+
+Version lag is observable: releasing a pin compares the pinned version
+against the store head and reports through the ``serve.staleness``
+gauge, the ``serve.stale_reads`` counter and the ``serve.staleness_ms``
+/ ``serve.staleness_versions`` histograms (see docs/SERVING.md and the
+catalogue in docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..graph.io import graph_to_dict
+from ..graph.labeled_graph import LabeledGraph
+from ..obs import get_registry
+from ..patterns.metrics import CoverageOracle
+
+
+@dataclass(frozen=True)
+class SnapshotPattern:
+    """One canned pattern as frozen at publish time."""
+
+    pattern_id: int
+    graph: LabeledGraph
+    provenance: str
+    #: ``G_scov(p)`` over the maintained sample view at this version.
+    cover: frozenset[int]
+    #: ``|cover| / |D_s|`` at this version.
+    scov: float
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.pattern_id,
+            "provenance": self.provenance,
+            "scov": self.scov,
+            "cover_size": len(self.cover),
+            "graph": graph_to_dict(self.graph),
+        }
+
+
+@dataclass(frozen=True)
+class PatternSnapshot:
+    """An immutable, versioned view of the served pattern set."""
+
+    version: int
+    #: Wall-clock publish time (``time.time()``), for display only; the
+    #: staleness arithmetic uses the store's monotonic clock.
+    published_at: float
+    database_size: int
+    #: Size of the sample view ``D_s`` the cover sets are over.
+    sample_size: int
+    set_scov: float
+    patterns: tuple[SnapshotPattern, ...]
+
+    def pattern_ids(self) -> list[int]:
+        return [entry.pattern_id for entry in self.patterns]
+
+    def pattern(self, pattern_id: int) -> SnapshotPattern | None:
+        for entry in self.patterns:
+            if entry.pattern_id == pattern_id:
+                return entry
+        return None
+
+    def to_dict(self, *, include_graphs: bool = True) -> dict:
+        entries = []
+        for entry in self.patterns:
+            payload = entry.to_dict()
+            if not include_graphs:
+                payload.pop("graph")
+            entries.append(payload)
+        return {
+            "version": self.version,
+            "published_at": self.published_at,
+            "database_size": self.database_size,
+            "sample_size": self.sample_size,
+            "set_scov": self.set_scov,
+            "patterns": entries,
+        }
+
+
+def build_snapshot(
+    version: int,
+    patterns: Iterable[tuple[int, LabeledGraph, str]],
+    oracle: CoverageOracle,
+    *,
+    database_size: int,
+    published_at: float | None = None,
+) -> PatternSnapshot:
+    """Freeze *patterns* against *oracle* into one publishable value.
+
+    The cover sets and scov values are computed eagerly, so readers of
+    the published snapshot never touch the (mutable, maintainer-owned)
+    oracle at all — that is what makes the read path isolation-free.
+    """
+    entries = []
+    graphs = []
+    for pattern_id, graph, provenance in patterns:
+        cover = oracle.cover(graph)
+        entries.append(
+            SnapshotPattern(
+                pattern_id=pattern_id,
+                graph=graph,
+                provenance=provenance,
+                cover=cover,
+                scov=oracle.scov(graph),
+            )
+        )
+        graphs.append(graph)
+    return PatternSnapshot(
+        version=version,
+        published_at=time.time() if published_at is None else published_at,
+        database_size=database_size,
+        sample_size=oracle.universe_size,
+        set_scov=oracle.set_scov(graphs),
+        patterns=tuple(entries),
+    )
+
+
+class SnapshotLease:
+    """A pinned snapshot; release it to report the observed version lag.
+
+    Usable as a context manager.  The lease keeps the snapshot reachable
+    for as long as the reader needs it; releasing is purely an
+    observability event (the pinned value stays valid forever — it is
+    immutable), recording how far behind the store head the read ended.
+    """
+
+    __slots__ = ("snapshot", "_store", "_released")
+
+    def __init__(self, snapshot: PatternSnapshot, store: "SnapshotStore"):
+        self.snapshot = snapshot
+        self._store = store
+        self._released = False
+
+    @property
+    def version(self) -> int:
+        return self.snapshot.version
+
+    def release(self) -> int:
+        """Report the version lag observed by this read; returns the lag."""
+        if self._released:
+            return 0
+        self._released = True
+        return self._store._release(self.snapshot.version)
+
+    def __enter__(self) -> "SnapshotLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class SnapshotStore:
+    """The copy-on-write publication point between maintainer and readers.
+
+    One writer (the maintenance loop) publishes strictly increasing
+    versions; any number of readers pin the current head.  The store is
+    thread-safe: the maintainer commits from an executor thread while
+    the asyncio serving loop pins from the event-loop thread.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._current: PatternSnapshot | None = None
+        #: version -> monotonic publish instant, for the staleness window.
+        self._published_monotonic: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """The head version (0 before the first publish)."""
+        with self._lock:
+            return self._current.version if self._current else 0
+
+    def current(self) -> PatternSnapshot:
+        with self._lock:
+            if self._current is None:
+                raise RuntimeError("no snapshot published yet")
+            return self._current
+
+    def publish(self, snapshot: PatternSnapshot) -> PatternSnapshot:
+        """Atomically replace the head; versions must increase by one."""
+        registry = get_registry()
+        with self._lock:
+            expected = (self._current.version + 1) if self._current else 1
+            if snapshot.version != expected:
+                raise ValueError(
+                    f"snapshot version {snapshot.version} out of order; "
+                    f"expected {expected}"
+                )
+            self._current = snapshot
+            self._published_monotonic[snapshot.version] = time.monotonic()
+        registry.counter("serve.snapshots_published").add(1)
+        registry.gauge("serve.version").set(snapshot.version)
+        return snapshot
+
+    def pin(self) -> SnapshotLease:
+        """Pin the current head for the duration of one read."""
+        return SnapshotLease(self.current(), self)
+
+    def published_monotonic(self, version: int) -> float | None:
+        """Monotonic instant *version* was published (None if unknown)."""
+        with self._lock:
+            return self._published_monotonic.get(version)
+
+    # ------------------------------------------------------------------
+    def _release(self, pinned_version: int) -> int:
+        registry = get_registry()
+        with self._lock:
+            head = self._current.version if self._current else 0
+            lag = head - pinned_version
+            next_publish = self._published_monotonic.get(pinned_version + 1)
+        registry.gauge("serve.staleness").set(lag)
+        if lag > 0:
+            registry.counter("serve.stale_reads").add(1)
+            registry.histogram("serve.staleness_versions").record(lag)
+            if next_publish is not None:
+                registry.histogram("serve.staleness_ms").record(
+                    max(0.0, (time.monotonic() - next_publish) * 1000.0)
+                )
+        return lag
+
+
+__all__ = [
+    "PatternSnapshot",
+    "SnapshotLease",
+    "SnapshotPattern",
+    "SnapshotStore",
+    "build_snapshot",
+]

@@ -164,6 +164,7 @@ class TestOracleRegistry:
             "index",
             "parallel",
             "scov",
+            "serve",
             "vf2",
         }
 

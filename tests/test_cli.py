@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import re
+
 import pytest
 
 from repro.cli import FIGURES, SCALES, build_parser, main
@@ -31,6 +33,69 @@ class TestParser:
 
     def test_scales_defined(self):
         assert set(SCALES) == {"small", "medium", "large"}
+
+
+class TestExecutionFlagHelp:
+    """Only the canonical ExecutionConfig spellings appear in --help;
+    the pre-rename aliases keep parsing but stay hidden."""
+
+    @pytest.fixture(scope="class")
+    def demo_help(self):
+        import contextlib
+        import io
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            with pytest.raises(SystemExit):
+                main(["demo", "--help"])
+        return buffer.getvalue()
+
+    def test_canonical_flags_are_documented(self, demo_help):
+        for flag in (
+            "--deadline-ms",
+            "--workers",
+            "--cache",
+            "--covindex",
+            "--check",
+            "--degrade",
+        ):
+            assert flag in demo_help
+
+    def test_alias_spellings_are_hidden(self, demo_help):
+        assert "--jobs" not in demo_help
+        assert "--caching" not in demo_help
+        # "--deadline" only ever appears as part of "--deadline-ms"
+        assert re.search(r"--deadline(?!-ms)", demo_help) is None
+
+    def test_aliases_still_parse_to_canonical_dests(self):
+        args = build_parser().parse_args(
+            ["demo", "--jobs", "4", "--caching", "on", "--deadline", "1500"]
+        )
+        assert args.workers == 4
+        assert args.cache == "on"
+        assert args.deadline_ms == 1500.0
+
+    def test_canonical_defaults_survive_alias_registration(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.workers == 1
+        assert args.cache == "off"
+        assert args.deadline_ms is None
+
+
+class TestServeCommands:
+    def test_serve_registered_with_defaults(self):
+        args = build_parser().parse_args(["serve", "--smoke"])
+        assert args.func.__name__ == "cmd_serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8373
+        assert args.smoke is True
+
+    def test_serve_bench_registered_with_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.func.__name__ == "cmd_serve_bench"
+        assert args.duration == 5.0
+        assert args.clients == 8
+        assert args.out == "BENCH_serve.json"
 
 
 class TestDatasetCommand:

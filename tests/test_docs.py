@@ -14,7 +14,13 @@ Four guarantees:
 * the invariant catalogue in docs/CORRECTNESS.md matches the guard
   names raised by ``repro.check.invariants``, in both directions;
 * every kernel named in docs/PERFORMANCE.md's kernel table is a real
-  function in ``repro.parallel``.
+  function in ``repro.parallel``;
+* the docs/SERVING.md endpoint table matches ``repro.serve.http.ROUTES``
+  exactly, in both directions;
+* docs/API.md matches the facade: the table lists exactly
+  ``repro.api.__all__``, each row's parameter cell is exactly that
+  call's signature, and the ExecutionConfig table lists exactly the
+  dataclass fields.
 """
 
 import re
@@ -101,7 +107,7 @@ def test_documented_span_exists_in_source(name, source_text):
 
 
 EXECUTION_METRIC_PATTERN = re.compile(
-    r'"((?:parallel|cache|covindex|vf2|check)\.[a-z_][a-z_.]*)"'
+    r'"((?:parallel|cache|covindex|vf2|check|serve)\.[a-z_][a-z_.]*)"'
 )
 
 # Budget-check and fault-injection site names share the dotted spelling
@@ -186,4 +192,83 @@ def test_documented_kernel_exists(name):
     assert callable(getattr(parallel, name, None)), (
         f"kernel {name!r} is documented in PERFORMANCE.md but is not a "
         f"callable exported by repro.parallel"
+    )
+
+
+ENDPOINT_ROW_PATTERN = re.compile(
+    r"^\|\s*`((?:GET|POST|PUT|DELETE) /\S+)`\s*\|", re.MULTILINE
+)
+
+
+def _serving_documented_endpoints() -> set[str]:
+    """``METHOD /path`` strings from the SERVING.md endpoint table."""
+    text = (REPO_ROOT / "docs" / "SERVING.md").read_text()
+    return set(ENDPOINT_ROW_PATTERN.findall(text))
+
+
+def test_serving_endpoint_table_matches_routes():
+    """docs/SERVING.md and repro.serve.http.ROUTES agree exactly."""
+    from repro.serve.http import endpoints
+
+    served = set(endpoints())
+    documented = _serving_documented_endpoints()
+    assert served, "expected routes in repro.serve.http.ROUTES"
+    assert served == documented, (
+        f"endpoints served but undocumented: {sorted(served - documented)}; "
+        f"documented but not served: {sorted(documented - served)}"
+    )
+
+
+BACKTICKED_NAME_PATTERN = re.compile(r"`([A-Za-z_][A-Za-z0-9_]*)`")
+
+
+def _api_table_rows(section_heading: str) -> dict[str, list[str]]:
+    """API.md table rows in a section: first-column name -> row cells."""
+    text = (REPO_ROOT / "docs" / "API.md").read_text()
+    rows = {}
+    in_section = False
+    for line in text.splitlines():
+        if line.startswith("## "):
+            in_section = line.strip() == section_heading
+            continue
+        if in_section:
+            match = TABLE_NAME_PATTERN.match(line)
+            if match:
+                rows[match.group(1)] = line.split("|")[2:-1]
+    return rows
+
+
+def test_api_facade_table_matches_api_module():
+    """The API.md facade table lists exactly repro.api.__all__, and each
+    row's parameter cell is exactly that call's signature."""
+    import inspect
+
+    import repro.api as api
+
+    rows = _api_table_rows("## The facade")
+    assert set(rows) == set(api.__all__), (
+        f"facade calls undocumented: {sorted(set(api.__all__) - set(rows))}; "
+        f"documented but not exported: {sorted(set(rows) - set(api.__all__))}"
+    )
+    for name, cells in rows.items():
+        documented = set(BACKTICKED_NAME_PATTERN.findall(cells[0]))
+        actual = set(inspect.signature(getattr(api, name)).parameters)
+        assert documented == actual, (
+            f"API.md parameters for {name!r} drifted from the signature: "
+            f"missing {sorted(actual - documented)}, "
+            f"stale {sorted(documented - actual)}"
+        )
+
+
+def test_api_execution_config_table_matches_dataclass():
+    """The API.md ExecutionConfig table lists exactly the fields."""
+    import dataclasses
+
+    from repro.execution import ExecutionConfig
+
+    documented = set(_api_table_rows("## ExecutionConfig"))
+    actual = {field.name for field in dataclasses.fields(ExecutionConfig)}
+    assert documented == actual, (
+        f"fields undocumented: {sorted(actual - documented)}; "
+        f"documented but not fields: {sorted(documented - actual)}"
     )

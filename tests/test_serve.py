@@ -1,0 +1,368 @@
+"""The pattern-serving layer: snapshots, the service, HTTP, the oracle.
+
+The load-bearing claims under test (see docs/SERVING.md):
+
+* snapshot isolation — a reader pinned at version *v* observes exactly
+  the version-*v* pattern set, bit for bit, no matter how many
+  maintenance rounds commit after the pin;
+* failure atomicity — a rolled-back round publishes nothing, so the
+  served head is untouched (the serving half of the PR-2 transactional
+  guarantee);
+* observability — the serve.* metric namespace is populated and
+  exposed through ``GET /metricz``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+
+import pytest
+
+from repro import api
+from repro.check import run_oracle
+from repro.datasets import aids_like, family_injection
+from repro.midas import MidasConfig
+from repro.obs import get_registry
+from repro.patterns import PatternBudget
+from repro.patterns.metrics import CoverageOracle
+from repro.resilience import Fault, inject_faults
+from repro.serve import (
+    PatternServer,
+    PatternService,
+    ROUTES,
+    SnapshotStore,
+    build_snapshot,
+    endpoints,
+)
+from repro.serve.bench import HttpClient, run_smoke
+
+
+def make_midas(seed: int = 5):
+    """A cheap bootstrapped maintainer (~1s) for service-level tests."""
+    return api.bootstrap(
+        aids_like(24, seed=11),
+        config=MidasConfig(
+            budget=PatternBudget(3, 6, 6),
+            num_clusters=3,
+            sample_cap=40,
+            seed=seed,
+        ),
+    )
+
+
+def signature(snapshot) -> tuple:
+    """Everything a reader can observe through a snapshot."""
+    return (
+        snapshot.version,
+        snapshot.database_size,
+        snapshot.sample_size,
+        snapshot.set_scov,
+        tuple(
+            (entry.pattern_id, tuple(sorted(entry.cover)), entry.scov)
+            for entry in snapshot.patterns
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def frozen_midas():
+    """Shared read-only maintainer; tests must not apply updates to it."""
+    return make_midas()
+
+
+# ----------------------------------------------------------------------
+# SnapshotStore unit behaviour
+# ----------------------------------------------------------------------
+def empty_snapshot(version: int):
+    return build_snapshot(version, [], CoverageOracle({}), database_size=0)
+
+
+class TestSnapshotStore:
+    def test_versions_increase_by_one(self):
+        store = SnapshotStore()
+        assert store.version == 0
+        with pytest.raises(RuntimeError):
+            store.current()
+        store.publish(empty_snapshot(1))
+        assert store.version == 1
+        with pytest.raises(ValueError):
+            store.publish(empty_snapshot(3))
+        with pytest.raises(ValueError):
+            store.publish(empty_snapshot(1))
+        store.publish(empty_snapshot(2))
+        assert store.current().version == 2
+
+    def test_release_reports_version_lag(self):
+        registry = get_registry()
+        stale_before = registry.counter("serve.stale_reads").value
+        store = SnapshotStore()
+        store.publish(empty_snapshot(1))
+        lease = store.pin()
+        store.publish(empty_snapshot(2))
+        store.publish(empty_snapshot(3))
+        assert lease.version == 1
+        assert lease.release() == 2
+        assert registry.gauge("serve.staleness").value == 2
+        assert registry.counter("serve.stale_reads").value == stale_before + 1
+        # releasing twice is a no-op
+        assert lease.release() == 0
+
+    def test_fresh_release_is_not_stale(self):
+        registry = get_registry()
+        stale_before = registry.counter("serve.stale_reads").value
+        store = SnapshotStore()
+        store.publish(empty_snapshot(1))
+        with store.pin() as lease:
+            assert lease.snapshot.version == 1
+        assert registry.gauge("serve.staleness").value == 0
+        assert registry.counter("serve.stale_reads").value == stale_before
+
+
+class TestBuildSnapshot:
+    def test_freezes_covers_and_scov(self, frozen_midas):
+        midas = frozen_midas
+        snapshot = build_snapshot(
+            1,
+            ((p.pattern_id, p.graph, p.provenance) for p in midas.patterns),
+            midas.oracle,
+            database_size=len(midas.database),
+        )
+        assert snapshot.pattern_ids() == [
+            p.pattern_id for p in midas.patterns
+        ]
+        assert snapshot.sample_size == midas.oracle.universe_size
+        for entry in snapshot.patterns:
+            assert entry.cover == midas.oracle.cover(entry.graph)
+            assert entry.scov == midas.oracle.scov(entry.graph)
+        assert snapshot.set_scov == midas.oracle.set_scov(
+            [entry.graph for entry in snapshot.patterns]
+        )
+        assert snapshot.pattern(10**9) is None
+
+    def test_to_dict_shapes(self, frozen_midas):
+        snapshot = build_snapshot(
+            1,
+            (
+                (p.pattern_id, p.graph, p.provenance)
+                for p in frozen_midas.patterns
+            ),
+            frozen_midas.oracle,
+            database_size=len(frozen_midas.database),
+        )
+        payload = snapshot.to_dict()
+        assert payload["version"] == 1
+        assert {"id", "provenance", "scov", "cover_size", "graph"} <= set(
+            payload["patterns"][0]
+        )
+        meta = snapshot.to_dict(include_graphs=False)
+        assert "graph" not in meta["patterns"][0]
+
+
+# ----------------------------------------------------------------------
+# service-level snapshot isolation
+# ----------------------------------------------------------------------
+class TestPatternService:
+    def test_pinned_reader_never_sees_a_committed_round(self):
+        async def scenario():
+            service = PatternService(make_midas())
+            await service.start()
+            try:
+                lease = service.store.pin()
+                before = signature(lease.snapshot)
+                status = service.submit(family_injection(6, seed=3))
+                assert status.state == "queued"
+                final = await service.wait_for(status.update_id)
+                assert final.state == "applied"
+                assert final.version == 2
+                assert final.inserted_ids
+                # The pinned reader still observes version 1, bit for
+                # bit, even though the head moved on.
+                assert lease.snapshot.version == 1
+                assert signature(lease.snapshot) == before
+                assert service.store.version == 2
+                assert lease.release() == 1
+                with service.store.pin() as fresh:
+                    assert fresh.snapshot.version == 2
+                    assert fresh.snapshot.database_size == len(
+                        service.midas.database
+                    )
+            finally:
+                await service.close()
+
+        asyncio.run(scenario())
+
+    def test_rollback_leaves_published_snapshot_untouched(self):
+        async def scenario():
+            service = PatternService(make_midas())
+            await service.start()
+            try:
+                before = signature(service.store.current())
+                with inject_faults({"midas.detect": Fault(times=None)}):
+                    status = service.submit(family_injection(6, seed=3))
+                    final = await service.wait_for(status.update_id)
+                assert final.state == "rolled_back"
+                assert final.version is None
+                assert service.store.version == 1
+                assert signature(service.store.current()) == before
+                # The service stays healthy: the next round commits.
+                status = service.submit(family_injection(6, seed=4))
+                final = await service.wait_for(status.update_id)
+                assert final.state == "applied"
+                assert final.version == 2
+            finally:
+                await service.close()
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# HTTP end to end (real TCP, real parsing)
+# ----------------------------------------------------------------------
+class TestHttpServer:
+    def test_endpoints_and_errors(self):
+        async def scenario():
+            server = PatternServer(PatternService(make_midas()), port=0)
+            host, port = await server.start()
+            client = await HttpClient.connect(host, port)
+            try:
+                status, body = await client.request("GET", "/patterns")
+                assert status == 200
+                assert body["version"] == 1
+                assert body["patterns"]
+                first = body["patterns"][0]
+                assert {"id", "provenance", "scov", "cover_size", "graph"} \
+                    <= set(first)
+
+                status, body = await client.request(
+                    "GET", "/patterns?meta_only=1"
+                )
+                assert status == 200
+                assert "graph" not in body["patterns"][0]
+
+                pattern_id = first["id"]
+                status, body = await client.request(
+                    "GET", f"/cover?pattern={pattern_id}"
+                )
+                assert status == 200
+                assert len(body["cover"]) == first["cover_size"]
+                assert body["version"] == 1
+
+                status, body = await client.request("GET", "/scov")
+                assert status == 200
+                assert 0.0 <= body["set_scov"] <= 1.0
+
+                status, body = await client.request("GET", "/healthz")
+                assert status == 200
+                assert body["status"] == "ok"
+
+                # the error surface, as documented in docs/SERVING.md
+                status, body = await client.request("GET", "/cover")
+                assert (status, body["error"]["code"]) == (400, "bad_request")
+                status, body = await client.request(
+                    "GET", "/cover?pattern=abc"
+                )
+                assert (status, body["error"]["code"]) == (400, "bad_request")
+                status, body = await client.request(
+                    "GET", "/cover?pattern=999999"
+                )
+                assert (status, body["error"]["code"]) == (
+                    404,
+                    "unknown_pattern",
+                )
+                status, body = await client.request("GET", "/nope")
+                assert (status, body["error"]["code"]) == (404, "not_found")
+                status, body = await client.request("POST", "/patterns")
+                assert (status, body["error"]["code"]) == (
+                    405,
+                    "method_not_allowed",
+                )
+                status, body = await client.request(
+                    "POST", "/updates", payload={"insertions": [{"bad": 1}]}
+                )
+                assert (status, body["error"]["code"]) == (400, "bad_update")
+            finally:
+                await client.close()
+                await server.close()
+
+        asyncio.run(scenario())
+
+    def test_update_commit_and_metricz(self):
+        async def scenario():
+            from repro.graph.io import graph_to_dict
+
+            server = PatternServer(PatternService(make_midas()), port=0)
+            host, port = await server.start()
+            client = await HttpClient.connect(host, port)
+            try:
+                update = family_injection(5, seed=7)
+                payload = {
+                    "insertions": [
+                        graph_to_dict(g) for g in update.insertions
+                    ],
+                    "deletions": [],
+                }
+                status, body = await client.request(
+                    "POST", "/updates?wait=1", payload=payload
+                )
+                assert status == 200
+                assert body["status"] == "applied"
+                assert body["version"] == 2
+                assert len(body["inserted_ids"]) == 5
+
+                status, body = await client.request("GET", "/patterns")
+                assert body["version"] == 2
+
+                status, body = await client.request("GET", "/metricz")
+                assert status == 200
+                counters = body["counters"]
+                assert counters["serve.requests"] >= 3
+                assert counters["serve.updates_applied"] >= 1
+                assert counters["serve.snapshots_published"] >= 2
+                assert body["gauges"]["serve.version"] >= 2
+                assert "serve.request_ms" in body["histograms"]
+            finally:
+                await client.close()
+                await server.close()
+
+        asyncio.run(scenario())
+
+    def test_fire_and_forget_update_is_accepted(self):
+        async def scenario():
+            server = PatternServer(PatternService(make_midas()), port=0)
+            host, port = await server.start()
+            client = await HttpClient.connect(host, port)
+            try:
+                status, body = await client.request(
+                    "POST", "/updates", payload={"insertions": []}
+                )
+                assert status == 202
+                assert body["status"] == "queued"
+                assert body["update_id"] >= 1
+            finally:
+                await client.close()
+                await server.close()
+
+        asyncio.run(scenario())
+
+
+class TestSmokeGate:
+    def test_run_smoke_passes(self, capsys):
+        assert run_smoke(make_midas()) == 0
+        assert "serve smoke ok" in capsys.readouterr().out
+
+
+class TestServeOracle:
+    def test_seeded_fuzz_budget_is_clean(self):
+        report = run_oracle("serve", seed=0, budget=10)
+        assert report.ok, report.summary()
+
+
+class TestRouteTable:
+    def test_endpoints_mirror_routes(self):
+        listed = endpoints()
+        assert len(listed) == len(ROUTES)
+        for method, path in ROUTES:
+            assert f"{method} {path}" in listed
+            assert re.fullmatch(r"(GET|POST)", method)
+            assert path.startswith("/")
