@@ -10,7 +10,11 @@ Usage::
     python -m repro check --replay artifact.json
     python -m repro serve --port 8373         # the pattern-serving service
     python -m repro serve --smoke             # CI gate: hit every endpoint
+    python -m repro serve --journal wal/      # durable, crash-recoverable
     python -m repro serve-bench --out BENCH_serve.json
+    python -m repro serve-bench --overload    # admission-control probe
+    python -m repro crashtest --smoke         # CI gate: crash + recover
+    python -m repro crashtest                 # the full crash-site matrix
     python -m repro info                      # version + experiment index
 
 The ``bench`` subcommand drives exactly the same experiment code the
@@ -291,28 +295,67 @@ def _bootstrap_service(args: argparse.Namespace):
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from .resilience.faults import arm_crash_from_env
     from .serve import PatternServer, PatternService, endpoints
     from .serve.bench import run_smoke
 
     if not _check_metrics_path(args):
         return 2
-    midas = _bootstrap_service(args)
-    if midas is None:
-        return 2
-    if args.smoke:
-        code = run_smoke(midas)
-        _export_metrics(args)
-        return code
+    # The crashtest harness plants a hard crash in this process through
+    # the environment; a normal run arms nothing (empty variable).
+    armed = arm_crash_from_env()
+    if armed:
+        print(f"crash site armed: {armed}", flush=True)
 
-    server = PatternServer(
-        PatternService(midas), host=args.host, port=args.port
-    )
+    journal_dir = getattr(args, "journal", None)
+    service_kwargs = {
+        "fsync": args.fsync,
+        "queue_limit": args.queue_limit,
+        "checkpoint_every": args.checkpoint_every,
+    }
+    if args.segment_bytes:
+        service_kwargs["segment_max_bytes"] = args.segment_bytes
+
+    recoverable = False
+    if journal_dir:
+        from .journal import load_latest_checkpoint
+
+        recoverable = load_latest_checkpoint(journal_dir) is not None
+    if recoverable:
+        # The journal already holds a checkpoint: recover the previous
+        # incarnation instead of bootstrapping a fresh maintainer.
+        started = time.perf_counter()
+        service = PatternService(
+            None, journal_dir=journal_dir, **service_kwargs
+        )
+        recovery = service.last_recovery
+        print(
+            f"recovered version {recovery.head_version} "
+            f"({recovery.replayed_commits} commits replayed, "
+            f"{len(recovery.pending)} updates re-queued) from "
+            f"{journal_dir} in {time.perf_counter() - started:.2f}s",
+            flush=True,
+        )
+    else:
+        midas = _bootstrap_service(args)
+        if midas is None:
+            return 2
+        if args.smoke:
+            code = run_smoke(midas)
+            _export_metrics(args)
+            return code
+        service = PatternService(
+            midas, journal_dir=journal_dir, **service_kwargs
+        )
+
+    server = PatternServer(service, host=args.host, port=args.port)
 
     async def _run() -> None:
         host, port = await server.start()
-        print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
+        print(f"serving on http://{host}:{port} (Ctrl-C to stop)", flush=True)
         for line in endpoints():
             print(f"  {line}")
+        sys.stdout.flush()
         try:
             await server.serve_forever()
         finally:
@@ -329,13 +372,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     import json
 
-    from .serve.bench import run_bench
+    from .serve.bench import run_bench, run_overload
 
     if not _check_metrics_path(args):
         return 2
     midas = _bootstrap_service(args)
     if midas is None:
         return 2
+    if args.overload:
+        figure = run_overload(
+            midas,
+            queue_limit=args.queue_limit,
+            seed=args.seed,
+        )
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(figure, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        outcomes = figure["outcomes"]
+        print(
+            f"\noverload: {outcomes['accepted']} accepted, "
+            f"{outcomes['shed']} shed with 429, queue bounded: "
+            f"{figure['queue_bounded']}, degraded health observed: "
+            f"{figure['degraded_health_observed']}"
+        )
+        print(f"wrote {args.out}")
+        _export_metrics(args)
+        ok = (
+            figure["queue_bounded"]
+            and outcomes["shed"] > 0
+            and figure["retry_after"]["present_on_all_429s"]
+            and figure["accepted_resolved"] == outcomes["accepted"]
+        )
+        return 0 if ok else 1
     figure = run_bench(
         midas,
         duration_seconds=args.duration,
@@ -381,6 +449,17 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         if state not in ("submitted", "applied")
     )
     return 1 if throughput["errors"] or unapplied else 0
+
+
+def cmd_crashtest(args: argparse.Namespace) -> int:
+    from .serve.crashtest import run_crashtest
+
+    return run_crashtest(
+        tuple(args.site) if args.site else None,
+        smoke=args.smoke,
+        out=args.out,
+        seed=args.seed,
+    )
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -683,6 +762,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="exercise every endpoint once against an ephemeral server "
         "and exit (the CI serve gate)",
     )
+    serve.add_argument(
+        "--journal",
+        metavar="DIR",
+        help="write-ahead journal directory; if DIR already holds a "
+        "checkpoint the service recovers from it instead of "
+        "bootstrapping (see docs/ROBUSTNESS.md, 'Durability')",
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="always",
+        help="journal fsync policy (default 'always': an acknowledged "
+        "update survives a machine crash)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        metavar="N",
+        help="bounded update-queue admission limit; a full queue sheds "
+        "writes with HTTP 429 + Retry-After (default 256)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="committed rounds between snapshot checkpoints (default 8)",
+    )
+    serve.add_argument(
+        "--segment-bytes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="journal segment rotation threshold in bytes "
+        "(default: the journal's 4 MiB)",
+    )
     add_serve_dataset_flags(serve)
     add_metrics_flags(serve)
     add_execution_flags(serve)
@@ -727,9 +843,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="where the figure JSON is written (default BENCH_serve.json)",
     )
+    serve_bench.add_argument(
+        "--overload",
+        action="store_true",
+        help="run the admission-control overload probe instead of the "
+        "load test: hammer POST /updates past the queue limit and "
+        "assert shedding (429 + Retry-After), a bounded queue and "
+        "degraded /healthz",
+    )
+    serve_bench.add_argument(
+        "--queue-limit",
+        type=int,
+        default=4,
+        metavar="N",
+        help="admission limit for --overload (small by design; default 4)",
+    )
     add_metrics_flags(serve_bench)
     add_execution_flags(serve_bench)
     serve_bench.set_defaults(func=cmd_serve_bench)
+
+    crashtest = subparsers.add_parser(
+        "crashtest",
+        help="kill a live serve process at every journal/publish crash "
+        "site and assert oracle-clean recovery (docs/ROBUSTNESS.md)",
+    )
+    crashtest.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the three-site PR-gate subset instead of the full "
+        "crash-site matrix",
+    )
+    crashtest.add_argument(
+        "--site",
+        action="append",
+        metavar="NAME",
+        help="run only this crash site (repeatable; see "
+        "repro.resilience.faults.SERVE_SITES)",
+    )
+    crashtest.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the bootstrap dataset and update stream (default 0)",
+    )
+    crashtest.add_argument(
+        "--out",
+        default="BENCH_recovery.json",
+        metavar="PATH",
+        help="recovery-time figure output (default BENCH_recovery.json)",
+    )
+    crashtest.set_defaults(func=cmd_crashtest)
 
     check = subparsers.add_parser(
         "check",

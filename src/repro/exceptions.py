@@ -63,6 +63,54 @@ class RolledBack(MaintenanceError, ResilienceError):
     pre-round snapshot.  The original failure is chained as ``cause``."""
 
 
+class JournalError(ReproError):
+    """Raised when the write-ahead journal cannot append or read."""
+
+
+class JournalCorruption(JournalError):
+    """A journal record failed its CRC/framing check *before* the tail.
+
+    A torn tail (a partial or corrupt record with nothing valid after
+    it) is expected after a crash and is truncated silently on open;
+    corruption in the middle of a segment, or in any non-final segment,
+    means the log is unusable and recovery must stop loudly.
+    """
+
+    def __init__(self, message: str, *, segment: str = "", offset: int = -1):
+        if segment:
+            message = f"{message} (segment {segment}, offset {offset})"
+        super().__init__(message)
+        self.segment = segment
+        self.offset = offset
+
+
+class ServiceOverloaded(ReproError):
+    """The serve write path shed a request (admission control).
+
+    Maps to HTTP 429 with a ``Retry-After`` hint: the bounded update
+    queue is full, so accepting the write would only grow an unbounded
+    backlog the single writer can never drain.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceUnavailable(ReproError):
+    """The serve write path is down (draining, dead writer, open breaker).
+
+    Maps to HTTP 503: unlike :class:`ServiceOverloaded` this is not a
+    transient queue-depth problem — the service is shutting down, the
+    maintenance loop has died permanently, or the circuit breaker is
+    holding writes off after repeated round failures.
+    """
+
+    def __init__(self, message: str, *, reason: str = "unavailable"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class InvariantViolation(ReproError):
     """A runtime invariant guard (``repro.check.invariants``) failed.
 
@@ -87,8 +135,12 @@ __all__ = [
     "ConfigurationError",
     "DeadlineExceeded",
     "InvariantViolation",
+    "JournalCorruption",
+    "JournalError",
     "MaintenanceError",
     "ReproError",
     "ResilienceError",
     "RolledBack",
+    "ServiceOverloaded",
+    "ServiceUnavailable",
 ]

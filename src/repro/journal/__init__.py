@@ -1,0 +1,71 @@
+"""Durable write-ahead journaling for the serving/maintenance path.
+
+The serving layer (PR 6) kept every committed round and every queued
+update in process memory; this package is the durability half of the
+ROADMAP's out-of-core story (open item 3): an append-only,
+fsync-policied journal whose replay drives the *existing* transactional
+round machinery, so a crashed server restarts into exactly the state it
+had acknowledged.
+
+* :mod:`repro.journal.records` — length-prefixed, CRC32-checksummed
+  record framing and the record vocabulary (``submitted``,
+  ``committed``, ``rejected``/``rolled_back``/``aborted``/``failed``,
+  ``checkpoint``);
+* :mod:`repro.journal.segments` — :class:`Journal`: segment rotation,
+  fsync policies (``always``/``interval``/``never``), torn-tail
+  truncation on open, checkpoint-driven pruning;
+* :mod:`repro.journal.checkpoint` — atomic pickled-state checkpoints
+  that bound replay length;
+* :mod:`repro.journal.recovery` — :func:`recover`: deterministic replay
+  through ``Midas.apply_update`` with per-commit digest cross-checks
+  and a fresh-oracle verification of the rebuilt head.
+
+Operator guide: docs/ROBUSTNESS.md ("Durability"); the crash-injection
+harness that proves the guarantees is ``python -m repro crashtest``.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_RETENTION,
+    Checkpoint,
+    load_latest_checkpoint,
+    write_checkpoint,
+)
+from .records import (
+    OUTCOME_TYPES,
+    RECORD_TYPES,
+    Record,
+    checkpoint_record,
+    committed_record,
+    encode_record,
+    iter_frames,
+    outcome_record,
+    snapshot_digest,
+    submitted_record,
+    update_from_record,
+)
+from .recovery import RecoveredState, recover, verify_head_against_fresh_oracle
+from .segments import DEFAULT_SEGMENT_MAX_BYTES, FSYNC_POLICIES, Journal
+
+__all__ = [
+    "CHECKPOINT_RETENTION",
+    "Checkpoint",
+    "DEFAULT_SEGMENT_MAX_BYTES",
+    "FSYNC_POLICIES",
+    "Journal",
+    "OUTCOME_TYPES",
+    "RECORD_TYPES",
+    "RecoveredState",
+    "Record",
+    "checkpoint_record",
+    "committed_record",
+    "encode_record",
+    "iter_frames",
+    "load_latest_checkpoint",
+    "outcome_record",
+    "recover",
+    "snapshot_digest",
+    "submitted_record",
+    "update_from_record",
+    "verify_head_against_fresh_oracle",
+    "write_checkpoint",
+]

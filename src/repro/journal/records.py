@@ -1,0 +1,229 @@
+"""Journal record types and the length-prefixed, CRC-checksummed framing.
+
+Every record is one JSON object framed as::
+
+    +----------------+----------------+----------------------+
+    | length (u32 BE)| CRC32 (u32 BE) | payload (JSON, UTF-8)|
+    +----------------+----------------+----------------------+
+
+The CRC covers the payload bytes only; the length covers the payload
+only.  A reader that hits a frame whose length runs past end-of-file,
+or whose CRC does not match, has found either a *torn tail* (a crash
+mid-append — expected, truncated on open) or *corruption* (anything
+else — fatal, see :class:`~repro.exceptions.JournalCorruption`).
+
+Record types, mirroring the lifecycle of one submitted batch update
+(see docs/ROBUSTNESS.md, "Durability"):
+
+``submitted``
+    The update's full payload (insertions as graph dicts, deletion
+    ids), appended *before* the client is acknowledged — the write-ahead
+    property.
+``committed``
+    The round committed: snapshot ``version`` it published, the
+    database ids it touched, and a digest of the published head for the
+    recovery cross-check.
+``rejected`` / ``rolled_back`` / ``aborted`` / ``failed``
+    The round resolved without publishing; ``detail`` carries the cause.
+``checkpoint``
+    Marker that a state checkpoint with ``checkpoint_id`` was durably
+    written; replay before ``last_update_id`` is unnecessary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import zlib
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..exceptions import JournalCorruption
+from ..graph.database import BatchUpdate
+from ..graph.io import graph_from_dict, graph_to_dict
+
+_FRAME_HEADER = struct.Struct(">II")
+
+#: Outcome record types that resolve a submitted update.
+OUTCOME_TYPES = ("committed", "rejected", "rolled_back", "aborted", "failed")
+
+#: Every record type the journal accepts.
+RECORD_TYPES = ("submitted", "checkpoint") + OUTCOME_TYPES
+
+
+@dataclass(frozen=True)
+class Record:
+    """One decoded journal record plus its physical location."""
+
+    type: str
+    payload: dict
+    #: Segment file name and byte offset of the frame start.
+    segment: str = ""
+    offset: int = -1
+
+    @property
+    def update_id(self) -> int | None:
+        return self.payload.get("update_id")
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_record(payload: dict) -> bytes:
+    """Frame *payload* (which must carry a valid ``type``)."""
+    if payload.get("type") not in RECORD_TYPES:
+        raise ValueError(f"unknown record type {payload.get('type')!r}")
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    return _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+class TornTail(Exception):
+    """Internal signal: the byte stream ends in a partial/corrupt frame."""
+
+    def __init__(self, offset: int):
+        super().__init__(f"torn tail at offset {offset}")
+        self.offset = offset
+
+
+def iter_frames(data: bytes, *, segment: str = "") -> Iterator[Record]:
+    """Decode consecutive frames from *data*.
+
+    Raises :class:`TornTail` when the stream ends mid-frame or the last
+    frame fails its CRC — the caller decides whether that is an expected
+    crash artefact (last segment: truncate) or fatal corruption (any
+    earlier segment).  A bad CRC *followed by more data that parses* is
+    indistinguishable from a torn tail only at the tail, so the caller
+    must treat a ``TornTail`` with trailing bytes beyond one frame as
+    corruption; :meth:`repro.journal.segments.Journal.open` does.
+    """
+    offset = 0
+    size = len(data)
+    while offset < size:
+        if offset + _FRAME_HEADER.size > size:
+            raise TornTail(offset)
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        body_start = offset + _FRAME_HEADER.size
+        body_end = body_start + length
+        if body_end > size:
+            raise TornTail(offset)
+        body = data[body_start:body_end]
+        if zlib.crc32(body) != crc:
+            raise TornTail(offset)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise TornTail(offset) from None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("type") not in RECORD_TYPES
+        ):
+            raise JournalCorruption(
+                "well-framed record with unknown type "
+                f"{payload.get('type') if isinstance(payload, dict) else payload!r}",
+                segment=segment,
+                offset=offset,
+            )
+        yield Record(
+            type=payload["type"], payload=payload, segment=segment,
+            offset=offset,
+        )
+        offset = body_end
+
+
+# ----------------------------------------------------------------------
+# record constructors (the only payload shapes the serve path writes)
+# ----------------------------------------------------------------------
+def submitted_record(update_id: int, update: BatchUpdate) -> dict:
+    return {
+        "type": "submitted",
+        "update_id": update_id,
+        "insertions": [graph_to_dict(g) for g in update.insertions],
+        "deletions": list(update.deletions),
+    }
+
+
+def committed_record(
+    update_id: int,
+    *,
+    version: int,
+    inserted_ids: list[int],
+    deleted_ids: list[int],
+    head_digest: str,
+) -> dict:
+    return {
+        "type": "committed",
+        "update_id": update_id,
+        "version": version,
+        "inserted_ids": list(inserted_ids),
+        "deleted_ids": list(deleted_ids),
+        "head_digest": head_digest,
+    }
+
+
+def outcome_record(update_id: int, state: str, detail: str = "") -> dict:
+    if state not in ("rejected", "rolled_back", "aborted", "failed"):
+        raise ValueError(f"not a terminal non-commit state: {state!r}")
+    return {"type": state, "update_id": update_id, "detail": detail}
+
+
+def checkpoint_record(
+    checkpoint_id: int, *, version: int, last_update_id: int
+) -> dict:
+    return {
+        "type": "checkpoint",
+        "checkpoint_id": checkpoint_id,
+        "version": version,
+        "last_update_id": last_update_id,
+    }
+
+
+def update_from_record(record: Record) -> BatchUpdate:
+    """Rebuild the :class:`BatchUpdate` of a ``submitted`` record."""
+    if record.type != "submitted":
+        raise ValueError(f"not a submitted record: {record.type}")
+    return BatchUpdate.of(
+        insertions=[
+            graph_from_dict(entry) for entry in record.payload["insertions"]
+        ],
+        deletions=record.payload["deletions"],
+    )
+
+
+def snapshot_digest(snapshot) -> str:
+    """Content digest of everything a reader can observe in *snapshot*.
+
+    Excludes the wall-clock ``published_at`` (not reproducible across a
+    recovery) — this is the same observable surface the PR-6 serve
+    oracle compares, hashed so a ``committed`` record can carry it.
+    """
+    surface = (
+        snapshot.version,
+        snapshot.database_size,
+        snapshot.sample_size,
+        snapshot.set_scov,
+        [
+            [entry.pattern_id, sorted(entry.cover), entry.scov]
+            for entry in snapshot.patterns
+        ],
+    )
+    blob = json.dumps(surface, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+__all__ = [
+    "OUTCOME_TYPES",
+    "RECORD_TYPES",
+    "Record",
+    "TornTail",
+    "checkpoint_record",
+    "committed_record",
+    "encode_record",
+    "iter_frames",
+    "outcome_record",
+    "snapshot_digest",
+    "submitted_record",
+    "update_from_record",
+]

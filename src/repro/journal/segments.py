@@ -1,0 +1,296 @@
+"""The append-only, segment-rotated write-ahead journal.
+
+A :class:`Journal` owns a directory of segment files
+(``wal-00000001.log``, ``wal-00000002.log``, ...).  Records are
+appended to the highest-numbered segment; when the active segment
+exceeds ``segment_max_bytes`` the writer rotates to a fresh one.
+Durability is governed by the fsync policy:
+
+``always``
+    ``fsync`` after every append — a record handed back from
+    :meth:`Journal.append` survives a machine crash.  The default, and
+    what the crash-injection harness assumes.
+``interval``
+    ``fsync`` at most once per ``fsync_interval_seconds`` — bounded
+    data loss, much cheaper under write bursts.
+``never``
+    Leave flushing to the OS page cache — benchmark mode only.
+
+Opening a journal scans every segment front to back: a partial or
+CRC-failing frame at the very tail of the *last* segment is a torn
+tail (the crash interrupted an append) and is truncated away; the same
+damage anywhere else is unrecoverable corruption and raises
+:class:`~repro.exceptions.JournalCorruption` rather than silently
+dropping acknowledged records.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import time
+from pathlib import Path
+
+from ..exceptions import JournalCorruption, JournalError
+from ..obs import get_registry
+from ..resilience.faults import trip
+from .records import OUTCOME_TYPES, Record, TornTail, encode_record, iter_frames
+
+SEGMENT_PATTERN = re.compile(r"^wal-(\d{8})\.log$")
+
+#: Rotate the active segment once it exceeds this many bytes.
+DEFAULT_SEGMENT_MAX_BYTES = 4 * 1024 * 1024
+
+FSYNC_POLICIES = ("always", "interval", "never")
+
+
+def _segment_name(seq: int) -> str:
+    return f"wal-{seq:08d}.log"
+
+
+class _SegmentInfo:
+    """In-memory index of one segment, for checkpoint-driven pruning."""
+
+    __slots__ = ("path", "max_update_id", "submitted_ids")
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.max_update_id = -1
+        self.submitted_ids: set[int] = set()
+
+    def note(self, record: Record) -> None:
+        update_id = record.update_id
+        if update_id is not None:
+            self.max_update_id = max(self.max_update_id, update_id)
+            if record.type == "submitted":
+                self.submitted_ids.add(update_id)
+
+
+class Journal:
+    """Append-only journal over a directory of rotated segment files."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        fsync: str = "always",
+        fsync_interval_seconds: float = 0.05,
+        segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise JournalError(
+                f"unknown fsync policy {fsync!r}; pick one of "
+                f"{FSYNC_POLICIES}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_policy = fsync
+        self.fsync_interval_seconds = fsync_interval_seconds
+        self.segment_max_bytes = segment_max_bytes
+        self._last_fsync = 0.0
+        self._handle = None
+        # Appends arrive from the event-loop thread (submit) and from
+        # executor threads (round outcomes); one reentrant lock keeps
+        # frames from interleaving.
+        self._lock = threading.RLock()
+        self._segments: list[_SegmentInfo] = []
+        #: Submitted ids with no outcome record yet (drives pruning).
+        self._unresolved: set[int] = set()
+        self._open()
+
+    # ------------------------------------------------------------------
+    # open / recovery scan
+    # ------------------------------------------------------------------
+    def _segment_paths(self) -> list[Path]:
+        paths = [
+            path
+            for path in self.directory.iterdir()
+            if SEGMENT_PATTERN.match(path.name)
+        ]
+        return sorted(paths)
+
+    def _open(self) -> None:
+        registry = get_registry()
+        paths = self._segment_paths()
+        for position, path in enumerate(paths):
+            info = _SegmentInfo(path)
+            data = path.read_bytes()
+            is_last = position == len(paths) - 1
+            try:
+                for record in iter_frames(data, segment=path.name):
+                    info.note(record)
+                    self._note_resolution(record)
+            except TornTail as torn:
+                if not is_last:
+                    raise JournalCorruption(
+                        "unreadable record before the journal tail",
+                        segment=path.name,
+                        offset=torn.offset,
+                    ) from None
+                # Crash artefact: drop the partial frame, keep the rest.
+                with path.open("r+b") as handle:
+                    handle.truncate(torn.offset)
+                registry.counter("journal.torn_tail_truncations").add(1)
+            self._segments.append(info)
+        if not self._segments:
+            self._segments.append(
+                _SegmentInfo(self.directory / _segment_name(1))
+            )
+            self._segments[-1].path.touch()
+        self._handle = self._segments[-1].path.open("ab")
+
+    def _note_resolution(self, record: Record) -> None:
+        if record.type == "submitted":
+            self._unresolved.add(record.update_id)
+        elif record.type in OUTCOME_TYPES:
+            self._unresolved.discard(record.update_id)
+
+    # ------------------------------------------------------------------
+    # append path
+    # ------------------------------------------------------------------
+    @property
+    def active_segment(self) -> Path:
+        return self._segments[-1].path
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def unresolved_ids(self) -> set[int]:
+        """Submitted update ids with no outcome record yet."""
+        return set(self._unresolved)
+
+    def append(self, payload: dict, *, sync: bool | None = None) -> Record:
+        """Append one record; durable per the fsync policy before return.
+
+        ``sync=True`` forces an fsync regardless of policy (used for
+        outcome records under ``interval`` so acknowledgements are never
+        reported before they are durable); ``sync=False`` never syncs.
+        """
+        with self._lock:
+            if self._handle is None:
+                raise JournalError("journal is closed")
+            trip("journal.append")
+            registry = get_registry()
+            frame = encode_record(payload)
+            record = Record(
+                type=payload["type"],
+                payload=payload,
+                segment=self.active_segment.name,
+                offset=self._handle.tell(),
+            )
+            self._handle.write(frame)
+            self._handle.flush()
+            self._segments[-1].note(record)
+            self._note_resolution(record)
+            registry.counter("journal.records_appended").add(1)
+            registry.counter("journal.bytes_appended").add(len(frame))
+            if sync is None:
+                sync = self.fsync_policy == "always" or (
+                    self.fsync_policy == "interval"
+                    and time.monotonic() - self._last_fsync
+                    >= self.fsync_interval_seconds
+                )
+            if sync:
+                self._fsync()
+            if self._handle.tell() >= self.segment_max_bytes:
+                self._rotate()
+            return record
+
+    def sync(self) -> None:
+        """Force an fsync of the active segment."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                self._fsync()
+
+    def _fsync(self) -> None:
+        os.fsync(self._handle.fileno())
+        self._last_fsync = time.monotonic()
+        get_registry().counter("journal.fsyncs").add(1)
+
+    def _rotate(self) -> None:
+        trip("journal.rotate")
+        self._handle.close()
+        seq = int(SEGMENT_PATTERN.match(self.active_segment.name).group(1))
+        info = _SegmentInfo(self.directory / _segment_name(seq + 1))
+        info.path.touch()
+        self._segments.append(info)
+        self._handle = info.path.open("ab")
+        get_registry().counter("journal.segments_rotated").add(1)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def records(self) -> list[Record]:
+        """Every record currently on disk, in append order."""
+        out: list[Record] = []
+        with self._lock:
+            for info in self._segments:
+                data = info.path.read_bytes()
+                try:
+                    out.extend(iter_frames(data, segment=info.path.name))
+                except TornTail as torn:  # pragma: no cover - defensive;
+                    # the open-time scan already truncated any torn tail.
+                    raise JournalCorruption(
+                        "unreadable record during re-read",
+                        segment=info.path.name,
+                        offset=torn.offset,
+                    ) from None
+        return out
+
+    # ------------------------------------------------------------------
+    # checkpoint-driven pruning
+    # ------------------------------------------------------------------
+    def prune(self, last_update_id: int) -> int:
+        """Delete full segments made redundant by a checkpoint.
+
+        A non-active segment can go once every update it mentions is
+        resolved and covered by the checkpoint (``<= last_update_id``)
+        — nothing in it would ever be replayed.  Returns the number of
+        segments removed.
+        """
+        removed = 0
+        with self._lock:
+            keep: list[_SegmentInfo] = []
+            for info in self._segments[:-1]:
+                unresolved_here = info.submitted_ids & self._unresolved
+                if (
+                    info.max_update_id <= last_update_id
+                    and not unresolved_here
+                ):
+                    info.path.unlink(missing_ok=True)
+                    removed += 1
+                else:
+                    keep.append(info)
+            self._segments = keep + self._segments[-1:]
+        if removed:
+            get_registry().counter("journal.segments_pruned").add(removed)
+        return removed
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                try:
+                    self._fsync()
+                except (OSError, ValueError):  # pragma: no cover - teardown
+                    pass
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "DEFAULT_SEGMENT_MAX_BYTES",
+    "FSYNC_POLICIES",
+    "Journal",
+    "SEGMENT_PATTERN",
+]

@@ -48,10 +48,16 @@ from .degrade import (
     set_degradation,
 )
 from .faults import (
+    CRASH_ENV_VAR,
+    CRASH_EXIT_STATUS,
     KERNEL_SITES,
     MAINTENANCE_SITES,
+    SERVE_SITES,
     Fault,
     FaultInjected,
+    arm_crash,
+    arm_crash_from_env,
+    disarm_crashes,
     faults_active,
     inject_faults,
     trip,
@@ -61,6 +67,8 @@ __all__ = [
     "Budget",
     "BudgetExhausted",
     "CHECK_STRIDE",
+    "CRASH_ENV_VAR",
+    "CRASH_EXIT_STATUS",
     "CountResult",
     "DEGRADATION_LADDER",
     "Deadline",
@@ -70,9 +78,13 @@ __all__ = [
     "GedResult",
     "KERNEL_SITES",
     "MAINTENANCE_SITES",
+    "SERVE_SITES",
     "ResilienceError",
     "RolledBack",
     "anytime_degradation",
+    "arm_crash",
+    "arm_crash_from_env",
+    "disarm_crashes",
     "budget_check",
     "current_budget",
     "degradation_count",

@@ -29,6 +29,7 @@ failing schedule reproduces exactly from the seed.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from contextlib import contextmanager
@@ -60,6 +61,26 @@ KERNEL_SITES = (
     "ged.bipartite",
     "vf2.search",
     "fct.mine",
+)
+
+#: Crash points on the serving/journal path, in the order one update
+#: flows through them.  ``python -m repro crashtest`` kills a live serve
+#: process at each of these and asserts recovery restores an
+#: oracle-identical head with zero lost committed rounds (see
+#: docs/ROBUSTNESS.md, "Crash injection").
+SERVE_SITES = (
+    # admission: before / after the submitted record is durable
+    "serve.submit.pre_journal",
+    "serve.submit.post_journal",
+    # one round: dequeue -> apply -> journal outcome -> publish -> ack
+    "serve.round.pre_apply",
+    "serve.round.post_apply",
+    "serve.round.post_journal",
+    "serve.publish.post",
+    # journal internals
+    "journal.append",
+    "journal.rotate",
+    "journal.checkpoint",
 )
 
 
@@ -120,9 +141,62 @@ class _ActivePlan:
 # The single (module-level) active plan; ``trip`` is a no-op while None.
 _active: _ActivePlan | None = None
 
+# Armed hard-crash sites: site -> remaining hits to skip before dying.
+# Kept separate from the plan machinery so a child process can arm one
+# crash for its whole lifetime (via REPRO_CRASH_SITE) without colliding
+# with the no-nesting rule of :func:`inject_faults`.
+_crash_sites: dict[str, int] = {}
+
+#: Exit status a crash fault dies with (mirrors SIGKILL's shell status,
+#: so harnesses can tell an injected crash from an ordinary failure).
+CRASH_EXIT_STATUS = 137
+
+#: Environment variable the crashtest harness sets in the child serve
+#: process: ``site`` or ``site:skip`` (skip = hits to survive first).
+CRASH_ENV_VAR = "REPRO_CRASH_SITE"
+
+
+def arm_crash(site: str, after: int = 0) -> None:
+    """Arm a hard crash (``os._exit``) at the *after+1*-th hit of *site*."""
+    _crash_sites[site] = after
+
+
+def disarm_crashes() -> None:
+    """Remove every armed crash site (test teardown)."""
+    _crash_sites.clear()
+
+
+def arm_crash_from_env(environ: dict | None = None) -> str | None:
+    """Arm a crash from ``REPRO_CRASH_SITE``; returns the armed site.
+
+    The value is ``site`` or ``site:skip``.  Called by the serve CLI so
+    the crashtest harness can plant a crash in a real child process with
+    nothing but an environment variable.
+    """
+    value = (environ or os.environ).get(CRASH_ENV_VAR, "").strip()
+    if not value:
+        return None
+    site, _, skip = value.partition(":")
+    arm_crash(site, int(skip) if skip else 0)
+    return site
+
+
+def _maybe_crash(site: str) -> None:
+    remaining = _crash_sites.get(site)
+    if remaining is None:
+        return
+    if remaining > 0:
+        _crash_sites[site] = remaining - 1
+        return
+    # A real crash: no cleanup, no flushing beyond what already fsynced,
+    # no exception a try/finally could intercept.
+    os._exit(CRASH_EXIT_STATUS)
+
 
 def trip(site: str) -> None:
     """Fault-injection checkpoint; no-op unless a plan is active."""
+    if _crash_sites:
+        _maybe_crash(site)
     plan = _active
     if plan is None:
         return
@@ -180,3 +254,20 @@ def inject_faults(plan: dict[str, Fault], seed: int = 0):
 def faults_active() -> bool:
     """True while an :func:`inject_faults` block is active."""
     return _active is not None
+
+
+__all__ = [
+    "CRASH_ENV_VAR",
+    "CRASH_EXIT_STATUS",
+    "Fault",
+    "FaultInjected",
+    "KERNEL_SITES",
+    "MAINTENANCE_SITES",
+    "SERVE_SITES",
+    "arm_crash",
+    "arm_crash_from_env",
+    "disarm_crashes",
+    "faults_active",
+    "inject_faults",
+    "trip",
+]

@@ -15,11 +15,24 @@ serving path, stdlib-only:
 * :mod:`repro.serve.http` — the asyncio HTTP/JSON front-end
   (``python -m repro serve``);
 * :mod:`repro.serve.bench` — the smoke gate and the ``serve-bench``
-  load generator (``BENCH_serve.json``).
+  load generator (``BENCH_serve.json``);
+* :mod:`repro.serve.crashtest` — the crash-injection harness
+  (``python -m repro crashtest``) that kills a live journaled serve
+  process at every :data:`~repro.resilience.faults.SERVE_SITES` crash
+  point and asserts oracle-clean recovery (``BENCH_recovery.json``).
+
+Durability (write-ahead journaling, checkpoints, recovery) lives in
+:mod:`repro.journal`; :class:`PatternService` wires it in when built
+with ``journal_dir=``.
 """
 
 from .http import PatternServer, ROUTES, endpoints
-from .service import PatternService, UpdateStatus
+from .service import (
+    DEFAULT_QUEUE_LIMIT,
+    HEALTH_STATES,
+    PatternService,
+    UpdateStatus,
+)
 from .snapshot import (
     PatternSnapshot,
     SnapshotLease,
@@ -29,6 +42,8 @@ from .snapshot import (
 )
 
 __all__ = [
+    "DEFAULT_QUEUE_LIMIT",
+    "HEALTH_STATES",
     "PatternServer",
     "PatternService",
     "PatternSnapshot",

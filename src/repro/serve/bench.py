@@ -37,22 +37,89 @@ from .http import PatternServer
 from .service import PatternService
 
 
+#: Per-request wall-clock deadline; a stuck server cannot hang a client
+#: loop (or the smoke gate) forever.
+DEFAULT_REQUEST_TIMEOUT = 5.0
+
+#: Initial retry backoff; doubled per attempt, jittered, capped.
+RETRY_BACKOFF_SECONDS = 0.1
+RETRY_BACKOFF_CAP_SECONDS = 2.0
+
+#: The transport failures a retry can help with (the request may or may
+#: not have reached the server — retry only what is safe to repeat).
+RETRYABLE_ERRORS = (
+    TimeoutError,
+    ConnectionError,
+    asyncio.IncompleteReadError,
+    OSError,
+)
+
+
 class HttpClient:
-    """A minimal keep-alive HTTP/1.1 JSON client (stdlib only)."""
+    """A minimal keep-alive HTTP/1.1 JSON client (stdlib only).
+
+    Every request runs under a deadline (``timeout``); a timed-out or
+    torn connection is closed immediately — its stream may hold half a
+    response — and the next request transparently reconnects.
+    :meth:`request_with_retry` adds bounded retries with jittered
+    exponential backoff for idempotent requests.
+    """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = DEFAULT_REQUEST_TIMEOUT,
     ) -> None:
-        self._reader = reader
-        self._writer = writer
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        #: Response headers of the most recent request (lower-cased keys).
+        self.last_headers: dict[str, str] = {}
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "HttpClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> "HttpClient":
+        client = cls(host, port, timeout=timeout)
+        await client._ensure_connected()
+        return client
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout
+            )
 
     async def request(
-        self, method: str, target: str, payload: dict | None = None
+        self,
+        method: str,
+        target: str,
+        payload: dict | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> tuple[int, dict]:
+        await self._ensure_connected()
+        try:
+            return await asyncio.wait_for(
+                self._roundtrip(method, target, payload),
+                timeout if timeout is not None else self.timeout,
+            )
+        except RETRYABLE_ERRORS:
+            # The connection may hold a half-read response: poison it so
+            # the next request starts fresh.
+            await self.close()
+            raise
+
+    async def _roundtrip(
+        self, method: str, target: str, payload: dict | None
     ) -> tuple[int, dict]:
         body = b""
         if payload is not None:
@@ -70,20 +137,58 @@ class HttpClient:
             raise ConnectionError("server closed the connection")
         status = int(status_line.split()[1])
         length = 0
+        headers: dict[str, str] = {}
         while True:
             raw = await self._reader.readline()
             if raw in (b"\r\n", b"\n", b""):
                 break
             name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
+        self.last_headers = headers
         data = await self._reader.readexactly(length) if length else b"{}"
         return status, json.loads(data.decode("utf-8"))
 
+    async def request_with_retry(
+        self,
+        method: str,
+        target: str,
+        payload: dict | None = None,
+        *,
+        retries: int = 2,
+        backoff_seconds: float = RETRY_BACKOFF_SECONDS,
+        rng: random.Random | None = None,
+        timeout: float | None = None,
+    ) -> tuple[int, dict]:
+        """:meth:`request` with bounded, jittered-backoff retries.
+
+        Only transport failures (timeout, torn connection) are retried —
+        an HTTP error status is a valid answer and returned as-is.  Use
+        for idempotent requests; retrying a ``POST /updates`` can apply
+        the batch twice.
+        """
+        draw = rng.random if rng is not None else random.random
+        delay = backoff_seconds
+        for attempt in range(retries + 1):
+            try:
+                return await self.request(
+                    method, target, payload, timeout=timeout
+                )
+            except RETRYABLE_ERRORS:
+                if attempt == retries:
+                    raise
+                await asyncio.sleep(delay * (0.5 + draw()))
+                delay = min(delay * 2, RETRY_BACKOFF_CAP_SECONDS)
+        raise AssertionError("unreachable")  # pragma: no cover
+
     async def close(self) -> None:
-        self._writer.close()
+        if self._writer is None:
+            return
+        writer, self._writer, self._reader = self._writer, None, None
+        writer.close()
         try:
-            await self._writer.wait_closed()
+            await writer.wait_closed()
         except (ConnectionError, OSError):
             pass
 
@@ -229,7 +334,16 @@ async def _client_loop(
     try:
         while time.monotonic() < stop_at:
             started = time.perf_counter()
-            status, body = await client.request("GET", "/patterns")
+            try:
+                status, body = await client.request_with_retry(
+                    "GET", "/patterns", rng=rng
+                )
+            except RETRYABLE_ERRORS as exc:
+                errors.append(
+                    f"GET /patterns transport failure after retries: "
+                    f"{type(exc).__name__}"
+                )
+                continue
             samples["GET /patterns"].append(
                 (time.perf_counter() - started) * 1000.0
             )
@@ -251,9 +365,18 @@ async def _client_loop(
                     f"/cover?pattern={target}",
                     f"/scov?pattern={target}",
                 ):
-                    started = time.perf_counter()
-                    status, body = await client.request("GET", endpoint)
                     label = f"GET {endpoint.split('?')[0]}"
+                    started = time.perf_counter()
+                    try:
+                        status, body = await client.request_with_retry(
+                            "GET", endpoint, rng=rng
+                        )
+                    except RETRYABLE_ERRORS as exc:
+                        errors.append(
+                            f"{label} transport failure after retries: "
+                            f"{type(exc).__name__}"
+                        )
+                        continue
                     samples[label].append(
                         (time.perf_counter() - started) * 1000.0
                     )
@@ -339,9 +462,18 @@ async def _writer_loop(
                 "deletions": deletions,
             }
             started = time.perf_counter()
-            status, body = await client.request(
-                "POST", "/updates?wait=1", payload=payload
-            )
+            try:
+                # No retry: resubmitting a non-idempotent update batch
+                # after an ambiguous failure could apply it twice.  A
+                # deadline long enough for one full maintenance round.
+                status, body = await client.request(
+                    "POST", "/updates?wait=1", payload=payload, timeout=60.0
+                )
+            except RETRYABLE_ERRORS as exc:
+                errors.append(
+                    f"POST /updates transport failure: {type(exc).__name__}"
+                )
+                continue
             samples["POST /updates"].append(
                 (time.perf_counter() - started) * 1000.0
             )
@@ -489,4 +621,126 @@ def run_bench(
     )
 
 
-__all__ = ["HttpClient", "run_bench", "run_smoke"]
+# ----------------------------------------------------------------------
+# the overload run: prove shedding, not queue growth
+# ----------------------------------------------------------------------
+async def _overload_session(
+    midas: Midas, *, queue_limit: int, writers: int, bursts: int, seed: int
+) -> dict:
+    """Hammer ``POST /updates`` far past the admission limit.
+
+    The point is the *protection*, not the throughput: the bounded
+    queue must shed with 429s (each carrying ``Retry-After``) instead
+    of growing without bound, ``/healthz`` must degrade while the
+    backlog is high, and every accepted update must still resolve.
+    """
+    service = PatternService(midas, queue_limit=queue_limit)
+    server = PatternServer(service, port=0)
+    host, port = await server.start()
+
+    generator = MoleculeGenerator(seed=seed)
+    payloads = [
+        {
+            "insertions": [graph_to_dict(generator.generate())],
+            "deletions": [],
+        }
+        for _ in range(writers * bursts)
+    ]
+    counts = {"accepted": 0, "shed": 0, "unavailable": 0, "other": 0}
+    retry_after_values: list[int] = []
+    accepted_ids: list[int] = []
+    max_queue_depth = 0
+    degraded_seen = False
+
+    async def one_writer(index: int) -> None:
+        nonlocal max_queue_depth, degraded_seen
+        client = await HttpClient.connect(host, port)
+        try:
+            for burst in range(bursts):
+                payload = payloads[index * bursts + burst]
+                status, body = await client.request(
+                    "POST", "/updates", payload=payload
+                )
+                if status == 202:
+                    counts["accepted"] += 1
+                    accepted_ids.append(body["update_id"])
+                elif status == 429:
+                    counts["shed"] += 1
+                    retry_after = client.last_headers.get("retry-after")
+                    if retry_after is not None:
+                        retry_after_values.append(int(retry_after))
+                elif status == 503:
+                    counts["unavailable"] += 1
+                else:
+                    counts["other"] += 1
+                max_queue_depth = max(
+                    max_queue_depth, service.queue_depth
+                )
+                status, body = await client.request("GET", "/healthz")
+                if body.get("status") == "degraded":
+                    degraded_seen = True
+        finally:
+            await client.close()
+
+    await asyncio.gather(*(one_writer(i) for i in range(writers)))
+    # Let the maintainer resolve everything it accepted, then stop.
+    resolved = 0
+    for update_id in accepted_ids:
+        status = await service.wait_for(update_id)
+        if status.state != "queued":
+            resolved += 1
+    await server.close()
+
+    return {
+        "figure": "serve_overload",
+        "generated_by": "python -m repro serve-bench --overload",
+        "config": {
+            "queue_limit": queue_limit,
+            "writers": writers,
+            "bursts_per_writer": bursts,
+            "seed": seed,
+            "database_size": len(midas.database),
+        },
+        "outcomes": counts,
+        "accepted_resolved": resolved,
+        "max_queue_depth_observed": max_queue_depth,
+        "queue_bounded": max_queue_depth <= queue_limit,
+        "degraded_health_observed": degraded_seen,
+        "retry_after": {
+            "present_on_all_429s": (
+                len(retry_after_values) == counts["shed"]
+            ),
+            "min_seconds": min(retry_after_values, default=0),
+            "max_seconds": max(retry_after_values, default=0),
+        },
+    }
+
+
+def run_overload(
+    midas: Midas,
+    *,
+    queue_limit: int = 4,
+    writers: int = 4,
+    bursts: int = 8,
+    seed: int = 0,
+) -> dict:
+    """Run the admission-control overload probe; returns the figure."""
+    return asyncio.run(
+        _overload_session(
+            midas,
+            queue_limit=queue_limit,
+            writers=writers,
+            bursts=bursts,
+            seed=seed,
+        )
+    )
+
+
+__all__ = [
+    "DEFAULT_REQUEST_TIMEOUT",
+    "HttpClient",
+    "RETRYABLE_ERRORS",
+    "run_bench",
+    "run_overload",
+    "run_smoke",
+]

@@ -1,0 +1,367 @@
+"""Crash-injection harness: kill a live serve process, prove recovery.
+
+``python -m repro crashtest`` is the executable form of the durability
+contract in docs/ROBUSTNESS.md.  For every crash site in
+:data:`~repro.resilience.faults.SERVE_SITES` it
+
+1. seeds a journal directory once (bootstrap → checkpoint 0), then
+   copies it so every site starts from identical durable state;
+2. spawns a **real child serve process** (``python -m repro serve
+   --journal DIR``) with ``REPRO_CRASH_SITE=<site>`` in its
+   environment — the child arms :func:`~repro.resilience.faults.
+   arm_crash` and dies with ``os._exit(137)`` the moment execution
+   reaches the site;
+3. drives updates over actual HTTP until the child drops dead
+   mid-write;
+4. runs :func:`~repro.journal.recovery.recover` over the survivor
+   directory and asserts the contract:
+
+   * recovery succeeds — torn tails truncated, every replayed commit
+     matching its journaled digest, the rebuilt head clean against a
+     fresh coverage oracle;
+   * **zero lost committed rounds**: any snapshot version a client
+     observed before the crash is ≤ the recovered head version;
+   * **zero silently dropped accepted updates**: every update the
+     client got a 202 for is either resolved in the recovered statuses
+     or re-queued as pending.
+
+The per-site recovery times land in ``BENCH_recovery.json`` (the
+scheduled-CI artefact).  ``--smoke`` runs the three cheapest sites as a
+PR gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from ..graph.io import graph_to_dict
+from ..journal import recover
+from ..resilience.faults import CRASH_ENV_VAR, CRASH_EXIT_STATUS, SERVE_SITES
+from .bench import RETRYABLE_ERRORS, HttpClient
+
+#: The PR-gate subset: one site per layer (admission / round / publish),
+#: enough to catch a broken write-ahead ordering without the full matrix.
+SMOKE_SITES = (
+    "serve.submit.post_journal",
+    "serve.round.post_journal",
+    "serve.publish.post",
+)
+
+#: Child-process knobs: tiny segments and frequent checkpoints so the
+#: rotate / checkpoint sites actually trip within a handful of updates.
+CHILD_SEGMENT_BYTES = 2048
+CHILD_CHECKPOINT_EVERY = 2
+
+#: Updates to push at the child before concluding a site never trips.
+MAX_UPDATES_PER_SITE = 12
+
+#: Hard per-site wall-clock guard (seed recovery + a dozen rounds).
+SITE_DEADLINE_SECONDS = 120.0
+
+
+def _seed_journal(directory: Path, *, seed: int) -> None:
+    """Bootstrap once and cut checkpoint 0 into *directory*."""
+    import asyncio as _asyncio
+
+    from .. import api
+    from ..datasets import aids_like
+    from ..midas.config import MidasConfig
+    from ..patterns.budget import PatternBudget
+    from .service import PatternService
+
+    midas = api.bootstrap(
+        aids_like(20, seed=seed),
+        config=MidasConfig(
+            budget=PatternBudget(3, 6, 5),
+            num_clusters=3,
+            sample_cap=40,
+            seed=seed,
+        ),
+    )
+    service = PatternService(
+        midas,
+        journal_dir=directory,
+        segment_max_bytes=CHILD_SEGMENT_BYTES,
+    )
+    _asyncio.run(service.close())
+
+
+def _spawn_child(journal_dir: Path, site: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env[CRASH_ENV_VAR] = site
+    src_root = str(Path(__file__).resolve().parent.parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, (src_root, env.get("PYTHONPATH")))
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--journal",
+            str(journal_dir),
+            "--segment-bytes",
+            str(CHILD_SEGMENT_BYTES),
+            "--checkpoint-every",
+            str(CHILD_CHECKPOINT_EVERY),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+
+
+def _wait_for_address(child: subprocess.Popen, deadline: float) -> tuple:
+    """Parse ``serving on http://host:port`` from the child's stdout."""
+    while time.monotonic() < deadline:
+        line = child.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"child exited (code {child.poll()}) before binding"
+            )
+        if "serving on http://" in line:
+            address = line.split("http://", 1)[1].split()[0]
+            host, _, port = address.partition(":")
+            return host, int(port)
+    raise TimeoutError("child never reported its address")
+
+
+async def _drive_until_crash(
+    host: str, port: int, child: subprocess.Popen, *, seed: int
+) -> tuple[list[int], int]:
+    """Submit updates until the child dies; return (acked ids, max version).
+
+    Uses no-wait submits so the 202 acknowledgement maps one-to-one to
+    "the submitted record is durable", and observes committed progress
+    through ``GET /patterns`` — any version a reader saw must survive.
+    """
+    from ..datasets.molecules import MoleculeGenerator
+
+    generator = MoleculeGenerator(seed=seed)
+    acked: list[int] = []
+    max_observed_version = 0
+    client = await HttpClient.connect(host, port, timeout=30.0)
+    try:
+        for _ in range(MAX_UPDATES_PER_SITE):
+            payload = {
+                "insertions": [graph_to_dict(generator.generate())],
+                "deletions": [],
+            }
+            try:
+                status, body = await client.request(
+                    "POST", "/updates", payload=payload
+                )
+                if status == 202:
+                    acked.append(body["update_id"])
+                status, body = await client.request("GET", "/patterns")
+                if status == 200:
+                    max_observed_version = max(
+                        max_observed_version, body["version"]
+                    )
+            except RETRYABLE_ERRORS:
+                if child.poll() is not None:
+                    break
+                await asyncio.sleep(0.2)
+                continue
+            # Give the background round a moment so round-side sites
+            # trip while we are still watching.
+            await asyncio.sleep(0.1)
+            if child.poll() is not None:
+                break
+    finally:
+        await client.close()
+    return acked, max_observed_version
+
+
+def _verify_site(
+    journal_dir: Path,
+    acked: list[int],
+    max_observed_version: int,
+) -> tuple[dict, list[str]]:
+    """Recover the survivor directory and check the contract."""
+    failures: list[str] = []
+    started = time.perf_counter()
+    try:
+        recovered = recover(journal_dir)
+    except Exception as exc:  # noqa: BLE001 - a recovery failure IS the
+        # finding this harness exists to surface.
+        return (
+            {"recovery_seconds": time.perf_counter() - started},
+            [f"recovery failed: {type(exc).__name__}: {exc}"],
+        )
+    recovery_seconds = time.perf_counter() - started
+    if recovered.head_version < max_observed_version:
+        failures.append(
+            f"lost committed round: a client observed version "
+            f"{max_observed_version} but recovery only reached "
+            f"{recovered.head_version}"
+        )
+    pending_ids = {update_id for update_id, _ in recovered.pending}
+    for update_id in acked:
+        if (
+            update_id not in recovered.statuses
+            and update_id not in pending_ids
+        ):
+            failures.append(
+                f"dropped accepted update {update_id}: acknowledged with "
+                f"202 but neither resolved nor pending after recovery"
+            )
+    detail = {
+        "recovery_seconds": recovery_seconds,
+        "head_version": recovered.head_version,
+        "max_observed_version": max_observed_version,
+        "acked_updates": len(acked),
+        "resolved_after_recovery": sum(
+            1 for update_id in acked if update_id in recovered.statuses
+        ),
+        "pending_after_recovery": len(recovered.pending),
+        "replayed_commits": recovered.replayed_commits,
+        "records_scanned": recovered.records_scanned,
+    }
+    recovered.journal.close()
+    return detail, failures
+
+
+def _run_one_site(workdir: Path, seed_dir: Path, site: str, seed: int) -> dict:
+    site_dir = workdir / site.replace(".", "_")
+    shutil.copytree(seed_dir, site_dir)
+    deadline = time.monotonic() + SITE_DEADLINE_SECONDS
+    child = _spawn_child(site_dir, site)
+    result: dict = {"site": site}
+    try:
+        host, port = _wait_for_address(child, deadline)
+        acked, max_version = asyncio.run(
+            _drive_until_crash(host, port, child, seed=seed)
+        )
+        try:
+            exit_code = child.wait(
+                timeout=max(1.0, deadline - time.monotonic())
+            )
+        except subprocess.TimeoutExpired:
+            child.kill()
+            child.wait()
+            result["failures"] = [
+                f"site never tripped within {MAX_UPDATES_PER_SITE} updates"
+            ]
+            return result
+        result["exit_code"] = exit_code
+        failures: list[str] = []
+        if exit_code != CRASH_EXIT_STATUS:
+            failures.append(
+                f"child exited {exit_code}, expected injected-crash "
+                f"status {CRASH_EXIT_STATUS}"
+            )
+        detail, verify_failures = _verify_site(site_dir, acked, max_version)
+        result.update(detail)
+        result["failures"] = failures + verify_failures
+        return result
+    except Exception as exc:  # noqa: BLE001 - harness-level failure for
+        # this site; report it and keep the matrix going.
+        result["failures"] = [f"harness error: {type(exc).__name__}: {exc}"]
+        return result
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait()
+        if child.stdout is not None:
+            child.stdout.close()
+
+
+def run_crashtest(
+    sites: tuple[str, ...] | None = None,
+    *,
+    smoke: bool = False,
+    out: str | None = "BENCH_recovery.json",
+    seed: int = 0,
+) -> int:
+    """Run the crash matrix; returns 0 only if every site recovers clean."""
+    if sites is None:
+        sites = SMOKE_SITES if smoke else SERVE_SITES
+    unknown = [site for site in sites if site not in SERVE_SITES]
+    if unknown:
+        print(f"unknown crash sites: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    workdir = Path(tempfile.mkdtemp(prefix="repro-crashtest-"))
+    seed_dir = workdir / "seed"
+    print(f"seeding journal state under {workdir} ...", flush=True)
+    started = time.perf_counter()
+    _seed_journal(seed_dir, seed=seed)
+    print(
+        f"seed ready in {time.perf_counter() - started:.1f}s; "
+        f"running {len(sites)} crash sites",
+        flush=True,
+    )
+
+    results = []
+    for site in sites:
+        result = _run_one_site(workdir, seed_dir, site, seed)
+        results.append(result)
+        verdict = "ok" if not result.get("failures") else "FAIL"
+        recovery = result.get("recovery_seconds")
+        recovery_text = f"{recovery:.2f}s" if recovery is not None else "-"
+        print(
+            f"  {site:<28} {verdict:<5} "
+            f"exit={result.get('exit_code', '?'):<4} "
+            f"recovery={recovery_text:<7} "
+            f"replayed={result.get('replayed_commits', '-')} "
+            f"pending={result.get('pending_after_recovery', '-')}",
+            flush=True,
+        )
+        for failure in result.get("failures", []):
+            print(f"      {failure}", flush=True)
+
+    failed = [r for r in results if r.get("failures")]
+    figure = {
+        "figure": "recovery",
+        "generated_by": "python -m repro crashtest"
+        + (" --smoke" if smoke else ""),
+        "config": {
+            "sites": list(sites),
+            "seed": seed,
+            "segment_max_bytes": CHILD_SEGMENT_BYTES,
+            "checkpoint_every": CHILD_CHECKPOINT_EVERY,
+            "max_updates_per_site": MAX_UPDATES_PER_SITE,
+        },
+        "sites": results,
+        "summary": {
+            "sites_run": len(results),
+            "sites_clean": len(results) - len(failed),
+            "recovery_seconds_max": max(
+                (
+                    r["recovery_seconds"]
+                    for r in results
+                    if "recovery_seconds" in r
+                ),
+                default=0.0,
+            ),
+        },
+    }
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(figure, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {out}", flush=True)
+    shutil.rmtree(workdir, ignore_errors=True)
+    if failed:
+        print(
+            f"crashtest: {len(failed)}/{len(results)} sites FAILED",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"crashtest: all {len(results)} sites recovered clean")
+    return 0
+
+
+__all__ = ["SMOKE_SITES", "run_crashtest"]

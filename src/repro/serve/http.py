@@ -16,7 +16,8 @@ Design constraints:
   reader ever observing it (see docs/SERVING.md, "Snapshot isolation");
 * **structured errors** — failures return
   ``{"error": {"code": ..., "message": ...}}`` with conventional HTTP
-  statuses (400, 404, 405, 413, 500).
+  statuses (400, 404, 405, 413, 429, 500, 503); a 429 carries a
+  ``Retry-After`` header with the service's drain-time estimate.
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ import time
 from dataclasses import dataclass
 from urllib.parse import parse_qs, urlsplit
 
+from ..exceptions import ServiceOverloaded, ServiceUnavailable
 from ..graph.database import BatchUpdate
 from ..graph.io import FormatError, graph_from_dict
 from ..obs import get_registry, metrics_snapshot
@@ -43,18 +45,27 @@ REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
 class HttpError(Exception):
     """A structured, client-visible request failure."""
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.headers = headers or {}
 
     def payload(self) -> dict:
         return {"error": {"code": self.code, "message": self.message}}
@@ -201,9 +212,25 @@ def _parse_update(payload: dict) -> BatchUpdate:
 async def handle_updates(
     service: PatternService, request: Request
 ) -> tuple[int, dict]:
-    """POST /updates — submit a BatchUpdate; ``?wait=1`` for the outcome."""
+    """POST /updates — submit a BatchUpdate; ``?wait=1`` for the outcome.
+
+    Overload and availability map onto transport semantics here: a full
+    admission queue is a 429 with ``Retry-After`` (back off and resend),
+    a draining / dead / breaker-open service is a 503 (this process will
+    not take the write; resubmit after recovery).
+    """
     update = _parse_update(request.json_body())
-    status = service.submit(update)
+    try:
+        status = service.submit(update)
+    except ServiceOverloaded as exc:
+        raise HttpError(
+            429,
+            "overloaded",
+            str(exc),
+            headers={"Retry-After": str(int(round(exc.retry_after)))},
+        ) from None
+    except ServiceUnavailable as exc:
+        raise HttpError(503, "unavailable", str(exc)) from None
     if request.flag_param("wait"):
         status = await service.wait_for(status.update_id)
         return 200, status.to_dict()
@@ -213,16 +240,23 @@ async def handle_updates(
 async def handle_healthz(
     service: PatternService, request: Request
 ) -> tuple[int, dict]:
-    """GET /healthz — liveness, head version, queue depth."""
+    """GET /healthz — the health state machine, head version, queue depth.
+
+    ``ok`` and ``degraded`` answer 200 (the process still serves reads
+    and takes writes); ``draining`` and ``dead`` answer 503 so load
+    balancers stop routing to it.
+    """
+    payload = service.health()
     with service.store.pin() as lease:
-        return 200, {
-            "status": "ok",
-            "version": lease.snapshot.version,
-            "patterns": len(lease.snapshot.patterns),
-            "database_size": lease.snapshot.database_size,
-            "queue_depth": service.queue_depth,
-            "uptime_seconds": time.time() - service.started_at,
-        }
+        payload.update(
+            {
+                "version": lease.snapshot.version,
+                "patterns": len(lease.snapshot.patterns),
+                "database_size": lease.snapshot.database_size,
+            }
+        )
+    status = 503 if payload["status"] in ("draining", "dead") else 200
+    return status, payload
 
 
 async def handle_metricz(
@@ -252,15 +286,23 @@ def endpoints() -> list[str]:
 # the server
 # ----------------------------------------------------------------------
 def _encode_response(
-    status: int, payload: dict, *, keep_alive: bool
+    status: int,
+    payload: dict,
+    *,
+    keep_alive: bool,
+    headers: dict[str, str] | None = None,
 ) -> bytes:
     body = json.dumps(payload, sort_keys=True).encode("utf-8")
     connection = "keep-alive" if keep_alive else "close"
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {REASONS.get(status, 'OK')}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {connection}\r\n"
+        f"{extra}"
         f"\r\n"
     )
     return head.encode("latin-1") + body
@@ -378,9 +420,14 @@ class PatternServer:
                     request.headers.get("connection", "keep-alive").lower()
                     != "close"
                 )
-                status, payload = await self._dispatch(request)
+                status, payload, headers = await self._dispatch(request)
                 writer.write(
-                    _encode_response(status, payload, keep_alive=keep_alive)
+                    _encode_response(
+                        status,
+                        payload,
+                        keep_alive=keep_alive,
+                        headers=headers,
+                    )
                 )
                 await writer.drain()
                 if not keep_alive:
@@ -394,7 +441,9 @@ class PatternServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _dispatch(self, request: Request) -> tuple[int, dict]:
+    async def _dispatch(
+        self, request: Request
+    ) -> tuple[int, dict, dict[str, str]]:
         registry = get_registry()
         registry.counter("serve.requests").add(1)
         started = time.perf_counter()
@@ -412,16 +461,17 @@ class PatternServer:
                 raise HttpError(
                     404, "not_found", f"unknown path {request.path!r}"
                 )
-            return await handler(self.service, request)
+            status, payload = await handler(self.service, request)
+            return status, payload, {}
         except HttpError as exc:
             registry.counter("serve.errors").add(1)
-            return exc.status, exc.payload()
+            return exc.status, exc.payload(), exc.headers
         except Exception as exc:  # noqa: BLE001 - boundary: never kill the
             # connection loop on a handler bug; surface it as a 500.
             registry.counter("serve.errors").add(1)
             return 500, HttpError(
                 500, "internal_error", f"{type(exc).__name__}: {exc}"
-            ).payload()
+            ).payload(), {}
         finally:
             registry.histogram("serve.request_ms").record(
                 (time.perf_counter() - started) * 1000.0

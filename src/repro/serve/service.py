@@ -1,7 +1,6 @@
 """The pattern-serving service: reads off snapshots, writes via a queue.
 
-:class:`PatternService` glues the three pieces of the serving story
-together:
+:class:`PatternService` glues the serving story together:
 
 * it owns a bootstrapped :class:`~repro.midas.maintainer.Midas` — the
   single writer of maintained state;
@@ -14,6 +13,33 @@ together:
   a worker thread so the asyncio event loop keeps answering reads while
   MIDAS maintains in the background.
 
+On top of the PR-6 behaviour this adds the durability and overload
+story of docs/ROBUSTNESS.md:
+
+* **write-ahead journaling** (``journal_dir=``): a submitted update is
+  appended to the :class:`~repro.journal.segments.Journal` *before* it
+  is acknowledged, every round outcome is journaled *before* the commit
+  publishes or the waiter wakes, and a pickled-state checkpoint is cut
+  every ``checkpoint_every`` commits so restart replay stays bounded.
+  On construction with an initialised journal directory the service
+  *recovers*: deterministic replay through ``Midas.apply_update``,
+  digest cross-checks against every journaled commit, re-queued
+  unresolved updates, and a fresh-oracle verification of the head;
+* **admission control**: the update queue is bounded; a full queue
+  sheds the write (:class:`~repro.exceptions.ServiceOverloaded` → HTTP
+  429 with ``Retry-After``) instead of growing without bound;
+* **a supervised writer**: the maintenance loop catches per-round
+  surprises (a ``failed`` status, never a silent death), a supervisor
+  restarts a crashed loop with capped exponential backoff, and a
+  circuit breaker holds new writes off after ``breaker_threshold``
+  consecutive round failures;
+* **a health state machine** — ``ok`` / ``degraded`` / ``draining`` /
+  ``dead`` — surfaced by ``GET /healthz`` (503 once draining or dead);
+* **graceful shutdown**: :meth:`close` drains the queue when there is
+  no journal (nothing may be dropped) and relies on the journal
+  otherwise (pending updates are already durable and will be re-queued
+  by recovery on the next start).
+
 The HTTP layer (:mod:`repro.serve.http`) never touches the maintainer:
 every read handler pins a snapshot and answers from it alone.
 """
@@ -22,18 +48,66 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from ..exceptions import ConfigurationError, ReproError, RolledBack
+from ..exceptions import (
+    ConfigurationError,
+    ReproError,
+    RolledBack,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
 from ..graph.database import BatchUpdate
+from ..journal import (
+    Journal,
+    checkpoint_record,
+    committed_record,
+    load_latest_checkpoint,
+    outcome_record,
+    recover,
+    snapshot_digest,
+    submitted_record,
+    write_checkpoint,
+)
 from ..midas.maintainer import Midas
 from ..obs import get_registry
+from ..resilience.faults import trip
 from .snapshot import PatternSnapshot, SnapshotStore, build_snapshot
 
 #: Submitted updates an operator can still query the status of; older
-#: entries are evicted FIFO (the queue itself is never bounded by this).
+#: *resolved* entries are evicted FIFO — unresolved (queued) entries are
+#: never trimmed, however old, so ``wait_for`` cannot strand.
 STATUS_BACKLOG = 1024
+
+#: Default bound on the update queue (admission control).
+DEFAULT_QUEUE_LIMIT = 256
+
+#: Queue occupancy above which health degrades (fraction of the limit).
+QUEUE_HIGH_WATERMARK = 0.8
+
+#: Consecutive round failures before the circuit breaker opens.
+BREAKER_THRESHOLD = 5
+
+#: Seconds the breaker stays open before letting one probe round through.
+BREAKER_COOLDOWN_SECONDS = 5.0
+
+#: Writer-loop crash restarts before the service declares itself dead.
+MAX_WRITER_RESTARTS = 5
+
+#: Initial supervisor backoff; doubles per restart up to the cap.
+RESTART_BACKOFF_SECONDS = 0.05
+RESTART_BACKOFF_CAP_SECONDS = 2.0
+
+#: Committed rounds between snapshot checkpoints (replay bound).
+CHECKPOINT_EVERY = 8
+
+#: Numeric encoding of the health states (the ``serve.health`` gauge).
+HEALTH_STATES = ("ok", "degraded", "draining", "dead")
+
+_DRAIN = object()  # queue sentinel: clean writer shutdown
 
 
 @dataclass
@@ -41,7 +115,7 @@ class UpdateStatus:
     """The lifecycle record of one submitted batch update."""
 
     update_id: int
-    state: str  # queued | applied | rejected | rolled_back | aborted
+    state: str  # queued | applied | rejected | rolled_back | aborted | failed
     detail: str = ""
     #: Snapshot version this update published (``applied`` only).
     version: int | None = None
@@ -64,18 +138,112 @@ class UpdateStatus:
 
 
 class PatternService:
-    """Snapshot-isolated serving facade over one :class:`Midas` maintainer."""
+    """Snapshot-isolated serving facade over one :class:`Midas` maintainer.
 
-    def __init__(self, midas: Midas) -> None:
-        self.midas = midas
+    Without ``journal_dir`` the service is memory-only (the PR-6
+    behaviour).  With it, every accepted update and every round outcome
+    is journaled; pass a directory that already holds a checkpoint and
+    the constructor *recovers* the previous incarnation's state instead
+    of using *midas* (which may then be ``None``).
+    """
+
+    def __init__(
+        self,
+        midas: Midas | None,
+        *,
+        journal_dir: str | Path | None = None,
+        fsync: str = "always",
+        segment_max_bytes: int | None = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        breaker_threshold: int = BREAKER_THRESHOLD,
+        breaker_cooldown_seconds: float = BREAKER_COOLDOWN_SECONDS,
+        checkpoint_every: int = CHECKPOINT_EVERY,
+        max_restarts: int = MAX_WRITER_RESTARTS,
+    ) -> None:
         self.store = SnapshotStore()
         self.started_at = time.time()
-        self._ids = itertools.count(1)
-        self._queue: asyncio.Queue[tuple[int, BatchUpdate]] = asyncio.Queue()
+        self.queue_limit = queue_limit
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_seconds = breaker_cooldown_seconds
+        self.checkpoint_every = checkpoint_every
+        self.max_restarts = max_restarts
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
         self._statuses: dict[int, UpdateStatus] = {}
         self._events: dict[int, asyncio.Event] = {}
-        self._maintainer: asyncio.Task | None = None
-        self.store.publish(self._freeze(version=1))
+        self._writer: asyncio.Task | None = None
+        self._supervisor: asyncio.Task | None = None
+        self._draining = False
+        self._dead = False
+        self._dead_reason = ""
+        self._restarting = False
+        self._writer_restarts = 0
+        self._breaker_state = "closed"  # closed | open | half_open
+        self._breaker_opened_at = 0.0
+        self._consecutive_failures = 0
+        self._round_seconds_ema = 0.5
+        self._journal_lock = threading.Lock()
+        self._commits_since_checkpoint = 0
+        self._checkpoint_seq = 0
+        self._last_checkpoint_update_id = 0
+
+        self.journal: Journal | None = None
+        self.journal_dir = Path(journal_dir) if journal_dir else None
+        recovered = None
+        if self.journal_dir is not None and (
+            load_latest_checkpoint(self.journal_dir) is not None
+        ):
+            recovered = recover(
+                self.journal_dir,
+                fsync=fsync,
+                segment_max_bytes=segment_max_bytes,
+            )
+        if recovered is not None:
+            self.midas = recovered.midas
+            self.journal = recovered.journal
+            self._ids = itertools.count(recovered.next_update_id)
+            self._checkpoint_seq = recovered.checkpoint.checkpoint_id + 1
+            self._last_checkpoint_update_id = (
+                recovered.checkpoint.last_update_id
+            )
+            self._commits_since_checkpoint = recovered.replayed_commits
+            self.store.publish(recovered.head)
+            self.last_recovery = recovered
+            for update_id, payload in sorted(recovered.statuses.items()):
+                status = UpdateStatus(
+                    update_id=update_id,
+                    state=payload["state"],
+                    detail=payload.get("detail", ""),
+                    version=payload.get("version"),
+                    inserted_ids=payload.get("inserted_ids", []),
+                    deleted_ids=payload.get("deleted_ids", []),
+                )
+                self._statuses[update_id] = status
+            for update_id, update in recovered.pending:
+                status = UpdateStatus(update_id=update_id, state="queued")
+                self._statuses[update_id] = status
+                self._events[update_id] = asyncio.Event()
+                self._queue.put_nowait((update_id, update))
+            self._trim_backlog()
+        else:
+            if midas is None:
+                raise ConfigurationError(
+                    "no maintainer given and the journal directory holds "
+                    "no checkpoint to recover from"
+                )
+            self.midas = midas
+            self._ids = itertools.count(1)
+            self.last_recovery = None
+            if self.journal_dir is not None:
+                journal_kwargs = {"fsync": fsync}
+                if segment_max_bytes is not None:
+                    journal_kwargs["segment_max_bytes"] = segment_max_bytes
+                self.journal = Journal(self.journal_dir, **journal_kwargs)
+            self.store.publish(self._freeze(version=1))
+            if self.journal is not None:
+                # Checkpoint 0: the bootstrap state, so recovery never
+                # needs to re-run CATAPULT++.
+                self._write_checkpoint()
+        self._sync_health_gauge()
 
     # ------------------------------------------------------------------
     # snapshot construction (runs on the maintainer side only)
@@ -93,33 +261,159 @@ class PatternService:
         )
 
     # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    @property
+    def health_state(self) -> str:
+        """``ok`` | ``degraded`` | ``draining`` | ``dead``."""
+        if self._dead:
+            return "dead"
+        if self._draining:
+            return "draining"
+        if (
+            self._breaker_state != "closed"
+            or self._restarting
+            or self._queue.qsize()
+            >= max(1, int(self.queue_limit * QUEUE_HIGH_WATERMARK))
+        ):
+            return "degraded"
+        return "ok"
+
+    def health(self) -> dict:
+        """The ``/healthz`` body (status code is the transport's job)."""
+        state = self.health_state
+        payload = {
+            "status": state,
+            "queue_depth": self.queue_depth,
+            "queue_limit": self.queue_limit,
+            "breaker": self._breaker_state,
+            "consecutive_failures": self._consecutive_failures,
+            "writer_restarts": self._writer_restarts,
+            "uptime_seconds": time.time() - self.started_at,
+        }
+        if self._dead_reason:
+            payload["detail"] = self._dead_reason
+        if self.journal is not None:
+            payload["journal"] = {
+                "segments": self.journal.segment_count,
+                "unresolved": len(self.journal.unresolved_ids()),
+                "fsync": self.journal.fsync_policy,
+            }
+        return payload
+
+    def _sync_health_gauge(self) -> None:
+        get_registry().gauge("serve.health").set(
+            HEALTH_STATES.index(self.health_state)
+        )
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Start the background maintenance loop (idempotent)."""
-        if self._maintainer is None or self._maintainer.done():
-            self._maintainer = asyncio.get_running_loop().create_task(
-                self._maintain_loop()
+        """Start the supervised maintenance loop (idempotent)."""
+        if self._supervisor is None or self._supervisor.done():
+            self._supervisor = asyncio.get_running_loop().create_task(
+                self._supervise()
             )
 
-    async def close(self) -> None:
-        """Stop the maintenance loop; pending updates stay queued."""
-        if self._maintainer is not None:
-            self._maintainer.cancel()
+    async def close(self, *, drain: bool | None = None) -> None:
+        """Stop the writer; drain or journal pending updates, never drop.
+
+        ``drain=None`` picks the safe default: drain the queue fully
+        when there is no journal (an accepted update would otherwise
+        vanish), skip draining when there is one (every pending update
+        is already durable and recovery will re-queue it).
+        """
+        if drain is None:
+            drain = self.journal is None
+        self._draining = True
+        self._sync_health_gauge()
+        writer_alive = (
+            self._supervisor is not None
+            and not self._supervisor.done()
+            and not self._dead
+        )
+        if writer_alive:
+            if drain:
+                await self._queue.join()
+            # Hand the loop its shutdown sentinel and wait for a clean
+            # exit — never cancel a round mid-flight.
+            self._queue.put_nowait(_DRAIN)
             try:
-                await self._maintainer
+                await self._supervisor
+            except asyncio.CancelledError:  # pragma: no cover - teardown
+                pass
+        elif self._supervisor is not None:
+            if self._writer is not None and not self._writer.done():
+                self._writer.cancel()
+            self._supervisor.cancel()
+            try:
+                await self._supervisor
             except asyncio.CancelledError:
                 pass
-            self._maintainer = None
+        self._supervisor = None
+        self._writer = None
+        if self.journal is not None:
+            if drain:
+                # Everything resolved: cut a final checkpoint so the
+                # next start replays nothing.
+                self._write_checkpoint()
+            self.journal.close()
 
     # ------------------------------------------------------------------
     # the write path
     # ------------------------------------------------------------------
     def submit(self, update: BatchUpdate) -> UpdateStatus:
-        """Queue *update* for the background maintainer; returns queued
-        status immediately (use :meth:`wait_for` for the outcome)."""
+        """Admission-controlled enqueue for the background maintainer.
+
+        Returns queued status immediately (use :meth:`wait_for` for the
+        outcome).  Raises :class:`ServiceUnavailable` while draining,
+        dead or with the breaker open, and :class:`ServiceOverloaded`
+        when the bounded queue is full — with the journal attached the
+        acknowledgement implied by a normal return is durable: the
+        ``submitted`` record was appended first.
+        """
         registry = get_registry()
+        if self._draining:
+            raise ServiceUnavailable(
+                "service is draining for shutdown", reason="draining"
+            )
+        if self._dead:
+            raise ServiceUnavailable(
+                f"maintenance writer is dead: {self._dead_reason}",
+                reason="writer_dead",
+            )
+        if self._breaker_state == "open":
+            # The breaker half-opens at the admission edge: once the
+            # cooldown has elapsed the next submit becomes the probe
+            # round (the writer-side cooldown only covers items that
+            # were already queued when the breaker opened).
+            elapsed = time.monotonic() - self._breaker_opened_at
+            if elapsed >= self.breaker_cooldown_seconds:
+                self._breaker_state = "half_open"
+                registry.gauge("serve.breaker_state").set(2)
+                self._sync_health_gauge()
+            else:
+                registry.counter("serve.updates_shed").add(1)
+                raise ServiceUnavailable(
+                    f"circuit breaker open after "
+                    f"{self._consecutive_failures} consecutive round "
+                    f"failures",
+                    reason="circuit_open",
+                )
+        if self._queue.qsize() >= self.queue_limit:
+            registry.counter("serve.updates_shed").add(1)
+            self._sync_health_gauge()
+            raise ServiceOverloaded(
+                f"update queue is full ({self.queue_limit} pending)",
+                retry_after=self._retry_after(),
+            )
         update_id = next(self._ids)
+        trip("serve.submit.pre_journal")
+        if self.journal is not None:
+            with self._journal_lock:
+                self.journal.append(submitted_record(update_id, update))
+        trip("serve.submit.post_journal")
         status = UpdateStatus(update_id=update_id, state="queued")
         self._statuses[update_id] = status
         self._events[update_id] = asyncio.Event()
@@ -128,6 +422,11 @@ class PatternService:
         registry.gauge("serve.queue_depth").set(self._queue.qsize())
         self._trim_backlog()
         return status
+
+    def _retry_after(self) -> float:
+        """Seconds a shed client should wait: the estimated drain time."""
+        estimate = self._queue.qsize() * self._round_seconds_ema
+        return min(30.0, max(1.0, estimate))
 
     def status_of(self, update_id: int) -> UpdateStatus | None:
         return self._statuses.get(update_id)
@@ -138,6 +437,11 @@ class PatternService:
         if event is not None:
             await event.wait()
         status = self._statuses.get(update_id)
+        if status is None and event is not None:
+            # Resolved and then trimmed from the backlog between the
+            # event firing and this waiter waking: the resolution is
+            # parked on the event itself.
+            status = getattr(event, "result", None)
         if status is None:
             raise KeyError(f"unknown update id {update_id}")
         return status
@@ -147,59 +451,237 @@ class PatternService:
         return self._queue.qsize()
 
     def _trim_backlog(self) -> None:
-        while len(self._statuses) > STATUS_BACKLOG:
-            oldest = next(iter(self._statuses))
-            self._statuses.pop(oldest, None)
-            self._events.pop(oldest, None)
+        """Evict old *resolved* statuses; never an unresolved one.
+
+        A queued (unresolved) entry must survive arbitrarily long —
+        evicting it would strand ``wait_for`` callers and lose the
+        operator's only handle on an accepted update.  Resolved entries
+        park their outcome on the event object first, so a waiter that
+        races the eviction still gets its answer.
+        """
+        if len(self._statuses) <= STATUS_BACKLOG:
+            return
+        for update_id in list(self._statuses):
+            if len(self._statuses) <= STATUS_BACKLOG:
+                break
+            if self._statuses[update_id].state == "queued":
+                continue
+            del self._statuses[update_id]
+            self._events.pop(update_id, None)
+
+    def _resolve(self, update_id: int, status: UpdateStatus) -> None:
+        self._statuses[update_id] = status
+        event = self._events.get(update_id)
+        if event is not None:
+            event.result = status  # survives backlog eviction
+            event.set()
 
     # ------------------------------------------------------------------
-    # the maintenance loop
+    # the supervised maintenance loop
     # ------------------------------------------------------------------
+    async def _supervise(self) -> None:
+        """Run the writer; restart it on a crash with capped backoff."""
+        registry = get_registry()
+        backoff = RESTART_BACKOFF_SECONDS
+        while True:
+            self._writer = asyncio.get_running_loop().create_task(
+                self._maintain_loop()
+            )
+            try:
+                await self._writer
+                return  # drained cleanly
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - the loop machinery
+                # itself crashed (not a round failure — those are caught
+                # inside); restart it unless we're out of restarts.
+                self._writer_restarts += 1
+                registry.counter("serve.writer_restarts").add(1)
+                if self._writer_restarts > self.max_restarts:
+                    self._declare_dead(
+                        f"writer crashed {self._writer_restarts} times; "
+                        f"last: {type(exc).__name__}: {exc}"
+                    )
+                    return
+                self._restarting = True
+                self._sync_health_gauge()
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, RESTART_BACKOFF_CAP_SECONDS)
+                self._restarting = False
+                self._sync_health_gauge()
+
+    def _declare_dead(self, reason: str) -> None:
+        self._dead = True
+        self._dead_reason = reason
+        get_registry().counter("serve.writer_deaths").add(1)
+        self._sync_health_gauge()
+        # Tell every in-memory waiter; with a journal the updates stay
+        # unresolved on disk and recovery re-queues them (at-least-once).
+        for update_id, status in list(self._statuses.items()):
+            if status.state == "queued":
+                self._resolve(
+                    update_id,
+                    UpdateStatus(
+                        update_id,
+                        "failed",
+                        detail=f"maintenance writer dead: {reason}",
+                    ),
+                )
+
     async def _maintain_loop(self) -> None:
         loop = asyncio.get_running_loop()
         registry = get_registry()
         while True:
-            update_id, update = await self._queue.get()
+            item = await self._queue.get()
+            if item is _DRAIN:
+                self._queue.task_done()
+                return
+            update_id, update = item
             registry.gauge("serve.queue_depth").set(self._queue.qsize())
-            status = await loop.run_in_executor(
-                None, self._apply_one, update_id, update
+            if self._breaker_state == "open":
+                await self._breaker_cooldown()
+            started = time.perf_counter()
+            try:
+                status = await loop.run_in_executor(
+                    None, self._apply_one, update_id, update
+                )
+            except Exception as exc:  # noqa: BLE001 - an unexpected
+                # failure (journal append, publish, a maintainer bug
+                # outside the transactional wrapper) must never kill the
+                # writer silently while /healthz keeps reporting ok.
+                registry.counter("serve.updates_failed").add(1)
+                status = UpdateStatus(
+                    update_id,
+                    "failed",
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+                self._journal_outcome_best_effort(update_id, status)
+            self._round_seconds_ema = (
+                0.8 * self._round_seconds_ema
+                + 0.2 * (time.perf_counter() - started)
             )
-            self._statuses[update_id] = status
-            event = self._events.get(update_id)
-            if event is not None:
-                event.set()
+            self._note_round_outcome(status)
+            self._resolve(update_id, status)
             self._queue.task_done()
 
+    def _journal_outcome_best_effort(
+        self, update_id: int, status: UpdateStatus
+    ) -> None:
+        if self.journal is None:
+            return
+        try:
+            with self._journal_lock:
+                self.journal.append(
+                    outcome_record(update_id, "failed", status.detail),
+                    sync=True,
+                )
+        except Exception:  # noqa: BLE001 - best effort: the update then
+            # stays unresolved in the journal and is retried on recovery.
+            pass
+
+    # --- circuit breaker ----------------------------------------------
+    def _note_round_outcome(self, status: UpdateStatus) -> None:
+        registry = get_registry()
+        if status.state == "applied":
+            self._consecutive_failures = 0
+            if self._breaker_state != "closed":
+                self._breaker_state = "closed"
+                registry.counter("serve.breaker_closed").add(1)
+        elif status.state in ("rolled_back", "aborted", "failed"):
+            self._consecutive_failures += 1
+            if (
+                self._breaker_state == "half_open"
+                or self._consecutive_failures >= self.breaker_threshold
+            ):
+                if self._breaker_state != "open":
+                    registry.counter("serve.breaker_opened").add(1)
+                self._breaker_state = "open"
+                self._breaker_opened_at = time.monotonic()
+        # "rejected" is a client error: neither failure nor success.
+        registry.gauge("serve.breaker_state").set(
+            ("closed", "open", "half_open").index(self._breaker_state)
+        )
+        self._sync_health_gauge()
+
+    async def _breaker_cooldown(self) -> None:
+        """Hold the writer while the breaker is open; then half-open."""
+        remaining = self.breaker_cooldown_seconds - (
+            time.monotonic() - self._breaker_opened_at
+        )
+        if remaining > 0:
+            await asyncio.sleep(remaining)
+        self._breaker_state = "half_open"
+        get_registry().gauge("serve.breaker_state").set(2)
+        self._sync_health_gauge()
+
+    # ------------------------------------------------------------------
+    # one round (worker-thread side)
+    # ------------------------------------------------------------------
     def _apply_one(self, update_id: int, update: BatchUpdate) -> UpdateStatus:
         """One maintenance round, worker-thread side.
 
         Only a committed round builds and publishes a snapshot; every
         failure path leaves the published head exactly as it was, which
-        is the serving half of the PR-2 transactional guarantee.
+        is the serving half of the PR-2 transactional guarantee.  With
+        a journal, the outcome record is durable *before* the commit
+        publishes or any waiter observes it — the write-ahead property
+        the crash harness (`python -m repro crashtest`) asserts.
         """
         registry = get_registry()
+        trip("serve.round.pre_apply")
         try:
             report = self.midas.apply_update(update)
         except ConfigurationError as exc:
             registry.counter("serve.updates_rejected").add(1)
-            return UpdateStatus(update_id, "rejected", detail=str(exc))
+            return self._journaled_failure(
+                UpdateStatus(update_id, "rejected", detail=str(exc))
+            )
         except RolledBack as exc:
             registry.counter("serve.updates_rolled_back").add(1)
-            return UpdateStatus(update_id, "rolled_back", detail=str(exc))
+            return self._journaled_failure(
+                UpdateStatus(update_id, "rolled_back", detail=str(exc))
+            )
         except ReproError as exc:
             registry.counter("serve.updates_rejected").add(1)
-            return UpdateStatus(
-                update_id,
-                "rejected",
-                detail=f"{type(exc).__name__}: {exc}",
+            return self._journaled_failure(
+                UpdateStatus(
+                    update_id,
+                    "rejected",
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
             )
         if report.aborted:
             registry.counter("serve.updates_aborted").add(1)
-            return UpdateStatus(
-                update_id, "aborted", detail=report.abort_reason or ""
+            return self._journaled_failure(
+                UpdateStatus(
+                    update_id, "aborted", detail=report.abort_reason or ""
+                )
             )
-        snapshot = self.store.publish(self._freeze(self.store.version + 1))
+        trip("serve.round.post_apply")
+        version = self.store.version + 1
+        snapshot = self._freeze(version)
+        if self.journal is not None:
+            with self._journal_lock:
+                self.journal.append(
+                    committed_record(
+                        update_id,
+                        version=version,
+                        inserted_ids=list(report.inserted_ids),
+                        deleted_ids=list(report.deleted_ids),
+                        head_digest=snapshot_digest(snapshot),
+                    ),
+                    sync=True,
+                )
+        trip("serve.round.post_journal")
+        self.store.publish(snapshot)
+        trip("serve.publish.post")
         registry.counter("serve.updates_applied").add(1)
+        self._commits_since_checkpoint += 1
+        if (
+            self.journal is not None
+            and self._commits_since_checkpoint >= self.checkpoint_every
+        ):
+            self._write_checkpoint(last_update_id=update_id)
         return UpdateStatus(
             update_id,
             "applied",
@@ -208,5 +690,63 @@ class PatternService:
             deleted_ids=list(report.deleted_ids),
         )
 
+    def _journaled_failure(self, status: UpdateStatus) -> UpdateStatus:
+        if self.journal is not None:
+            with self._journal_lock:
+                self.journal.append(
+                    outcome_record(
+                        status.update_id, status.state, status.detail
+                    ),
+                    sync=True,
+                )
+        return status
 
-__all__ = ["PatternService", "STATUS_BACKLOG", "UpdateStatus"]
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def _write_checkpoint(self, last_update_id: int | None = None) -> None:
+        """Cut a snapshot checkpoint and prune fully-covered segments."""
+        if self.journal is None or self.journal_dir is None:
+            return
+        if last_update_id is None:
+            last_update_id = self._last_checkpoint_update_id
+        checkpoint_id = self._checkpoint_seq
+        write_checkpoint(
+            self.journal_dir,
+            checkpoint_id=checkpoint_id,
+            midas=self.midas,
+            version=self.store.version,
+            last_update_id=last_update_id,
+            next_update_id=self._peek_next_id(),
+        )
+        with self._journal_lock:
+            self.journal.append(
+                checkpoint_record(
+                    checkpoint_id,
+                    version=self.store.version,
+                    last_update_id=last_update_id,
+                ),
+                sync=True,
+            )
+            self.journal.prune(last_update_id)
+        self._checkpoint_seq += 1
+        self._last_checkpoint_update_id = last_update_id
+        self._commits_since_checkpoint = 0
+
+    def _peek_next_id(self) -> int:
+        """The next update id without consuming it."""
+        value = next(self._ids)
+        self._ids = itertools.chain([value], self._ids)
+        return value
+
+
+__all__ = [
+    "BREAKER_THRESHOLD",
+    "CHECKPOINT_EVERY",
+    "DEFAULT_QUEUE_LIMIT",
+    "HEALTH_STATES",
+    "MAX_WRITER_RESTARTS",
+    "PatternService",
+    "STATUS_BACKLOG",
+    "UpdateStatus",
+]

@@ -194,10 +194,19 @@ class SnapshotStore:
             return self._current
 
     def publish(self, snapshot: PatternSnapshot) -> PatternSnapshot:
-        """Atomically replace the head; versions must increase by one."""
+        """Atomically replace the head; versions must increase by one.
+
+        The *first* publish accepts any version ≥ 1 so a recovered
+        service can re-seat the journal-replayed head at the version it
+        had reached before the crash; every later publish must be
+        exactly head + 1.
+        """
         registry = get_registry()
         with self._lock:
-            expected = (self._current.version + 1) if self._current else 1
+            if self._current is None:
+                expected = snapshot.version if snapshot.version >= 1 else 1
+            else:
+                expected = self._current.version + 1
             if snapshot.version != expected:
                 raise ValueError(
                     f"snapshot version {snapshot.version} out of order; "

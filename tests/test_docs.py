@@ -8,9 +8,10 @@ Four guarantees:
   as a string literal somewhere under src/repro — the catalogue cannot
   drift from the instrumentation;
 * the reverse, for the execution-layer namespaces: every ``parallel.*``
-  / ``cache.*`` / ``covindex.*`` / ``vf2.*`` / ``check.*`` metric
-  literal under src/repro is catalogued in OBSERVABILITY.md — the
-  instrumentation cannot drift from the catalogue;
+  / ``cache.*`` / ``covindex.*`` / ``vf2.*`` / ``check.*`` / ``serve.*``
+  / ``journal.*`` metric literal under src/repro is catalogued in
+  OBSERVABILITY.md — the instrumentation cannot drift from the
+  catalogue;
 * the invariant catalogue in docs/CORRECTNESS.md matches the guard
   names raised by ``repro.check.invariants``, in both directions;
 * every kernel named in docs/PERFORMANCE.md's kernel table is a real
@@ -107,12 +108,21 @@ def test_documented_span_exists_in_source(name, source_text):
 
 
 EXECUTION_METRIC_PATTERN = re.compile(
-    r'"((?:parallel|cache|covindex|vf2|check|serve)\.[a-z_][a-z_.]*)"'
+    r'"((?:parallel|cache|covindex|vf2|check|serve|journal)\.'
+    r'[a-z_][a-z_.]*)"'
 )
 
+
+def _serve_site_names() -> set[str]:
+    from repro.resilience.faults import SERVE_SITES
+
+    return set(SERVE_SITES)
+
+
 # Budget-check and fault-injection site names share the dotted spelling
-# but are not metrics.
-EXECUTION_SITE_NAMES = {"parallel.map", "vf2.search"}
+# but are not metrics; the crash-injection sites on the serving path
+# (``SERVE_SITES``) are excluded the same way.
+EXECUTION_SITE_NAMES = {"parallel.map", "vf2.search"} | _serve_site_names()
 
 DOTTED_NAME_PATTERN = re.compile(r'"([a-z_]+(?:\.[a-z_]+)+)"')
 

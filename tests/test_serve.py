@@ -366,3 +366,332 @@ class TestRouteTable:
             assert f"{method} {path}" in listed
             assert re.fullmatch(r"(GET|POST)", method)
             assert path.startswith("/")
+
+
+# ----------------------------------------------------------------------
+# overload protection, the supervised writer and the health states
+# ----------------------------------------------------------------------
+class TestOverloadProtection:
+    def test_full_queue_sheds_with_retry_after(self, frozen_midas):
+        from repro.exceptions import ServiceOverloaded
+
+        async def scenario():
+            registry = get_registry()
+            shed_before = registry.counter("serve.updates_shed").value
+            service = PatternService(frozen_midas, queue_limit=2)
+            # Writer never started: the queue only fills.
+            service.submit(family_injection(1, seed=1))
+            service.submit(family_injection(1, seed=2))
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                service.submit(family_injection(1, seed=3))
+            assert 1.0 <= excinfo.value.retry_after <= 30.0
+            assert (
+                registry.counter("serve.updates_shed").value
+                == shed_before + 1
+            )
+            # 2/2 queued is past the high watermark: health degrades.
+            assert service.health_state == "degraded"
+
+        asyncio.run(scenario())
+
+    def test_draining_and_dead_reject_submits(self, frozen_midas):
+        from repro.exceptions import ServiceUnavailable
+
+        async def scenario():
+            service = PatternService(frozen_midas)
+            service._draining = True
+            assert service.health_state == "draining"
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                service.submit(family_injection(1, seed=1))
+            assert excinfo.value.reason == "draining"
+            service._draining = False
+            service._declare_dead("test")
+            assert service.health_state == "dead"
+            with pytest.raises(ServiceUnavailable) as excinfo:
+                service.submit(family_injection(1, seed=1))
+            assert excinfo.value.reason == "writer_dead"
+
+        asyncio.run(scenario())
+
+    def test_run_overload_sheds_and_resolves(self):
+        from repro.serve.bench import run_overload
+
+        figure = run_overload(
+            make_midas(), queue_limit=2, writers=2, bursts=4, seed=3
+        )
+        outcomes = figure["outcomes"]
+        assert outcomes["shed"] > 0
+        assert figure["queue_bounded"]
+        assert figure["retry_after"]["present_on_all_429s"]
+        assert figure["accepted_resolved"] == outcomes["accepted"]
+
+
+class TestWriterResilience:
+    def test_unexpected_round_exception_yields_failed_status(self):
+        midas = make_midas()
+
+        async def scenario():
+            registry = get_registry()
+            failed_before = registry.counter("serve.updates_failed").value
+            service = PatternService(midas)
+            await service.start()
+            original = midas.apply_update
+            midas.apply_update = lambda update: (_ for _ in ()).throw(
+                RuntimeError("surprise outside the transactional wrapper")
+            )
+            try:
+                status = service.submit(family_injection(1, seed=4))
+                status = await service.wait_for(status.update_id)
+                assert status.state == "failed"
+                assert "surprise" in status.detail
+                assert (
+                    registry.counter("serve.updates_failed").value
+                    == failed_before + 1
+                )
+                # The writer survived: a good update still applies.
+                midas.apply_update = original
+                status = service.submit(family_injection(1, seed=5))
+                status = await service.wait_for(status.update_id)
+                assert status.state == "applied"
+            finally:
+                midas.apply_update = original
+                await service.close()
+
+        asyncio.run(scenario())
+
+    def test_breaker_opens_after_consecutive_failures(self):
+        from repro.exceptions import ServiceUnavailable
+
+        midas = make_midas()
+
+        async def scenario():
+            service = PatternService(
+                midas,
+                breaker_threshold=2,
+                breaker_cooldown_seconds=60.0,
+            )
+            await service.start()
+            original = midas.apply_update
+            midas.apply_update = lambda update: (_ for _ in ()).throw(
+                RuntimeError("round failure")
+            )
+            try:
+                for seed in (6, 7):
+                    status = service.submit(family_injection(1, seed=seed))
+                    status = await service.wait_for(status.update_id)
+                    assert status.state == "failed"
+                assert service._breaker_state == "open"
+                assert service.health_state == "degraded"
+                with pytest.raises(ServiceUnavailable) as excinfo:
+                    service.submit(family_injection(1, seed=8))
+                assert excinfo.value.reason == "circuit_open"
+            finally:
+                midas.apply_update = original
+                await service.close()
+
+        asyncio.run(scenario())
+
+    def test_breaker_recloses_after_cooldown_probe(self):
+        midas = make_midas()
+
+        async def scenario():
+            service = PatternService(
+                midas,
+                breaker_threshold=1,
+                breaker_cooldown_seconds=0.05,
+            )
+            await service.start()
+            original = midas.apply_update
+            midas.apply_update = lambda update: (_ for _ in ()).throw(
+                RuntimeError("round failure")
+            )
+            status = service.submit(family_injection(1, seed=9))
+            status = await service.wait_for(status.update_id)
+            assert status.state == "failed"
+            assert service._breaker_state == "open"
+            # Repair the maintainer; after the cooldown the next round is
+            # the half-open probe and its success recloses the breaker.
+            midas.apply_update = original
+            await asyncio.sleep(0.06)
+            status = service.submit(family_injection(1, seed=10))
+            status = await service.wait_for(status.update_id)
+            assert status.state == "applied"
+            assert service._breaker_state == "closed"
+            assert service.health_state == "ok"
+            await service.close()
+
+        asyncio.run(scenario())
+
+
+class TestBacklogTrim:
+    def test_unresolved_statuses_survive_trimming(self, frozen_midas):
+        import repro.serve.service as service_module
+
+        async def scenario(monkey_backlog: int):
+            service = PatternService(frozen_midas, queue_limit=512)
+            original = service_module.STATUS_BACKLOG
+            service_module.STATUS_BACKLOG = monkey_backlog
+            try:
+                first = service.submit(family_injection(1, seed=1))
+                # Resolve a stream of later updates; the queued first
+                # update must never be evicted however many resolve.
+                for i in range(monkey_backlog * 3):
+                    status = service.submit(family_injection(1, seed=i))
+                    service._resolve(
+                        status.update_id,
+                        service_module.UpdateStatus(
+                            status.update_id, "rejected", detail="x"
+                        ),
+                    )
+                    service._queue.get_nowait()
+                    service._trim_backlog()
+                assert service.status_of(first.update_id) is not None
+                assert (
+                    service.status_of(first.update_id).state == "queued"
+                )
+            finally:
+                service_module.STATUS_BACKLOG = original
+
+        asyncio.run(scenario(8))
+
+    def test_wait_for_survives_eviction_race(self, frozen_midas):
+        """A waiter must get its outcome even if the status was trimmed
+        between resolution and the waiter waking."""
+
+        async def scenario():
+            service = PatternService(frozen_midas)
+            status = service.submit(family_injection(1, seed=2))
+            update_id = status.update_id
+            waiter = asyncio.create_task(service.wait_for(update_id))
+            await asyncio.sleep(0)  # the waiter parks on the event
+            from repro.serve.service import UpdateStatus
+
+            service._resolve(
+                update_id, UpdateStatus(update_id, "applied", version=99)
+            )
+            # Simulate the trim racing in before the waiter wakes.
+            del service._statuses[update_id]
+            resolved = await waiter
+            assert resolved.state == "applied"
+            assert resolved.version == 99
+
+        asyncio.run(scenario())
+
+
+class TestHttpOverloadSurface:
+    def test_429_with_retry_after_header(self, frozen_midas):
+        async def scenario():
+            service = PatternService(frozen_midas, queue_limit=1)
+
+            async def parked_writer() -> None:  # deterministic shedding:
+                pass  # the queue can only fill, never drain
+
+            service.start = parked_writer
+            server = PatternServer(service, port=0)
+            host, port = await server.start()
+            client = await HttpClient.connect(host, port)
+            try:
+                status, body = await client.request(
+                    "POST", "/updates", payload={"insertions": []}
+                )
+                assert status == 202
+                status, body = await client.request(
+                    "POST", "/updates", payload={"insertions": []}
+                )
+                assert status == 429
+                assert body["error"]["code"] == "overloaded"
+                retry_after = client.last_headers.get("retry-after")
+                assert retry_after is not None and int(retry_after) >= 1
+            finally:
+                await client.close()
+                await server.close()
+
+        asyncio.run(scenario())
+
+    def test_healthz_503_when_draining(self, frozen_midas):
+        async def scenario():
+            service = PatternService(frozen_midas)
+            server = PatternServer(service, port=0)
+            host, port = await server.start()
+            client = await HttpClient.connect(host, port)
+            try:
+                status, body = await client.request("GET", "/healthz")
+                assert status == 200
+                assert body["status"] == "ok"
+                assert body["breaker"] == "closed"
+                service._draining = True
+                status, body = await client.request("GET", "/healthz")
+                assert status == 503
+                assert body["status"] == "draining"
+            finally:
+                service._draining = False
+                await client.close()
+                await server.close()
+
+        asyncio.run(scenario())
+
+    def test_503_when_dead(self, frozen_midas):
+        async def scenario():
+            service = PatternService(frozen_midas)
+            server = PatternServer(service, port=0)
+            host, port = await server.start()
+            service._declare_dead("writer crashed in test")
+            client = await HttpClient.connect(host, port)
+            try:
+                status, body = await client.request(
+                    "POST", "/updates", payload={"insertions": []}
+                )
+                assert status == 503
+                assert body["error"]["code"] == "unavailable"
+                status, body = await client.request("GET", "/healthz")
+                assert status == 503
+                assert body["status"] == "dead"
+            finally:
+                await client.close()
+                await server.close()
+
+        asyncio.run(scenario())
+
+
+class TestHttpClientDeadlines:
+    def test_request_times_out_instead_of_hanging(self):
+        async def scenario():
+            async def black_hole(reader, writer):
+                await asyncio.sleep(30)
+
+            server = await asyncio.start_server(
+                black_hole, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            client = await HttpClient.connect(
+                "127.0.0.1", port, timeout=0.2
+            )
+            try:
+                with pytest.raises(TimeoutError):
+                    await client.request("GET", "/patterns")
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_retry_reconnects_after_transport_failure(self, frozen_midas):
+        async def scenario():
+            service = PatternService(frozen_midas)
+            server = PatternServer(service, port=0)
+            host, port = await server.start()
+            client = await HttpClient.connect(host, port)
+            try:
+                # Poison the connection, then prove the retry path
+                # transparently reconnects.
+                await client.close()
+                status, body = await client.request_with_retry(
+                    "GET", "/healthz"
+                )
+                assert status == 200
+            finally:
+                await client.close()
+                await server.close()
+
+        asyncio.run(scenario())
