@@ -96,8 +96,9 @@ def iter_frames(data: bytes, *, segment: str = "") -> Iterator[Record]:
     crash artefact (last segment: truncate) or fatal corruption (any
     earlier segment).  A bad CRC *followed by more data that parses* is
     indistinguishable from a torn tail only at the tail, so the caller
-    must treat a ``TornTail`` with trailing bytes beyond one frame as
-    corruption; :meth:`repro.journal.segments.Journal.open` does.
+    must treat a ``TornTail`` with parseable frames beyond it as
+    corruption; the :class:`~repro.journal.segments.Journal` open scan
+    does, via :func:`find_frame`.
     """
     offset = 0
     size = len(data)
@@ -131,6 +132,39 @@ def iter_frames(data: bytes, *, segment: str = "") -> Iterator[Record]:
             offset=offset,
         )
         offset = body_end
+
+
+def find_frame(data: bytes, start: int) -> int | None:
+    """Byte offset of the first fully-valid frame at or after *start*.
+
+    A frame counts only when its declared length fits in *data*, its
+    CRC matches, and the body decodes to a known record type — the same
+    bar :func:`iter_frames` sets.  Distinguishes a genuine torn tail
+    (partial final frame, nothing parseable beyond it) from mid-segment
+    corruption (a damaged record with intact, fsync-acknowledged
+    records after it): the former truncates, the latter must refuse to.
+    Returns ``None`` when no such frame exists.
+    """
+    size = len(data)
+    offset = max(0, start)
+    while offset + _FRAME_HEADER.size <= size:
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        body_start = offset + _FRAME_HEADER.size
+        body_end = body_start + length
+        if body_end <= size:
+            body = data[body_start:body_end]
+            if zlib.crc32(body) == crc:
+                try:
+                    payload = json.loads(body.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    payload = None
+                if (
+                    isinstance(payload, dict)
+                    and payload.get("type") in RECORD_TYPES
+                ):
+                    return offset
+        offset += 1
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -221,6 +255,7 @@ __all__ = [
     "checkpoint_record",
     "committed_record",
     "encode_record",
+    "find_frame",
     "iter_frames",
     "outcome_record",
     "snapshot_digest",

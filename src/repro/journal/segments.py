@@ -17,9 +17,11 @@ Durability is governed by the fsync policy:
     Leave flushing to the OS page cache — benchmark mode only.
 
 Opening a journal scans every segment front to back: a partial or
-CRC-failing frame at the very tail of the *last* segment is a torn
-tail (the crash interrupted an append) and is truncated away; the same
-damage anywhere else is unrecoverable corruption and raises
+CRC-failing frame at the very tail of the *last* segment — with no
+parseable frame anywhere beyond it — is a torn tail (the crash
+interrupted an append) and is truncated away; the same damage anywhere
+else, including mid-way through the active segment with valid records
+after it, is unrecoverable corruption and raises
 :class:`~repro.exceptions.JournalCorruption` rather than silently
 dropping acknowledged records.
 """
@@ -35,7 +37,14 @@ from pathlib import Path
 from ..exceptions import JournalCorruption, JournalError
 from ..obs import get_registry
 from ..resilience.faults import trip
-from .records import OUTCOME_TYPES, Record, TornTail, encode_record, iter_frames
+from .records import (
+    OUTCOME_TYPES,
+    Record,
+    TornTail,
+    encode_record,
+    find_frame,
+    iter_frames,
+)
 
 SEGMENT_PATTERN = re.compile(r"^wal-(\d{8})\.log$")
 
@@ -125,6 +134,19 @@ class Journal:
                 if not is_last:
                     raise JournalCorruption(
                         "unreadable record before the journal tail",
+                        segment=path.name,
+                        offset=torn.offset,
+                    ) from None
+                # A true torn tail is the *end* of the stream: a crash
+                # interrupted the final append and nothing parseable can
+                # follow the partial frame.  A valid frame anywhere past
+                # the damage means mid-segment corruption — truncating
+                # would silently drop fsync-acknowledged records.
+                if find_frame(data, torn.offset + 1) is not None:
+                    raise JournalCorruption(
+                        "valid records follow an unreadable frame in "
+                        "the active segment — mid-segment corruption, "
+                        "not a torn tail",
                         segment=path.name,
                         offset=torn.offset,
                     ) from None

@@ -221,7 +221,7 @@ async def handle_updates(
     """
     update = _parse_update(request.json_body())
     try:
-        status = service.submit(update)
+        status = await service.submit(update)
     except ServiceOverloaded as exc:
         raise HttpError(
             429,

@@ -25,9 +25,13 @@ story of docs/ROBUSTNESS.md:
   *recovers*: deterministic replay through ``Midas.apply_update``,
   digest cross-checks against every journaled commit, re-queued
   unresolved updates, and a fresh-oracle verification of the head;
-* **admission control**: the update queue is bounded; a full queue
-  sheds the write (:class:`~repro.exceptions.ServiceOverloaded` → HTTP
-  429 with ``Retry-After``) instead of growing without bound;
+* **admission control**: :meth:`PatternService.submit` sheds the write
+  once ``queue_limit`` updates are already pending
+  (:class:`~repro.exceptions.ServiceOverloaded` → HTTP 429 with
+  ``Retry-After``) instead of letting the queue grow without bound —
+  the queue itself is unbounded so crash recovery can always re-queue
+  every journaled-but-unresolved update, even a backlog larger than
+  the limit;
 * **a supervised writer**: the maintenance loop catches per-round
   surprises (a ``failed`` status, never a silent death), a supervisor
   restarts a crashed loop with capped exponential backoff, and a
@@ -47,7 +51,6 @@ every read handler pins a snapshot and answers from it alone.
 from __future__ import annotations
 
 import asyncio
-import itertools
 import threading
 import time
 from dataclasses import dataclass, field
@@ -167,7 +170,13 @@ class PatternService:
         self.breaker_cooldown_seconds = breaker_cooldown_seconds
         self.checkpoint_every = checkpoint_every
         self.max_restarts = max_restarts
-        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
+        # Physically unbounded: admission control lives in submit()'s
+        # qsize() check.  Recovery may legitimately re-queue more than
+        # queue_limit journaled-but-unresolved updates (a full queue
+        # plus the in-flight round at crash time), and close() must
+        # always have room for the drain sentinel — a maxsize would
+        # turn either into an asyncio.QueueFull crash.
+        self._queue: asyncio.Queue = asyncio.Queue()
         self._statuses: dict[int, UpdateStatus] = {}
         self._events: dict[int, asyncio.Event] = {}
         self._writer: asyncio.Task | None = None
@@ -182,6 +191,12 @@ class PatternService:
         self._consecutive_failures = 0
         self._round_seconds_ema = 0.5
         self._journal_lock = threading.Lock()
+        # Guards _next_update_id: submit() allocates on the event-loop
+        # thread while _write_checkpoint() reads it from an executor
+        # worker mid-round — a plain int under a lock keeps the two
+        # from ever observing (or issuing) the same id twice.
+        self._ids_lock = threading.Lock()
+        self._next_update_id = 1
         self._commits_since_checkpoint = 0
         self._checkpoint_seq = 0
         self._last_checkpoint_update_id = 0
@@ -200,7 +215,7 @@ class PatternService:
         if recovered is not None:
             self.midas = recovered.midas
             self.journal = recovered.journal
-            self._ids = itertools.count(recovered.next_update_id)
+            self._next_update_id = recovered.next_update_id
             self._checkpoint_seq = recovered.checkpoint.checkpoint_id + 1
             self._last_checkpoint_update_id = (
                 recovered.checkpoint.last_update_id
@@ -231,7 +246,6 @@ class PatternService:
                     "no checkpoint to recover from"
                 )
             self.midas = midas
-            self._ids = itertools.count(1)
             self.last_recovery = None
             if self.journal_dir is not None:
                 journal_kwargs = {"fsync": fsync}
@@ -337,7 +351,9 @@ class PatternService:
             if drain:
                 await self._queue.join()
             # Hand the loop its shutdown sentinel and wait for a clean
-            # exit — never cancel a round mid-flight.
+            # exit — never cancel a round mid-flight.  The queue is
+            # unbounded, so the sentinel always fits even when the
+            # admission limit is reached (the drain=False journal case).
             self._queue.put_nowait(_DRAIN)
             try:
                 await self._supervisor
@@ -363,15 +379,17 @@ class PatternService:
     # ------------------------------------------------------------------
     # the write path
     # ------------------------------------------------------------------
-    def submit(self, update: BatchUpdate) -> UpdateStatus:
+    async def submit(self, update: BatchUpdate) -> UpdateStatus:
         """Admission-controlled enqueue for the background maintainer.
 
-        Returns queued status immediately (use :meth:`wait_for` for the
-        outcome).  Raises :class:`ServiceUnavailable` while draining,
-        dead or with the breaker open, and :class:`ServiceOverloaded`
-        when the bounded queue is full — with the journal attached the
-        acknowledgement implied by a normal return is durable: the
-        ``submitted`` record was appended first.
+        Returns queued status once admitted (use :meth:`wait_for` for
+        the outcome).  Raises :class:`ServiceUnavailable` while
+        draining, dead or with the breaker open, and
+        :class:`ServiceOverloaded` at the ``queue_limit`` admission
+        bound — with the journal attached the acknowledgement implied
+        by a normal return is durable: the ``submitted`` record was
+        appended (and fsynced, on a worker thread so reads keep
+        serving) before this coroutine returned.
         """
         registry = get_registry()
         if self._draining:
@@ -408,11 +426,17 @@ class PatternService:
                 f"update queue is full ({self.queue_limit} pending)",
                 retry_after=self._retry_after(),
             )
-        update_id = next(self._ids)
+        with self._ids_lock:
+            update_id = self._next_update_id
+            self._next_update_id += 1
         trip("serve.submit.pre_journal")
         if self.journal is not None:
-            with self._journal_lock:
-                self.journal.append(submitted_record(update_id, update))
+            # Append + fsync off the event loop so read traffic keeps
+            # flowing during the disk sync; awaited before the caller
+            # sees the acknowledgement, preserving write-ahead order.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._append_submitted, update_id, update
+            )
         trip("serve.submit.post_journal")
         status = UpdateStatus(update_id=update_id, state="queued")
         self._statuses[update_id] = status
@@ -422,6 +446,10 @@ class PatternService:
         registry.gauge("serve.queue_depth").set(self._queue.qsize())
         self._trim_backlog()
         return status
+
+    def _append_submitted(self, update_id: int, update: BatchUpdate) -> None:
+        with self._journal_lock:
+            self.journal.append(submitted_record(update_id, update))
 
     def _retry_after(self) -> float:
         """Seconds a shed client should wait: the estimated drain time."""
@@ -734,10 +762,9 @@ class PatternService:
         self._commits_since_checkpoint = 0
 
     def _peek_next_id(self) -> int:
-        """The next update id without consuming it."""
-        value = next(self._ids)
-        self._ids = itertools.chain([value], self._ids)
-        return value
+        """The next update id without consuming it (thread-safe)."""
+        with self._ids_lock:
+            return self._next_update_id
 
 
 __all__ = [

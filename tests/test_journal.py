@@ -154,6 +154,26 @@ class TestJournal:
             assert [r.update_id for r in journal.records()] == [0, 1, 2]
         assert active.stat().st_size == clean_size
 
+    def test_mid_segment_corruption_in_active_segment_is_fatal(
+        self, tmp_path
+    ):
+        """A CRC failure with valid frames *after* it is corruption, not
+        a torn tail — truncating there would silently drop records that
+        were fsync-acknowledged (regression: open used to truncate the
+        active segment at any TornTail offset unconditionally)."""
+        with Journal(tmp_path) as journal:
+            for i in range(4):
+                journal.append(outcome(i))
+            active = journal.active_segment
+        data = bytearray(active.read_bytes())
+        records = list(iter_frames(bytes(data), segment=active.name))
+        # Flip a byte inside the SECOND record's body: records 2 and 3
+        # still parse beyond the damage.
+        data[records[1].offset + 8] ^= 0xFF
+        active.write_bytes(bytes(data))
+        with pytest.raises(JournalCorruption):
+            Journal(tmp_path)
+
     def test_corruption_before_tail_is_fatal(self, tmp_path):
         with Journal(tmp_path, segment_max_bytes=120) as journal:
             for i in range(10):
@@ -258,7 +278,7 @@ def uninterrupted_run(tmp_path_factory):
         signatures[1] = head_signature(service.store.current())
         await service.start()
         for update in updates:
-            status = service.submit(update)
+            status = await service.submit(update)
             status = await service.wait_for(status.update_id)
             assert status.state == "applied"
             signatures[status.version] = head_signature(
@@ -397,7 +417,7 @@ class TestServiceDurability:
             )
             await service.start()
             for update in updates:
-                status = service.submit(update)
+                status = await service.submit(update)
                 status = await service.wait_for(status.update_id)
                 assert status.state == "applied"
             head = service.store.current()
@@ -423,7 +443,7 @@ class TestServiceDurability:
             service = PatternService(midas, journal_dir=tmp_path)
             # never start the writer: the submission is journaled but
             # no round runs — the "crash before the round" shape.
-            status = service.submit(update)
+            status = await service.submit(update)
             service.journal.close()
             return status.update_id
 
@@ -441,6 +461,52 @@ class TestServiceDurability:
             await service.close()
 
         asyncio.run(next_life())
+
+    def test_recovery_requeues_backlog_larger_than_queue_limit(
+        self, tmp_path
+    ):
+        """A crashed service can hold more journaled-but-unresolved
+        updates than ``queue_limit`` (a full queue plus the in-flight
+        round); recovery must re-queue all of them without tripping any
+        queue bound (regression: the maxsize-bounded queue made the
+        constructor raise asyncio.QueueFull, so the service could never
+        restart after the very overload the journal protects against)."""
+        from repro.exceptions import ServiceOverloaded
+
+        midas = make_midas()
+        updates = [family_injection(1, seed=s) for s in (1, 2, 3)]
+
+        async def first_life() -> list[int]:
+            service = PatternService(
+                midas, journal_dir=tmp_path, queue_limit=8
+            )
+            # Writer never started: every submission stays unresolved.
+            ids = []
+            for update in updates:
+                status = await service.submit(update)
+                ids.append(status.update_id)
+            service.journal.close()
+            return ids
+
+        ids = asyncio.run(first_life())
+
+        async def second_life() -> None:
+            # The recovered backlog (3) exceeds the new queue_limit (2).
+            service = PatternService(
+                None, journal_dir=tmp_path, queue_limit=2
+            )
+            assert [u for u, _ in service.last_recovery.pending] == ids
+            assert service.queue_depth == len(ids)
+            # Admission control still sheds *new* writes meanwhile.
+            with pytest.raises(ServiceOverloaded):
+                await service.submit(family_injection(1, seed=4))
+            await service.start()
+            for update_id in ids:
+                status = await service.wait_for(update_id)
+                assert status.state == "applied"
+            await service.close()
+
+        asyncio.run(second_life())
 
     def test_recovery_requires_maintainer_or_checkpoint(self, tmp_path):
         from repro.exceptions import ConfigurationError

@@ -170,7 +170,7 @@ class TestPatternService:
             try:
                 lease = service.store.pin()
                 before = signature(lease.snapshot)
-                status = service.submit(family_injection(6, seed=3))
+                status = await service.submit(family_injection(6, seed=3))
                 assert status.state == "queued"
                 final = await service.wait_for(status.update_id)
                 assert final.state == "applied"
@@ -199,14 +199,14 @@ class TestPatternService:
             try:
                 before = signature(service.store.current())
                 with inject_faults({"midas.detect": Fault(times=None)}):
-                    status = service.submit(family_injection(6, seed=3))
+                    status = await service.submit(family_injection(6, seed=3))
                     final = await service.wait_for(status.update_id)
                 assert final.state == "rolled_back"
                 assert final.version is None
                 assert service.store.version == 1
                 assert signature(service.store.current()) == before
                 # The service stays healthy: the next round commits.
-                status = service.submit(family_injection(6, seed=4))
+                status = await service.submit(family_injection(6, seed=4))
                 final = await service.wait_for(status.update_id)
                 assert final.state == "applied"
                 assert final.version == 2
@@ -380,10 +380,10 @@ class TestOverloadProtection:
             shed_before = registry.counter("serve.updates_shed").value
             service = PatternService(frozen_midas, queue_limit=2)
             # Writer never started: the queue only fills.
-            service.submit(family_injection(1, seed=1))
-            service.submit(family_injection(1, seed=2))
+            await service.submit(family_injection(1, seed=1))
+            await service.submit(family_injection(1, seed=2))
             with pytest.raises(ServiceOverloaded) as excinfo:
-                service.submit(family_injection(1, seed=3))
+                await service.submit(family_injection(1, seed=3))
             assert 1.0 <= excinfo.value.retry_after <= 30.0
             assert (
                 registry.counter("serve.updates_shed").value
@@ -391,6 +391,58 @@ class TestOverloadProtection:
             )
             # 2/2 queued is past the high watermark: health degrades.
             assert service.health_state == "degraded"
+
+        asyncio.run(scenario())
+
+    def test_close_with_full_admission_queue_shuts_down_cleanly(self):
+        """The drain sentinel must always fit, even at the admission
+        bound (regression: a maxsize-bounded queue made close() raise
+        asyncio.QueueFull exactly in the overloaded drain=False case)."""
+        import threading
+
+        midas = make_midas()
+        gate = threading.Event()
+        original = midas.apply_update
+        midas.apply_update = lambda update: (
+            gate.wait(10),
+            original(update),
+        )[1]
+
+        async def scenario():
+            service = PatternService(midas, queue_limit=1)
+            await service.start()
+            first = await service.submit(family_injection(1, seed=1))
+            # Let the writer dequeue the first update; it now blocks on
+            # the gate inside the round while the queue is empty again.
+            while service.queue_depth:
+                await asyncio.sleep(0.01)
+            second = await service.submit(family_injection(1, seed=2))
+            assert service.queue_depth == service.queue_limit
+            gate.set()
+            await service.close(drain=False)
+            assert (await service.wait_for(first.update_id)).state == (
+                "applied"
+            )
+            assert (await service.wait_for(second.update_id)).state == (
+                "applied"
+            )
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            midas.apply_update = original
+
+    def test_peek_next_id_does_not_consume(self, frozen_midas):
+        """Checkpoints peek at the id counter from a worker thread;
+        peeking must never burn or reorder ids for concurrent submits."""
+
+        async def scenario():
+            service = PatternService(frozen_midas, queue_limit=4)
+            peeked = service._peek_next_id()
+            assert service._peek_next_id() == peeked
+            status = await service.submit(family_injection(1, seed=1))
+            assert status.update_id == peeked
+            assert service._peek_next_id() == peeked + 1
 
         asyncio.run(scenario())
 
@@ -402,13 +454,13 @@ class TestOverloadProtection:
             service._draining = True
             assert service.health_state == "draining"
             with pytest.raises(ServiceUnavailable) as excinfo:
-                service.submit(family_injection(1, seed=1))
+                await service.submit(family_injection(1, seed=1))
             assert excinfo.value.reason == "draining"
             service._draining = False
             service._declare_dead("test")
             assert service.health_state == "dead"
             with pytest.raises(ServiceUnavailable) as excinfo:
-                service.submit(family_injection(1, seed=1))
+                await service.submit(family_injection(1, seed=1))
             assert excinfo.value.reason == "writer_dead"
 
         asyncio.run(scenario())
@@ -440,7 +492,7 @@ class TestWriterResilience:
                 RuntimeError("surprise outside the transactional wrapper")
             )
             try:
-                status = service.submit(family_injection(1, seed=4))
+                status = await service.submit(family_injection(1, seed=4))
                 status = await service.wait_for(status.update_id)
                 assert status.state == "failed"
                 assert "surprise" in status.detail
@@ -450,7 +502,7 @@ class TestWriterResilience:
                 )
                 # The writer survived: a good update still applies.
                 midas.apply_update = original
-                status = service.submit(family_injection(1, seed=5))
+                status = await service.submit(family_injection(1, seed=5))
                 status = await service.wait_for(status.update_id)
                 assert status.state == "applied"
             finally:
@@ -477,13 +529,13 @@ class TestWriterResilience:
             )
             try:
                 for seed in (6, 7):
-                    status = service.submit(family_injection(1, seed=seed))
+                    status = await service.submit(family_injection(1, seed=seed))
                     status = await service.wait_for(status.update_id)
                     assert status.state == "failed"
                 assert service._breaker_state == "open"
                 assert service.health_state == "degraded"
                 with pytest.raises(ServiceUnavailable) as excinfo:
-                    service.submit(family_injection(1, seed=8))
+                    await service.submit(family_injection(1, seed=8))
                 assert excinfo.value.reason == "circuit_open"
             finally:
                 midas.apply_update = original
@@ -505,7 +557,7 @@ class TestWriterResilience:
             midas.apply_update = lambda update: (_ for _ in ()).throw(
                 RuntimeError("round failure")
             )
-            status = service.submit(family_injection(1, seed=9))
+            status = await service.submit(family_injection(1, seed=9))
             status = await service.wait_for(status.update_id)
             assert status.state == "failed"
             assert service._breaker_state == "open"
@@ -513,7 +565,7 @@ class TestWriterResilience:
             # the half-open probe and its success recloses the breaker.
             midas.apply_update = original
             await asyncio.sleep(0.06)
-            status = service.submit(family_injection(1, seed=10))
+            status = await service.submit(family_injection(1, seed=10))
             status = await service.wait_for(status.update_id)
             assert status.state == "applied"
             assert service._breaker_state == "closed"
@@ -532,11 +584,11 @@ class TestBacklogTrim:
             original = service_module.STATUS_BACKLOG
             service_module.STATUS_BACKLOG = monkey_backlog
             try:
-                first = service.submit(family_injection(1, seed=1))
+                first = await service.submit(family_injection(1, seed=1))
                 # Resolve a stream of later updates; the queued first
                 # update must never be evicted however many resolve.
                 for i in range(monkey_backlog * 3):
-                    status = service.submit(family_injection(1, seed=i))
+                    status = await service.submit(family_injection(1, seed=i))
                     service._resolve(
                         status.update_id,
                         service_module.UpdateStatus(
@@ -560,7 +612,7 @@ class TestBacklogTrim:
 
         async def scenario():
             service = PatternService(frozen_midas)
-            status = service.submit(family_injection(1, seed=2))
+            status = await service.submit(family_injection(1, seed=2))
             update_id = status.update_id
             waiter = asyncio.create_task(service.wait_for(update_id))
             await asyncio.sleep(0)  # the waiter parks on the event
