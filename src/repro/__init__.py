@@ -25,10 +25,14 @@ kernels run — worker processes, result caching, deadlines, degradation:
 
 Package map
 -----------
-* :mod:`repro.api` — the supported facade: select / bootstrap / maintain;
+* :mod:`repro.api` — the supported facade: open_store / select /
+  bootstrap / maintain;
 * :mod:`repro.execution` — the shared execution policy (workers, cache,
   deadline_ms, degrade);
 * :mod:`repro.graph` — labelled graphs, canonical forms, databases, IO;
+* :mod:`repro.store` — the pluggable graph-store backends: the
+  :class:`GraphStore` API, :func:`open_store`, and the out-of-core
+  SQLite backend (docs/STORAGE.md);
 * :mod:`repro.datasets` — synthetic molecule datasets + evolution batches;
 * :mod:`repro.isomorphism` — VF2 subgraph isomorphism;
 * :mod:`repro.ged` — graph edit distance bounds and exact A*;
@@ -61,6 +65,7 @@ from .midas import (
     RandomSwapMaintainer,
 )
 from .patterns import PatternBudget, PatternSet
+from .store import GraphStore, open_store
 from . import api
 
 __version__ = "1.0.0"
@@ -72,6 +77,7 @@ __all__ = [
     "CatapultPlusPlus",
     "ExecutionConfig",
     "GraphDatabase",
+    "GraphStore",
     "LabeledGraph",
     "Midas",
     "MidasConfig",
@@ -80,5 +86,6 @@ __all__ = [
     "PatternSet",
     "RandomSwapMaintainer",
     "api",
+    "open_store",
     "__version__",
 ]

@@ -1,27 +1,40 @@
-"""The supported entry points: select, bootstrap, maintain.
+"""The supported entry points: open_store, select, bootstrap, maintain.
 
 This facade is the single documented way to drive the reproduction —
 everything else (pipeline classes, the maintainer, the kernels) is
-implementation surface that may move between releases.  The three calls
+implementation surface that may move between releases.  The calls
 mirror the lifecycle of a visual graph query interface's canned pattern
 set (paper, Sections 2–3):
 
 >>> import repro
->>> result = repro.api.select(database, repro.PatternBudget(3, 5, 8))
->>> midas = repro.api.bootstrap(database)
+>>> store = repro.api.open_store("sqlite:catalog.db")
+>>> result = repro.api.select(store, repro.PatternBudget(3, 5, 8))
+>>> midas = repro.api.bootstrap(store)
 >>> report = repro.api.maintain(midas, repro.BatchUpdate.of(insertions=[g]))
 
-Every call accepts an optional :class:`~repro.execution.ExecutionConfig`
-— the shared *how* knob bundle (workers, cache, covindex, deadline_ms,
-degrade) that replaced the per-call resilience kwargs.  Results are the existing
+``select`` and ``bootstrap`` accept any
+:class:`~repro.store.base.GraphStore` — the in-memory
+:class:`~repro.graph.database.GraphDatabase` or the out-of-core SQLite
+backend — or a store spec string/path resolved through
+:func:`open_store` (docs/STORAGE.md).  Every call accepts an optional
+:class:`~repro.execution.ExecutionConfig` — the shared *how* knob
+bundle (workers, cache, covindex, store, deadline_ms, degrade) that
+replaced the per-call resilience kwargs.  Results are the existing
 dataclasses (:class:`~repro.catapult.pipeline.CatapultResult`,
 :class:`~repro.midas.maintainer.MaintenanceReport`), so downstream code
 keeps working unchanged.
+
+The pre-1.1 signatures took the database as a keyword named
+``database``; that spelling still works through a
+:class:`DeprecationWarning` shim and will be removed in a later
+release.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
+from pathlib import Path
 
 from .catapult.pipeline import Catapult, CatapultConfig, CatapultPlusPlus, CatapultResult
 from .execution import ExecutionConfig
@@ -29,55 +42,100 @@ from .graph.database import BatchUpdate, GraphDatabase
 from .midas.config import MidasConfig
 from .midas.maintainer import MaintenanceReport, Midas
 from .patterns.budget import PatternBudget
+from .store.base import GraphStore
+from .store.base import open_store as open_store
 
 
 def _with_execution(config, execution: ExecutionConfig | None):
     return config if execution is None else replace(config, execution=execution)
 
 
+def _resolve_store(store, database, caller: str) -> GraphStore:
+    """Resolve the positional *store* argument, honouring the deprecated
+    ``database=`` keyword spelling."""
+    if database is not None:
+        if store is not None:
+            raise TypeError(
+                f"{caller}() got both 'store' and the deprecated "
+                f"'database' argument; pass one"
+            )
+        warnings.warn(
+            f"the 'database' keyword of repro.api.{caller}() is "
+            f"deprecated; pass the store positionally (any GraphStore, "
+            f"or a spec for open_store)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        store = database
+    if store is None:
+        raise TypeError(f"{caller}() missing required argument: 'store'")
+    if isinstance(store, GraphStore):
+        return store
+    if isinstance(store, (str, Path)):
+        return open_store(store)
+    raise TypeError(
+        f"{caller}() expected a GraphStore or store spec, "
+        f"got {type(store).__name__}"
+    )
+
+
 def select(
-    database: GraphDatabase,
+    store: GraphStore | str | Path | None = None,
     budget: PatternBudget | None = None,
     *,
     config: CatapultConfig | None = None,
     execution: ExecutionConfig | None = None,
     plus_plus: bool = True,
+    database: GraphDatabase | None = None,
 ) -> CatapultResult:
-    """Select a canned pattern set for *database* from scratch.
+    """Select a canned pattern set for the graphs in *store* from scratch.
 
     Parameters
     ----------
-    database:
-        The graph database to select patterns for.
+    store:
+        The graph store to select patterns for: any
+        :class:`~repro.store.base.GraphStore`, or a spec string/path
+        resolved through :func:`open_store` (``"memory"``,
+        ``"sqlite:PATH"``, a ``.json`` dataset, a ``.db`` file...).
     budget:
         Pattern budget (η_min, η_max, γ); overrides ``config.budget``
         when both are given.
     config:
         Full pipeline configuration; defaults to ``CatapultConfig()``.
     execution:
-        Execution policy override (workers, cache, covindex, deadline,
-        degrade); replaces ``config.execution`` when given.
+        Execution policy override (workers, cache, covindex, store,
+        deadline, degrade); replaces ``config.execution`` when given.
     plus_plus:
         Run CATAPULT++ (closed features + FCT/IFE indices, the variant
         MIDAS builds on) rather than baseline CATAPULT.
+    database:
+        Deprecated alias for *store* (pre-1.1 keyword spelling).
     """
+    resolved = _resolve_store(store, database, "select")
     config = config or CatapultConfig()
     if budget is not None:
         config = replace(config, budget=budget)
     config = _with_execution(config, execution)
     pipeline = CatapultPlusPlus(config) if plus_plus else Catapult(config)
-    return pipeline.run(database)
+    return pipeline.run(resolved)
 
 
 def bootstrap(
-    database: GraphDatabase,
+    store: GraphStore | str | Path | None = None,
     *,
     config: MidasConfig | None = None,
     execution: ExecutionConfig | None = None,
+    database: GraphDatabase | None = None,
 ) -> Midas:
-    """Build a maintainer over *database* with one CATAPULT++ run."""
+    """Build a maintainer over *store* with one CATAPULT++ run.
+
+    *store* is any :class:`~repro.store.base.GraphStore` or a spec for
+    :func:`open_store`; *database* is the deprecated pre-1.1 keyword
+    spelling of the same argument.
+    """
+    resolved = _resolve_store(store, database, "bootstrap")
     config = _with_execution(config or MidasConfig(), execution)
-    return Midas.bootstrap(database, config)
+    return Midas.bootstrap(resolved, config)
 
 
 def maintain(
@@ -100,4 +158,4 @@ def maintain(
     return midas.apply_update(batch)
 
 
-__all__ = ["bootstrap", "maintain", "select"]
+__all__ = ["bootstrap", "maintain", "open_store", "select"]

@@ -12,6 +12,7 @@ from . import (
     fig15,
     fig16,
     perf,
+    store,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "fig15",
     "fig16",
     "perf",
+    "store",
 ]

@@ -621,6 +621,117 @@ def serve_oracle(workload: Workload) -> Mismatch | None:
     return None
 
 
+def store_oracle(workload: Workload) -> Mismatch | None:
+    """SQLite store trajectory vs the in-memory store, byte for byte.
+
+    Drives both :class:`~repro.store.base.GraphStore` backends through
+    the same load + batch sequence and compares, after every step: id
+    allocation, the applied-update records, every stored graph's
+    canonical serialisation, the SQL-aggregate statistics, and the
+    coverage index the SQLite backend reassembles from its persisted
+    per-shard postings against a from-scratch build over the in-memory
+    view.  Also checks the shared error taxonomy (missing-deletion
+    batches fail identically and atomically) and that a close/reopen of
+    the SQLite file preserves the trajectory (durability).
+    """
+    import shutil
+    import tempfile
+
+    from ..graph.database import BatchUpdate, DatabaseError, GraphDatabase
+    from ..graph.io import graph_to_dict
+    from ..store.sqlite import SQLiteStore
+
+    def signature(store) -> tuple:
+        ids = store.ids()
+        return (
+            len(store),
+            store.next_graph_id(),
+            ids,
+            list(store),
+            tuple(graph_to_dict(store[gid])["labels"] for gid in ids),
+            tuple(tuple(graph_to_dict(store[gid])["edges"]) for gid in ids),
+            store.total_vertices(),
+            store.total_edges(),
+            sorted(store.vertex_label_alphabet()),
+            sorted(store.edge_label_document_frequency().items()),
+        )
+
+    tmp = tempfile.mkdtemp(prefix="repro-store-oracle-")
+    sql = None
+    try:
+        path = f"{tmp}/store.db"
+        sql = SQLiteStore(path)
+        mem = GraphDatabase()
+        for gid, graph in sorted(workload.graphs.items()):
+            mem.reserve_through(gid)
+            sql.reserve_through(gid)
+            assigned = (mem.add(graph), sql.add(graph))
+            if assigned != (gid, gid):
+                return Mismatch(
+                    "store",
+                    "id_allocation",
+                    {"expected": gid, "assigned": list(assigned)},
+                )
+        for step, batch in enumerate(workload.batches):
+            # Mirror Workload.views(): removals of absent ids are
+            # dropped, insertions arrive in sorted-id order.
+            update = BatchUpdate.of(
+                insertions=[batch.added[g] for g in sorted(batch.added)],
+                deletions=[g for g in batch.removed if g in mem],
+            )
+            bogus = BatchUpdate.of(deletions=[mem.next_graph_id() + 99])
+            errors = []
+            for backend in (mem, sql):
+                try:
+                    backend.apply(bogus)
+                    errors.append(None)
+                except DatabaseError as exc:
+                    errors.append(str(exc))
+            if errors[0] != errors[1] or errors[0] is None:
+                return Mismatch(
+                    "store", "error_taxonomy", {"step": step, "errors": errors}
+                )
+            records = (mem.apply(update), sql.apply(update))
+            if (
+                records[0].inserted_ids != records[1].inserted_ids
+                or records[0].deleted_ids != records[1].deleted_ids
+            ):
+                return Mismatch(
+                    "store",
+                    "applied_record",
+                    {
+                        "step": step,
+                        "memory": [
+                            records[0].inserted_ids,
+                            records[0].deleted_ids,
+                        ],
+                        "sqlite": [
+                            records[1].inserted_ids,
+                            records[1].deleted_ids,
+                        ],
+                    },
+                )
+            if signature(mem) != signature(sql):
+                return Mismatch(
+                    "store", "state_divergence", {"step": step}
+                )
+            rebuilt = CoverageIndex.build(dict(mem.items()))
+            if rebuilt != sql.coverage_index():
+                return Mismatch(
+                    "store", "persisted_postings_vs_rebuild", {"step": step}
+                )
+        final = signature(sql)
+        sql.close()
+        sql = SQLiteStore(path)
+        if signature(sql) != final:
+            return Mismatch("store", "reopen_divergence", {})
+    finally:
+        if sql is not None:
+            sql.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+    return None
+
+
 # ----------------------------------------------------------------------
 # the registry
 # ----------------------------------------------------------------------
@@ -706,6 +817,14 @@ ORACLES: dict[str, Oracle] = {
             "snapshots never drift across later publishes",
             serve_oracle,
             {"num_graphs": 4, "num_batches": 2},
+        ),
+        Oracle(
+            "store",
+            "SQLite out-of-core store vs the in-memory store: identical "
+            "id allocation, batch results, stats, persisted postings "
+            "and reopen durability",
+            store_oracle,
+            {"num_graphs": 5, "num_batches": 3},
         ),
     )
 }

@@ -50,6 +50,7 @@ from .bench.experiments import (
     fig15,
     fig16,
     perf,
+    store as store_experiment,
 )
 
 FIGURES = {
@@ -67,6 +68,10 @@ FIGURES = {
     "abl4": ("Ablation 4 — walks vs FSM", ablations.run_walks_vs_fsm),
     "perf": ("Perf — parallel determinism + cache speedup", perf.run),
     "covix": ("Covix — coverage engine equivalence + VF2 reduction", covix.run),
+    "store": (
+        "Store — out-of-core SQLite backend vs in-memory",
+        store_experiment.run,
+    ),
 }
 
 #: Per-figure wall-clock guard for ``bench --all`` when no explicit
@@ -149,6 +154,7 @@ def _execution_from_args(
         check=getattr(args, "check", "off") == "on",
         deadline_ms=deadline_ms,
         degrade=getattr(args, "degrade", "on") != "off",
+        store=getattr(args, "store", None),
     )
 
 
@@ -274,6 +280,20 @@ def _bootstrap_service(args: argparse.Namespace):
     else:
         database = dataset(args.profile, args.count, args.seed)
         source = f"synthetic {args.profile} x{args.count} (seed {args.seed})"
+    store_spec = getattr(args, "store", None)
+    if store_spec:
+        # Ingest the dataset into the requested backend so the whole
+        # serve/maintenance path runs against it (docs/STORAGE.md).
+        from .store import open_store
+
+        try:
+            backing = open_store(store_spec)
+        except (OSError, ValueError) as exc:
+            print(f"cannot open store {store_spec!r}: {exc}", file=sys.stderr)
+            return None
+        backing.ingest(dict(database.items()))
+        database = backing
+        source = f"{source} via {store_spec}"
     config = MidasConfig(
         budget=PatternBudget(args.eta_min, args.eta_max, args.gamma),
         num_clusters=args.clusters,
@@ -459,6 +479,7 @@ def cmd_crashtest(args: argparse.Namespace) -> int:
         smoke=args.smoke,
         out=args.out,
         seed=args.seed,
+        store=getattr(args, "store", None),
     )
 
 
@@ -635,6 +656,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="'on' arms the runtime invariant guards (repro.check): "
             "a violated invariant raises and rolls the maintenance "
             "round back (see docs/CORRECTNESS.md)",
+        )
+        sub.add_argument(
+            "--store",
+            metavar="SPEC",
+            default=None,
+            help="graph-store backend spec: 'memory' (default), "
+            "'sqlite:PATH' or a .db/.sqlite path for the out-of-core "
+            "backend (see docs/STORAGE.md)",
+        )
+        sub.add_argument(
+            "--backend",
+            dest="store",
+            default=argparse.SUPPRESS,
+            metavar="SPEC",
+            help=argparse.SUPPRESS,
         )
 
     demo = subparsers.add_parser("demo", help="run the quickstart demo")
@@ -891,6 +927,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_recovery.json",
         metavar="PATH",
         help="recovery-time figure output (default BENCH_recovery.json)",
+    )
+    crashtest.add_argument(
+        "--store",
+        metavar="SPEC",
+        default=None,
+        help="graph-store backend the crashed service runs against "
+        "('memory' default, 'sqlite:PATH'...; the full matrix also "
+        "exercises one SQLite-backed site on its own)",
     )
     crashtest.set_defaults(func=cmd_crashtest)
 

@@ -155,6 +155,38 @@ class CoverageEngine:
         )
 
     # ------------------------------------------------------------------
+    # verdict persistence (out-of-core warm start; docs/STORAGE.md)
+    # ------------------------------------------------------------------
+    def export_verdicts(self) -> dict[tuple, tuple[int, int]]:
+        """Per tracked pattern key, its ``(match_bits, seen_bits)``.
+
+        The persistence handshake with a durable
+        :class:`~repro.store.base.GraphStore`: the store saves these
+        bitsets per shard and a restarted engine re-imports them instead
+        of re-verifying the whole database.
+        """
+        return {
+            key: (self._match_bits[key], self._seen_bits[key])
+            for key in self._patterns
+        }
+
+    def import_verdicts(
+        self, key: tuple, match_bits: int, seen_bits: int
+    ) -> None:
+        """Warm-start verdicts for a tracked *key* from persisted bits.
+
+        Bits are intersected with the current universe so verdicts for
+        graphs that left the view since the bits were saved are dropped;
+        everything else skips re-verification.
+        """
+        if key not in self._patterns:
+            raise KeyError(f"pattern {key!r} is not tracked")
+        universe = self.index.universe_bits
+        self._match_bits[key] |= match_bits & universe
+        self._seen_bits[key] |= seen_bits & universe
+        get_registry().counter("covindex.verdicts_imported").add(1)
+
+    # ------------------------------------------------------------------
     # incremental maintenance
     # ------------------------------------------------------------------
     def apply_update(

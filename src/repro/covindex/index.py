@@ -126,6 +126,31 @@ class CoverageIndex:
         get_registry().counter("covindex.rebuilds").add(1)
         return index
 
+    @classmethod
+    def from_parts(
+        cls,
+        postings: Mapping[tuple, int],
+        keys_by_graph: Mapping[int, set[tuple]],
+    ) -> "CoverageIndex":
+        """Reassemble an index from persisted posting lists.
+
+        The out-of-core store keeps postings and per-graph key sets on
+        disk (docs/STORAGE.md); this re-creates the exact index
+        :meth:`build` would produce — same :meth:`snapshot` — without
+        re-deriving any invariant.  Empty posting lists are dropped,
+        matching the incremental-maintenance representation.
+        """
+        index = cls()
+        index._postings = {
+            key: bits for key, bits in postings.items() if bits
+        }
+        index._keys_by_graph = {
+            graph_id: set(keys) for graph_id, keys in keys_by_graph.items()
+        }
+        for graph_id in index._keys_by_graph:
+            index._universe |= 1 << graph_id
+        return index
+
     def add_graph(self, graph_id: int, graph: LabeledGraph) -> None:
         """Insert *graph_id* into every posting list it satisfies."""
         if graph_id in self._keys_by_graph:

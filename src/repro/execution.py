@@ -52,6 +52,11 @@ class ExecutionConfig:
         Whether kernels may fall down the degradation ladder under
         budget pressure (PR 2); ``False`` lets the budget exception
         propagate instead.
+    store:
+        Default graph-store spec for the wrapped scope (``"memory"``,
+        ``"sqlite:PATH"``, ...; see :func:`repro.store.open_store`).
+        ``None`` — the default — leaves the ambient spec alone, so
+        nested scopes compose like the other knobs.
     """
 
     workers: int = 1
@@ -60,6 +65,7 @@ class ExecutionConfig:
     check: bool = False
     deadline_ms: float | None = None
     degrade: bool = True
+    store: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -76,8 +82,11 @@ class ExecutionConfig:
         from .parallel.pool import shared_pool, use_pool
         from .resilience.budget import Deadline, use_budget
         from .resilience.degrade import degradation_enabled, set_degradation
+        from .store.base import use_default_store
 
         with ExitStack() as stack:
+            if self.store is not None:
+                stack.enter_context(use_default_store(self.store))
             if self.workers > 1:
                 stack.enter_context(use_pool(shared_pool(self.workers)))
             if self.cache:

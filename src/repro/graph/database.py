@@ -5,6 +5,11 @@ graphs, each with a unique integer ID (paper, Section 2.1).  Evolution is
 modelled as a :class:`BatchUpdate` — a set of graph insertions (Δ⁺) and
 deletions (Δ⁻) applied atomically (paper, Section 3.1: database changes
 arrive as periodic batches rather than as a stream).
+
+:class:`GraphDatabase` is the in-memory implementation of the
+:class:`~repro.store.base.GraphStore` contract (docs/STORAGE.md); the
+out-of-core SQLite backend lives in :mod:`repro.store.sqlite` and must
+behave identically on every operation the contract names.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
+from ..store.base import GraphStore
 from .labeled_graph import LabeledGraph
 
 
@@ -67,7 +73,7 @@ class AppliedUpdate:
     deleted_graphs: dict[int, LabeledGraph] = field(default_factory=dict)
 
 
-class GraphDatabase:
+class GraphDatabase(GraphStore):
     """A repository of labelled data graphs indexed by integer ID.
 
     Examples
@@ -116,6 +122,17 @@ class GraphDatabase:
     def items(self) -> Iterator[tuple[int, LabeledGraph]]:
         for graph_id in self.ids():
             yield graph_id, self._graphs[graph_id]
+
+    # ------------------------------------------------------------------
+    # id allocation (the public surface; see GraphStore)
+    # ------------------------------------------------------------------
+    def next_graph_id(self) -> int:
+        """The id the next :meth:`add` will assign."""
+        return self._next_id
+
+    def reserve_through(self, graph_id: int) -> None:
+        """Advance the allocator so the next assigned id is ≥ *graph_id*."""
+        self._next_id = max(self._next_id, graph_id)
 
     # ------------------------------------------------------------------
     # mutation

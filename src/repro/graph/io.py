@@ -148,18 +148,23 @@ def database_to_json(database: GraphDatabase) -> str:
     return json.dumps(payload)
 
 
-def database_from_json(text: str) -> GraphDatabase:
+def database_from_json(text: str, *, into=None) -> GraphDatabase:
+    """Parse a ``repro-graphdb-v1`` payload into a graph store.
+
+    *into* is any :class:`~repro.store.base.GraphStore` to hydrate
+    (defaults to a fresh in-memory :class:`GraphDatabase`); ids are
+    re-created faithfully through the store's public allocator
+    (:meth:`~repro.store.base.GraphStore.reserve_through`).
+    """
     payload = json.loads(text)
     if payload.get("format") != "repro-graphdb-v1":
         raise FormatError(f"unsupported format tag: {payload.get('format')!r}")
-    database = GraphDatabase()
+    database = GraphDatabase() if into is None else into
     entries = sorted(payload["graphs"].items(), key=lambda kv: int(kv[0]))
     for graph_id_text, graph_payload in entries:
         graph_id = int(graph_id_text)
         graph = graph_from_dict(graph_payload)
-        # Re-create IDs faithfully: pad the allocator up to graph_id.
-        while database._next_id < graph_id:  # noqa: SLF001 - intentional
-            database._next_id += 1
+        database.reserve_through(graph_id)
         assigned = database.add(graph)
         if assigned != graph_id:
             raise FormatError(
@@ -172,8 +177,8 @@ def write_database(path: str | Path, database: GraphDatabase) -> None:
     Path(path).write_text(database_to_json(database))
 
 
-def read_database(path: str | Path) -> GraphDatabase:
-    return database_from_json(Path(path).read_text())
+def read_database(path: str | Path, *, into=None) -> GraphDatabase:
+    return database_from_json(Path(path).read_text(), into=into)
 
 
 def iter_graph_chunks(

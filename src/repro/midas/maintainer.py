@@ -269,7 +269,13 @@ class Midas:
         self._validate_update(update)
         registry = get_registry()
         counters_before = registry.counter_values()
-        snapshot = self._snapshot_state() if self.config.transactional else None
+        snapshot = None
+        if self.config.transactional:
+            # Out-of-core stores defer their SQL commit to the round
+            # verdict (GraphStore round hooks); in-memory stores no-op
+            # and roll back through the deep-copied snapshot.
+            self.database.begin_round()
+            snapshot = self._snapshot_state()
         execution = getattr(self.config, "execution", None) or ExecutionConfig()
         round_span = None
         try:
@@ -280,6 +286,7 @@ class Midas:
             if snapshot is None:
                 raise
             self._restore_state(snapshot)
+            self.database.rollback_round()
             registry.counter("resilience.rollbacks").add(1)
             registry.counter("resilience.aborted_rounds").add(1)
             return self._aborted_report(
@@ -289,12 +296,15 @@ class Midas:
             if snapshot is None:
                 raise
             self._restore_state(snapshot)
+            self.database.rollback_round()
             registry.counter("resilience.rollbacks").add(1)
             raise RolledBack(
                 f"maintenance round rolled back after "
                 f"{type(exc).__name__}: {exc}",
                 cause=exc,
             ) from exc
+        if snapshot is not None:
+            self.database.commit_round()
         return self._finalize_report(
             outputs, round_span, registry, counters_before
         )

@@ -11,6 +11,7 @@ from .kernels import (
     ged_pairs_kernel,
     mccs_kernel,
     pairwise_ged_matrix,
+    shard_postings_kernel,
 )
 from .pool import (
     CHUNKS_PER_WORKER,
@@ -32,6 +33,7 @@ __all__ = [
     "ged_pairs_kernel",
     "mccs_kernel",
     "pairwise_ged_matrix",
+    "shard_postings_kernel",
     "shared_pool",
     "shutdown_shared_pools",
     "use_pool",

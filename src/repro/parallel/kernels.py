@@ -93,6 +93,32 @@ def candidate_score_kernel(payload, chunk):
     ]
 
 
+def shard_postings_kernel(payload, chunk):
+    """``chunk``: list of ``(shard, ((graph_id, graph), ...))`` items.
+
+    Returns one ``(shard, posting_delta, keys_by_graph)`` triple per
+    item: the covindex posting-bitset delta and the per-graph invariant
+    keys of that shard's member graphs.  Used by the SQLite store to fan
+    a large insert batch out per shard; the ordered reduction makes the
+    merged deltas identical to the serial loop at any worker count.
+    """
+    from ..covindex.index import graph_posting_keys
+
+    del payload
+    results = []
+    for shard, members in chunk:
+        posting_delta: dict = {}
+        keys_by_graph: dict = {}
+        for graph_id, graph in members:
+            keys = graph_posting_keys(graph)
+            keys_by_graph[graph_id] = sorted(keys)
+            bit = 1 << graph_id
+            for key in keys:
+                posting_delta[key] = posting_delta.get(key, 0) | bit
+        results.append((shard, posting_delta, keys_by_graph))
+    return results
+
+
 def pairwise_ged_matrix(
     graphs: list[LabeledGraph],
     method: str = "tight_lower",
@@ -129,4 +155,5 @@ __all__ = [
     "ged_pairs_kernel",
     "mccs_kernel",
     "pairwise_ged_matrix",
+    "shard_postings_kernel",
 ]

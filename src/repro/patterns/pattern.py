@@ -91,6 +91,22 @@ class PatternSet:
         return sorted(p.num_edges for p in self)
 
     # ------------------------------------------------------------------
+    # id allocation
+    # ------------------------------------------------------------------
+    def next_pattern_id(self) -> int:
+        """The id the next :meth:`add` will assign."""
+        return self._next_id
+
+    def reserve_through(self, pattern_id: int) -> None:
+        """Advance the allocator so the next assigned id is ≥ *pattern_id*.
+
+        Deserialisers use this to re-create explicit id spaces without
+        reaching into allocator internals (mirrors
+        :meth:`repro.store.base.GraphStore.reserve_through`).
+        """
+        self._next_id = max(self._next_id, pattern_id)
+
+    # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def add(self, graph: LabeledGraph, provenance: str = "") -> CannedPattern:

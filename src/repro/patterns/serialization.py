@@ -42,8 +42,7 @@ def pattern_set_from_dict(payload: dict) -> PatternSet:
     for entry in entries:
         graph = graph_from_dict(entry["graph"])
         # Preserve original IDs by advancing the allocator.
-        while patterns._next_id < entry["id"]:  # noqa: SLF001
-            patterns._next_id += 1
+        patterns.reserve_through(entry["id"])
         restored = patterns.add(graph, entry.get("provenance", ""))
         if restored.pattern_id != entry["id"]:
             raise FormatError("non-monotonic pattern ids in payload")

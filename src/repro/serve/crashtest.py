@@ -67,8 +67,15 @@ MAX_UPDATES_PER_SITE = 12
 SITE_DEADLINE_SECONDS = 120.0
 
 
-def _seed_journal(directory: Path, *, seed: int) -> None:
-    """Bootstrap once and cut checkpoint 0 into *directory*."""
+def _seed_journal(
+    directory: Path, *, seed: int, store: str | None = None
+) -> None:
+    """Bootstrap once and cut checkpoint 0 into *directory*.
+
+    With a *store* spec the bootstrap dataset is ingested into that
+    backend first, so the checkpointed maintainer — and every round the
+    recovered child replays — runs against it (docs/STORAGE.md).
+    """
     import asyncio as _asyncio
 
     from .. import api
@@ -77,8 +84,16 @@ def _seed_journal(directory: Path, *, seed: int) -> None:
     from ..patterns.budget import PatternBudget
     from .service import PatternService
 
+    database = aids_like(20, seed=seed)
+    if store:
+        from ..store import open_store
+
+        directory.mkdir(parents=True, exist_ok=True)
+        backing = open_store(store)
+        backing.ingest(dict(database.items()))
+        database = backing
     midas = api.bootstrap(
-        aids_like(20, seed=seed),
+        database,
         config=MidasConfig(
             budget=PatternBudget(3, 6, 5),
             num_clusters=3,
@@ -234,12 +249,18 @@ def _verify_site(
     return detail, failures
 
 
-def _run_one_site(workdir: Path, seed_dir: Path, site: str, seed: int) -> dict:
-    site_dir = workdir / site.replace(".", "_")
+def _run_one_site(
+    workdir: Path,
+    seed_dir: Path,
+    site: str,
+    seed: int,
+    label: str | None = None,
+) -> dict:
+    site_dir = workdir / (label or site).replace(".", "_").replace("[", "_").replace("]", "")
     shutil.copytree(seed_dir, site_dir)
     deadline = time.monotonic() + SITE_DEADLINE_SECONDS
     child = _spawn_child(site_dir, site)
-    result: dict = {"site": site}
+    result: dict = {"site": label or site}
     try:
         host, port = _wait_for_address(child, deadline)
         acked, max_version = asyncio.run(
@@ -285,8 +306,16 @@ def run_crashtest(
     smoke: bool = False,
     out: str | None = "BENCH_recovery.json",
     seed: int = 0,
+    store: str | None = None,
 ) -> int:
-    """Run the crash matrix; returns 0 only if every site recovers clean."""
+    """Run the crash matrix; returns 0 only if every site recovers clean.
+
+    *store* is a graph-store spec the seeded service runs against
+    (``None`` = in-memory).  The default full matrix additionally runs
+    one SQLite-backed site so the out-of-core round path is crash-tested
+    without doubling the matrix.
+    """
+    explicit_sites = sites is not None
     if sites is None:
         sites = SMOKE_SITES if smoke else SERVE_SITES
     unknown = [site for site in sites if site not in SERVE_SITES]
@@ -297,22 +326,33 @@ def run_crashtest(
     seed_dir = workdir / "seed"
     print(f"seeding journal state under {workdir} ...", flush=True)
     started = time.perf_counter()
-    _seed_journal(seed_dir, seed=seed)
+    _seed_journal(seed_dir, seed=seed, store=store)
     print(
         f"seed ready in {time.perf_counter() - started:.1f}s; "
-        f"running {len(sites)} crash sites",
+        f"running {len(sites)} crash sites"
+        + (f" (store {store})" if store else ""),
         flush=True,
     )
+    # (label, site, seed_dir) plan; the full default matrix appends one
+    # SQLite-backed run of the first smoke site from its own seed.
+    plan = [(site, site, seed_dir) for site in sites]
+    if store is None and not smoke and not explicit_sites:
+        sqlite_seed = workdir / "seed-sqlite"
+        sqlite_spec = f"sqlite:{sqlite_seed / 'store.db'}"
+        _seed_journal(sqlite_seed, seed=seed, store=sqlite_spec)
+        plan.append(
+            (f"{SMOKE_SITES[0]}[sqlite]", SMOKE_SITES[0], sqlite_seed)
+        )
 
     results = []
-    for site in sites:
-        result = _run_one_site(workdir, seed_dir, site, seed)
+    for label, site, site_seed_dir in plan:
+        result = _run_one_site(workdir, site_seed_dir, site, seed, label)
         results.append(result)
         verdict = "ok" if not result.get("failures") else "FAIL"
         recovery = result.get("recovery_seconds")
         recovery_text = f"{recovery:.2f}s" if recovery is not None else "-"
         print(
-            f"  {site:<28} {verdict:<5} "
+            f"  {label:<28} {verdict:<5} "
             f"exit={result.get('exit_code', '?'):<4} "
             f"recovery={recovery_text:<7} "
             f"replayed={result.get('replayed_commits', '-')} "
@@ -328,7 +368,8 @@ def run_crashtest(
         "generated_by": "python -m repro crashtest"
         + (" --smoke" if smoke else ""),
         "config": {
-            "sites": list(sites),
+            "sites": [label for label, _, _ in plan],
+            "store": store or "memory",
             "seed": seed,
             "segment_max_bytes": CHILD_SEGMENT_BYTES,
             "checkpoint_every": CHILD_CHECKPOINT_EVERY,

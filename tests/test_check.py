@@ -165,6 +165,7 @@ class TestOracleRegistry:
             "parallel",
             "scov",
             "serve",
+            "store",
             "vf2",
         }
 

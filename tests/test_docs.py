@@ -20,8 +20,9 @@ Four guarantees:
   exactly, in both directions;
 * docs/API.md matches the facade: the table lists exactly
   ``repro.api.__all__``, each row's parameter cell is exactly that
-  call's signature, and the ExecutionConfig table lists exactly the
-  dataclass fields.
+  call's signature, the ExecutionConfig table lists exactly the
+  dataclass fields, and the GraphStore method table lists exactly the
+  public methods of ``repro.store.GraphStore``.
 """
 
 import re
@@ -108,7 +109,7 @@ def test_documented_span_exists_in_source(name, source_text):
 
 
 EXECUTION_METRIC_PATTERN = re.compile(
-    r'"((?:parallel|cache|covindex|vf2|check|serve|journal)\.'
+    r'"((?:parallel|cache|covindex|vf2|check|serve|journal|store)\.'
     r'[a-z_][a-z_.]*)"'
 )
 
@@ -121,8 +122,13 @@ def _serve_site_names() -> set[str]:
 
 # Budget-check and fault-injection site names share the dotted spelling
 # but are not metrics; the crash-injection sites on the serving path
-# (``SERVE_SITES``) are excluded the same way.
-EXECUTION_SITE_NAMES = {"parallel.map", "vf2.search"} | _serve_site_names()
+# (``SERVE_SITES``) are excluded the same way, as is the default SQLite
+# filename literal "store.db".
+EXECUTION_SITE_NAMES = {
+    "parallel.map",
+    "vf2.search",
+    "store.db",
+} | _serve_site_names()
 
 DOTTED_NAME_PATTERN = re.compile(r'"([a-z_]+(?:\.[a-z_]+)+)"')
 
@@ -281,4 +287,20 @@ def test_api_execution_config_table_matches_dataclass():
     assert documented == actual, (
         f"fields undocumented: {sorted(actual - documented)}; "
         f"documented but not fields: {sorted(documented - actual)}"
+    )
+
+
+def test_api_graph_store_table_matches_class():
+    """The API.md GraphStore table lists exactly the public methods."""
+    from repro.store import GraphStore
+
+    documented = set(_api_table_rows("## GraphStore"))
+    actual = {
+        name
+        for name, member in vars(GraphStore).items()
+        if callable(member) and not name.startswith("_")
+    }
+    assert documented == actual, (
+        f"methods undocumented: {sorted(actual - documented)}; "
+        f"documented but not methods: {sorted(documented - actual)}"
     )
