@@ -1,36 +1,63 @@
-"""COVIX — coverage-engine equivalence and VF2-call reduction.
+"""COVIX — coverage-engine equivalence, VF2 reduction, substrate speedup.
 
 Not a paper figure: this driver validates the filter-then-verify
 coverage engine (:mod:`repro.covindex`) the way the perf figure
 validates the parallel and cache layers.
 
-Two full MIDAS trajectories — bootstrap plus the paper's modification
-grid applied *sequentially* — run from the same seed, one with
-``ExecutionConfig(covindex=False)`` and one with ``covindex=True``.
-After every round the algorithmic outcome is snapshotted: database IDs,
-the canonical keys of the displayed pattern set, the set-level
-scov/lcov, the batch classification and the executed swap count.  The
-two traces must be **identical** — the engine's posting-list filter and
-VF2 domain seeding only skip work whose outcome is already decided, so
-any divergence is a soundness bug and the driver raises (``repro bench``
-reports FAILED and exits non-zero; the scheduled CI job keys on this).
+Three full MIDAS trajectories — bootstrap plus the paper's modification
+grid applied *sequentially* — run from the same seed: engine off,
+engine on over the plain-int reference substrate, and engine on over
+the vectorized numpy substrate.  After every round the algorithmic
+outcome is snapshotted: database IDs, the canonical keys of the
+displayed pattern set, the set-level scov/lcov, the batch
+classification and the executed swap count.  All traces must be
+**identical** — the engine's posting-list filter and VF2 domain seeding
+only skip work whose outcome is already decided, and the substrates
+are observationally equivalent by construction, so any divergence is a
+soundness bug and the driver raises (``repro bench`` reports FAILED and
+exits non-zero; the scheduled CI job keys on this).
 
-The payoff column is ``vf2.cover_calls``: VF2 matcher invocations spent
-computing cover sets (verification loops plus the FCT prefilter's
-per-feature embedding counts) — the work the engine exists to avoid.
-The engine path must cut it by at least :data:`MIN_VF2_REDUCTION` ×,
-otherwise the figure fails — a filter that stops filtering is a silent
-perf regression.  Total ``vf2.calls`` (which also includes tree mining
-and FCT-pool support counting, subsystems the engine does not touch) is
-reported for context but not gated.
+Two payoff gates:
+
+* ``vf2.cover_calls`` — VF2 matcher invocations spent computing cover
+  sets (verification loops plus the FCT prefilter's per-feature
+  embedding counts), the work the engine exists to avoid.  The engine
+  path must cut it by at least :data:`MIN_VF2_REDUCTION` ×.
+* filter-phase wall clock — the ``covindex.filter_ns`` counter divided
+  by rounds, per substrate, published as the trend gauges
+  ``covindex.trend.filter_ns_per_round_int`` /
+  ``covindex.trend.filter_ns_per_round_numpy`` /
+  ``covindex.trend.filter_speedup``.  At gate scale
+  (``base_graphs >= MIN_GATE_GRAPHS``, i.e. ``--scale large``) the
+  numpy substrate must beat the int reference by at least
+  :data:`MIN_FILTER_SPEEDUP` ×; below that the row is informational —
+  tiny universes fit in a machine word either way and the comparison
+  is noise (docs/PERFORMANCE.md).
+
+A final probe measures what persistent workers ship across the process
+boundary: the same containment fan-out runs once through the legacy
+host-pickling kernel and once through ``contains_view_kernel`` against
+a published :class:`~repro.parallel.shared.HostView`, comparing
+``parallel.bytes_pickled`` deltas.  The view path must ship strictly
+fewer bytes (and identical verdicts); the probe is skipped on
+platforms without the ``fork`` start method.
 """
 
 from __future__ import annotations
 
 from ...cache.keys import graph_key
+from ...covindex.bitset import available_substrates
 from ...execution import ExecutionConfig
+from ...graph.labeled_graph import LabeledGraph
 from ...midas import Midas
 from ...obs import get_registry
+from ...parallel import (
+    contains_kernel,
+    contains_view_kernel,
+    publish_view,
+    retire_view,
+)
+from ...parallel.pool import KernelPool, _fork_context
 from ...patterns import pattern_set_quality
 from ..common import (
     DEFAULT_SCALE,
@@ -45,6 +72,15 @@ from ..harness import ExperimentTable
 #: ``vf2.cover_calls`` over the whole trajectory.  The small-scale
 #: workload measures well above this; the gate is the acceptance floor.
 MIN_VF2_REDUCTION = 2.0
+
+#: Minimum acceptable int/numpy filter-phase wall-clock-per-round ratio
+#: at gate scale.  Below :data:`MIN_GATE_GRAPHS` the comparison is
+#: reported but not enforced — sub-word universes make it noise.
+MIN_FILTER_SPEEDUP = 2.0
+
+#: Database size from which the filter-speedup gate arms (the ``large``
+#: bench scale qualifies; ``small``/``medium`` stay informational).
+MIN_GATE_GRAPHS = 400
 
 #: Number of batch-grid rounds applied sequentially.  Each round's grid
 #: is regenerated from the maintainer's *current* database so deletions
@@ -64,11 +100,12 @@ def _round_signature(midas: Midas) -> tuple:
 
 
 def _trajectory(
-    scale: ExperimentScale, covindex: bool
+    scale: ExperimentScale, covindex: bool, substrate: str | None = None
 ) -> tuple[list, dict[str, int]]:
     """Bootstrap + sequential batch grid; returns (trace, counter deltas)."""
     config = default_config(
-        scale, execution=ExecutionConfig(covindex=covindex)
+        scale,
+        execution=ExecutionConfig(covindex=covindex, substrate=substrate),
     )
     base = dataset("aids", scale.base_graphs, scale.seed)
     registry = get_registry()
@@ -93,11 +130,65 @@ def _trajectory(
     return trace, registry.counter_deltas(before)
 
 
-def run(scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentTable:
-    off_trace, off_counters = _trajectory(scale, covindex=False)
-    on_trace, on_counters = _trajectory(scale, covindex=True)
+def _fanout_bytes_probe(
+    scale: ExperimentScale,
+) -> tuple[int, int, bool] | None:
+    """(view_bytes, legacy_bytes, verdicts_identical) — or None w/o fork.
 
-    identical = off_trace == on_trace
+    The same containment fan-out over the same hosts, once shipping
+    only ``(graph_id, domains)`` against a published view and once
+    pickling every host graph, both through a real 2-worker pool.
+    """
+    if _fork_context() is None:
+        return None
+    count = max(16, min(scale.base_graphs, 64))
+    graphs = dict(dataset("aids", count, scale.seed).items())
+    ids = sorted(graphs)
+    pattern = LabeledGraph.from_edges({0: "C", 1: "C"}, [(0, 1)])
+    registry = get_registry()
+    view = publish_view(graphs)
+    try:
+        with KernelPool(2, force=True) as pool:
+            before = registry.counter_values()
+            view_verdicts = pool.map(
+                contains_view_kernel,
+                [(graph_id, None) for graph_id in ids],
+                payload=(view.view_id, view.generation, pattern),
+            )
+            view_bytes = registry.counter_deltas(before).get(
+                "parallel.bytes_pickled", 0
+            )
+            before = registry.counter_values()
+            legacy_verdicts = pool.map(
+                contains_kernel,
+                [graphs[graph_id] for graph_id in ids],
+                payload=pattern,
+            )
+            legacy_bytes = registry.counter_deltas(before).get(
+                "parallel.bytes_pickled", 0
+            )
+    finally:
+        retire_view(view.view_id)
+    return view_bytes, legacy_bytes, view_verdicts == legacy_verdicts
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentTable:
+    rounds = NUM_ROUNDS + 1  # bootstrap counts: it filters too
+    numpy_available = "numpy" in available_substrates()
+
+    off_trace, off_counters = _trajectory(scale, covindex=False)
+    int_trace, int_counters = _trajectory(
+        scale, covindex=True, substrate="int"
+    )
+    if numpy_available:
+        numpy_trace, numpy_counters = _trajectory(
+            scale, covindex=True, substrate="numpy"
+        )
+    else:
+        numpy_trace, numpy_counters = int_trace, int_counters
+
+    identical = off_trace == int_trace == numpy_trace
+    on_counters = numpy_counters if numpy_available else int_counters
     off_calls = off_counters.get("vf2.cover_calls", 0)
     on_calls = on_counters.get("vf2.cover_calls", 0)
     reduction = off_calls / on_calls if on_calls else float("inf")
@@ -105,17 +196,42 @@ def run(scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentTable:
     kept = on_counters.get("covindex.candidates_kept", 0)
     filtered = pruned + kept
 
+    registry = get_registry()
+    int_per_round = int_counters.get("covindex.filter_ns", 0) / rounds
+    registry.gauge("covindex.trend.filter_ns_per_round_int").set(
+        int_per_round
+    )
+    speedup_gated = numpy_available and scale.base_graphs >= MIN_GATE_GRAPHS
+    if numpy_available:
+        numpy_per_round = (
+            numpy_counters.get("covindex.filter_ns", 0) / rounds
+        )
+        speedup = (
+            int_per_round / numpy_per_round
+            if numpy_per_round
+            else float("inf")
+        )
+        registry.gauge("covindex.trend.filter_ns_per_round_numpy").set(
+            numpy_per_round
+        )
+        registry.gauge("covindex.trend.filter_speedup").set(speedup)
+    else:
+        numpy_per_round = 0.0
+        speedup = float("nan")
+
+    probe = _fanout_bytes_probe(scale)
+
     table = ExperimentTable(
         title=(
-            "Covix — coverage engine off vs on: identical results, "
+            "Covix — coverage engine off/int/numpy: identical results, "
             f"{NUM_ROUNDS}-round AIDS-like trajectory"
         ),
-        columns=["measure", "engine_off", "engine_on", "ratio", "status"],
+        columns=["measure", "baseline", "engine_on", "ratio", "status"],
     )
     table.add_row(
         "trace",
         len(off_trace),
-        len(on_trace),
+        len(numpy_trace),
         1.0,
         "identical" if identical else "MISMATCH",
     )
@@ -149,14 +265,58 @@ def run(scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentTable:
         float(on_counters.get("covindex.dirty_graphs", 0)),
         "dirty graphs in ratio column",
     )
+    if numpy_available:
+        filter_status = (
+            ("ok" if speedup >= MIN_FILTER_SPEEDUP else "BELOW_FLOOR")
+            if speedup_gated
+            else "informational (gate at large scale)"
+        )
+        table.add_row(
+            "filter_ns_per_round",
+            round(int_per_round),
+            round(numpy_per_round),
+            speedup,
+            filter_status,
+        )
+    else:
+        table.add_row(
+            "filter_ns_per_round",
+            round(int_per_round),
+            0,
+            float("nan"),
+            "numpy unavailable — int substrate only",
+        )
+    if probe is None:
+        table.add_row(
+            "fanout_bytes", 0, 0, float("nan"), "skipped (no fork)"
+        )
+    else:
+        view_bytes, legacy_bytes, verdicts_match = probe
+        bytes_ok = verdicts_match and view_bytes < legacy_bytes
+        table.add_row(
+            "fanout_bytes",
+            legacy_bytes,
+            view_bytes,
+            legacy_bytes / view_bytes if view_bytes else float("inf"),
+            (
+                "view ships less"
+                if bytes_ok
+                else ("MISMATCH" if not verdicts_match else "NO_SAVINGS")
+            ),
+        )
     table.add_note(
         "trace = per-round (db ids, pattern keys, scov, lcov, "
-        "classification, swaps); must be byte-identical engine on vs off"
+        "classification, swaps); must be byte-identical across engine "
+        "off / int substrate / numpy substrate"
+    )
+    table.add_note(
+        "filter_ns_per_round = covindex.filter_ns per trajectory round; "
+        "baseline column is the int substrate, engine_on is numpy"
     )
     if not identical:
         raise RuntimeError(
-            "covix figure failed: engine-on trajectory diverged from "
-            "engine-off (soundness bug in the coverage filter)"
+            "covix figure failed: engine/substrate trajectories diverged "
+            "(soundness bug in the coverage filter or bitset substrate)"
         )
     if reduction < MIN_VF2_REDUCTION:
         raise RuntimeError(
@@ -164,7 +324,32 @@ def run(scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentTable:
             f"{reduction:.2f}x below the {MIN_VF2_REDUCTION:.1f}x floor "
             f"({off_calls} -> {on_calls} vf2.cover_calls)"
         )
+    if speedup_gated and speedup < MIN_FILTER_SPEEDUP:
+        raise RuntimeError(
+            "covix figure failed: numpy filter-phase speedup "
+            f"{speedup:.2f}x below the {MIN_FILTER_SPEEDUP:.1f}x floor "
+            f"({int_per_round:.0f} -> {numpy_per_round:.0f} ns/round)"
+        )
+    if probe is not None:
+        view_bytes, legacy_bytes, verdicts_match = probe
+        if not verdicts_match:
+            raise RuntimeError(
+                "covix figure failed: view-kernel verdicts diverged from "
+                "the host-shipping kernel"
+            )
+        if view_bytes >= legacy_bytes:
+            raise RuntimeError(
+                "covix figure failed: view fan-out pickled "
+                f"{view_bytes} bytes, not less than the host-shipping "
+                f"baseline's {legacy_bytes}"
+            )
     return table
 
 
-__all__ = ["MIN_VF2_REDUCTION", "NUM_ROUNDS", "run"]
+__all__ = [
+    "MIN_FILTER_SPEEDUP",
+    "MIN_GATE_GRAPHS",
+    "MIN_VF2_REDUCTION",
+    "NUM_ROUNDS",
+    "run",
+]

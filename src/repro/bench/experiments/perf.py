@@ -25,6 +25,7 @@ import time
 
 from ...cache.stores import get_caches, use_caching
 from ...graphlets.distribution import GraphletDistribution
+from ...obs import get_registry
 from ...parallel.kernels import pairwise_ged_matrix
 from ...parallel.pool import KernelPool
 from ..common import DEFAULT_SCALE, ExperimentScale, dataset
@@ -63,6 +64,7 @@ def run(
     # force-disabled so an ambient ``--cache on`` cannot pre-warm the
     # worker runs and fake a speedup.
     mismatches = []
+    fanout_times = []
     with use_caching(False):
         start = time.perf_counter()
         serial = pairwise_ged_matrix(
@@ -81,6 +83,7 @@ def run(
             identical = result == serial
             if not identical:
                 mismatches.append(workers)
+            fanout_times.append(elapsed)
             table.add_row(
                 "ged_matrix",
                 f"workers={workers}",
@@ -88,6 +91,13 @@ def run(
                 serial_s / elapsed if elapsed else float("inf"),
                 "identical" if identical else "MISMATCH",
             )
+    # Wall-clock trend record for the scheduled perf run: serial vs the
+    # best persistent-worker fan-out (docs/OBSERVABILITY.md).
+    registry = get_registry()
+    registry.gauge("parallel.trend.ged_serial_seconds").set(serial_s)
+    registry.gauge("parallel.trend.ged_fanout_seconds").set(
+        min(fanout_times) if fanout_times else serial_s
+    )
 
     # ------------------------------------------------------------- caching
     stale = []
@@ -105,6 +115,8 @@ def run(
         warm_s = time.perf_counter() - start
         if cold != serial or warm != serial:
             stale.append("ged_matrix")
+        registry.gauge("cache.trend.ged_cold_seconds").set(cold_s)
+        registry.gauge("cache.trend.ged_warm_seconds").set(warm_s)
         table.add_row("ged_matrix", "cache_cold", cold_s, 1.0, "baseline")
         table.add_row(
             "ged_matrix",

@@ -86,12 +86,11 @@ def check_engine(engine) -> None:
       known;
     * ``seen ⊆ universe`` — no verdict bits survive for graphs outside
       the indexed view;
+    * the incremental cover-set mirror agrees with the match bits;
     * every graph of the view is indexed (posting membership recorded).
     """
     universe = engine.index.universe_bits
-    for key in list(engine._patterns):
-        match = engine._match_bits[key]
-        seen = engine._seen_bits[key]
+    for key, (match, seen) in engine.export_verdicts().items():
         invariant(
             match & ~seen == 0,
             "covindex.verdict_subset_seen",
@@ -101,6 +100,11 @@ def check_engine(engine) -> None:
             seen & ~universe == 0,
             "covindex.seen_subset_universe",
             f"pattern {key!r} has verdict bits for unindexed graphs",
+        )
+        invariant(
+            sum(1 << gid for gid in engine._cover_sets[key]) == match,
+            "covindex.cover_mirror_agrees",
+            f"pattern {key!r} cover-set mirror drifted from match bits",
         )
     for graph_id in engine.graphs:
         invariant(
@@ -132,7 +136,7 @@ def check_coverage_index(index, graphs) -> None:
             "covindex.posting_membership",
             f"graph {graph_id} posting keys drifted",
         )
-    for key, bits in index._postings.items():
+    for key, bits in index.posting_items():
         invariant(
             bits != 0,
             "covindex.no_empty_postings",

@@ -38,6 +38,7 @@ from ..cache.stores import (
     set_caches,
     use_caching,
 )
+from ..covindex.bitset import available_substrates, use_substrate
 from ..covindex.engine import use_covindex
 from ..covindex.index import CoverageIndex
 from ..exceptions import InvariantViolation
@@ -205,31 +206,48 @@ def vf2_oracle(workload: Workload) -> Mismatch | None:
 
 
 def covindex_oracle(workload: Workload) -> Mismatch | None:
-    """Engine-backed delta coverage vs a full-scan oracle per view."""
-    with use_covindex(True):
+    """Engine-backed delta coverage vs a full-scan oracle per view.
+
+    Two engine-backed oracles advance in lock-step — one on the ambient
+    default substrate (numpy where available), one pinned to the
+    plain-int reference — and both must agree with a fresh full-scan
+    oracle at every view.  Their indices and exported verdict bitsets
+    must also stay identical in canonical int form, the substrate
+    equivalence contract of docs/PERFORMANCE.md.
+    """
+    default_substrate = (
+        "numpy" if "numpy" in available_substrates() else "int"
+    )
+    with use_substrate(default_substrate), use_covindex(True):
         fast = CoverageOracle(dict(workload.graphs))
+    with use_substrate("int"), use_covindex(True):
+        twin = CoverageOracle(dict(workload.graphs))
     for step, view in enumerate(workload.views()):
         if step > 0:
             batch = workload.batches[step - 1]
             fast.apply_update(batch.added, batch.removed)
+            twin.apply_update(batch.added, batch.removed)
         with use_covindex(False):
             reference = CoverageOracle(view)
         for i, pattern in enumerate(workload.patterns):
-            got = fast.cover(pattern)
             want = reference.cover(pattern)
-            if got != want:
-                return Mismatch(
-                    "covindex",
-                    "cover_mismatch",
-                    {
-                        "view": step,
-                        "pattern": i,
-                        "engine": sorted(got),
-                        "full_scan": sorted(want),
-                    },
-                )
+            for label, oracle in (("engine", fast), ("int_twin", twin)):
+                got = oracle.cover(pattern)
+                if got != want:
+                    return Mismatch(
+                        "covindex",
+                        "cover_mismatch",
+                        {
+                            "view": step,
+                            "pattern": i,
+                            "substrate": label,
+                            "engine": sorted(got),
+                            "full_scan": sorted(want),
+                        },
+                    )
         engine = fast._engine  # noqa: SLF001 - oracle inspects internals
-        if engine is None:
+        int_engine = twin._engine  # noqa: SLF001
+        if engine is None or int_engine is None:
             continue
         if engine.index.snapshot() != CoverageIndex.build(view).snapshot():
             return Mismatch(
@@ -237,15 +255,33 @@ def covindex_oracle(workload: Workload) -> Mismatch | None:
                 "index_snapshot_drift",
                 {"view": step},
             )
-        try:
-            check_engine(engine)
-            check_coverage_index(engine.index, view)
-        except InvariantViolation as exc:
+        if engine.index.snapshot() != int_engine.index.snapshot():
             return Mismatch(
                 "covindex",
-                "invariant",
-                {"view": step, "name": exc.name, "detail": exc.detail},
+                "substrate_snapshot_drift",
+                {"view": step, "substrates": [engine.substrate, "int"]},
             )
+        if engine.export_verdicts() != int_engine.export_verdicts():
+            return Mismatch(
+                "covindex",
+                "substrate_verdict_drift",
+                {"view": step, "substrates": [engine.substrate, "int"]},
+            )
+        for guarded in (engine, int_engine):
+            try:
+                check_engine(guarded)
+                check_coverage_index(guarded.index, view)
+            except InvariantViolation as exc:
+                return Mismatch(
+                    "covindex",
+                    "invariant",
+                    {
+                        "view": step,
+                        "substrate": guarded.substrate,
+                        "name": exc.name,
+                        "detail": exc.detail,
+                    },
+                )
     return None
 
 
@@ -274,16 +310,45 @@ def cache_oracle(workload: Workload) -> Mismatch | None:
 
 
 def parallel_oracle(workload: Workload) -> Mismatch | None:
-    """workers=2 kernel fan-out vs the serial loop, same trace."""
+    """Kernel fan-out vs the serial loop at 2 and 4 workers, same trace.
+
+    Runs every worker count twice: engine off (legacy host-shipping
+    kernels) and engine on (persistent workers resolving hosts from a
+    published view via ``contains_view_kernel``).  All traces must equal
+    the covindex-off serial reference.
+    """
     with use_covindex(False), use_caching(False):
         serial = _cover_ged_trace(workload)
-        with use_pool(shared_pool(2)):
-            fanned = _cover_ged_trace(workload)
-    if fanned != serial:
+    with use_covindex(True), use_caching(False):
+        engine_serial = _cover_ged_trace(workload)
+    if engine_serial != serial:
         view = next(
-            i for i, (a, b) in enumerate(zip(fanned, serial)) if a != b
+            i
+            for i, (a, b) in enumerate(zip(engine_serial, serial))
+            if a != b
         )
-        return Mismatch("parallel", "trace_mismatch", {"view": view})
+        return Mismatch(
+            "parallel",
+            "trace_mismatch",
+            {"view": view, "workers": 1, "covindex": True},
+        )
+    for workers in (2, 4):
+        for covindex in (False, True):
+            with use_covindex(covindex), use_caching(False), use_pool(
+                shared_pool(workers)
+            ):
+                fanned = _cover_ged_trace(workload)
+            if fanned != serial:
+                view = next(
+                    i
+                    for i, (a, b) in enumerate(zip(fanned, serial))
+                    if a != b
+                )
+                return Mismatch(
+                    "parallel",
+                    "trace_mismatch",
+                    {"view": view, "workers": workers, "covindex": covindex},
+                )
     return None
 
 
@@ -720,6 +785,16 @@ def store_oracle(workload: Workload) -> Mismatch | None:
                 return Mismatch(
                     "store", "persisted_postings_vs_rebuild", {"step": step}
                 )
+            # The persisted postings are substrate-independent ints:
+            # a plain-int rebuild must reassemble the same index too.
+            if rebuilt != CoverageIndex.build(
+                dict(mem.items()), substrate="int"
+            ):
+                return Mismatch(
+                    "store",
+                    "substrate_rebuild_divergence",
+                    {"step": step},
+                )
         final = signature(sql)
         sql.close()
         sql = SQLiteStore(path)
@@ -754,8 +829,9 @@ ORACLES: dict[str, Oracle] = {
         ),
         Oracle(
             "covindex",
-            "coverage engine (filter + delta verification) vs a fresh "
-            "full-scan CoverageOracle at every view",
+            "coverage engine (filter + delta verification) on both "
+            "bitset substrates vs a fresh full-scan CoverageOracle at "
+            "every view, with cross-substrate snapshot equality",
             covindex_oracle,
             {"num_graphs": 5, "num_batches": 2},
         ),
@@ -767,7 +843,9 @@ ORACLES: dict[str, Oracle] = {
         ),
         Oracle(
             "parallel",
-            "workers=2 kernel pool vs the serial loop",
+            "2- and 4-worker kernel pools vs the serial loop, with the "
+            "coverage engine off (host-shipping kernels) and on "
+            "(persistent view workers)",
             parallel_oracle,
             {"num_graphs": 4, "num_batches": 1},
         ),
@@ -822,7 +900,7 @@ ORACLES: dict[str, Oracle] = {
             "store",
             "SQLite out-of-core store vs the in-memory store: identical "
             "id allocation, batch results, stats, persisted postings "
-            "and reopen durability",
+            "(reassembled on either substrate) and reopen durability",
             store_oracle,
             {"num_graphs": 5, "num_batches": 3},
         ),

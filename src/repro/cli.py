@@ -155,6 +155,7 @@ def _execution_from_args(
         deadline_ms=deadline_ms,
         degrade=getattr(args, "degrade", "on") != "off",
         store=getattr(args, "store", None),
+        substrate=getattr(args, "substrate", None),
     )
 
 
@@ -656,6 +657,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="'on' arms the runtime invariant guards (repro.check): "
             "a violated invariant raises and rolls the maintenance "
             "round back (see docs/CORRECTNESS.md)",
+        )
+        sub.add_argument(
+            "--substrate",
+            choices=("numpy", "int"),
+            default=None,
+            help="bitset substrate for the coverage index: 'numpy' "
+            "(vectorized uint64 word arrays; the default when numpy is "
+            "importable) or 'int' (the plain-int reference); results "
+            "are byte-identical either way (see docs/PERFORMANCE.md)",
         )
         sub.add_argument(
             "--store",

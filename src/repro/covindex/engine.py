@@ -1,7 +1,12 @@
 """The coverage engine: filtered, incrementally maintained cover state.
 
 :class:`CoverageEngine` owns a :class:`~repro.covindex.index.CoverageIndex`
-over one database view plus, per registered pattern, two int-bitsets:
+over one database view plus, per registered pattern, two verdict
+bitsets (always canonical ints, whatever substrate the index's posting
+lists live on — the vectorized matrix stops at the
+:meth:`~repro.covindex.index.CoverageIndex.run_query` boundary because
+big-int set ops beat array-op dispatch at per-call granularity; see
+:mod:`repro.covindex.bitset`):
 
 * ``match_bits`` — graphs *verified* to contain the pattern;
 * ``seen_bits`` — graphs whose verdict is known (verified either way, or
@@ -15,6 +20,15 @@ pattern that is the filtered universe, after a
 of removed graphs and leaves every other verdict in place.  One code
 path therefore serves both initial coverage and incremental delta
 re-verification, and a MIDAS round re-verifies only changed graphs.
+Each registered pattern keeps a
+:class:`~repro.covindex.index.CompiledQuery` so the numpy substrate
+reuses its posting-row plan round after round; the time the filter
+phase spends (delta filtering plus cover materialization) accumulates
+in the ``covindex.filter_ns`` counter, which the covix figure turns
+into a wall-clock-per-round trend gate.  Fully-drained patterns
+short-circuit on an O(1) seen-verdict count and cover sets are
+memoized until a verdict moves, so neither bookkeeping path touches a
+bitset or the filter clock — the counter measures genuine filter work.
 
 The engine never runs VF2 itself; the caller (the
 :class:`~repro.patterns.metrics.CoverageOracle`) verifies pending hosts
@@ -30,14 +44,15 @@ mirroring :mod:`repro.cache.stores`; the engine is off by default and
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable, Mapping
 from contextlib import contextmanager
 
 from ..check.invariants import check_enabled, check_engine
 from ..graph.labeled_graph import LabeledGraph, VertexId
 from ..obs import get_registry
-from .bitset import bits_of, ids_of
-from .index import CoverageIndex
+from .bitset import make_ops
+from .index import CompiledQuery, CoverageIndex
 
 #: Bound on concurrently tracked patterns.  MIDAS rounds evaluate many
 #: short-lived candidate patterns; evicting the oldest registration
@@ -49,13 +64,39 @@ MAX_TRACKED_PATTERNS = 1024
 class CoverageEngine:
     """Filter-then-verify cover maintenance over one database view."""
 
-    def __init__(self, graphs: Mapping[int, LabeledGraph]) -> None:
+    def __init__(
+        self,
+        graphs: Mapping[int, LabeledGraph],
+        substrate: str | None = None,
+    ) -> None:
         self._graphs: dict[int, LabeledGraph] = dict(graphs)
-        self.index = CoverageIndex.build(self._graphs)
+        self.index = CoverageIndex.build(self._graphs, substrate=substrate)
+        # Verdict bookkeeping is int-typed on every substrate: the
+        # index returns canonical ints from run_query, and the tiny
+        # O(1) delta ops here are where big-ints win.
+        self._ops = make_ops("int")
         self._patterns: dict[tuple, LabeledGraph] = {}
-        self._match_bits: dict[tuple, int] = {}
-        self._seen_bits: dict[tuple, int] = {}
+        self._compiled: dict[tuple, CompiledQuery] = {}
+        self._match_bits: dict[tuple, object] = {}
+        self._seen_bits: dict[tuple, object] = {}
+        # O(1) bookkeeping so fully-drained patterns never pay a bitset
+        # op: popcount of seen bits (seen ⊆ universe is an engine
+        # invariant, so count == len(view) means nothing is pending)
+        # and the memoized cover set, dropped whenever match bits move.
+        self._seen_count: dict[tuple, int] = {}
+        self._covers: dict[tuple, frozenset[int]] = {}
+        # Live mirror of each pattern's match bits as an id set,
+        # maintained incrementally at commit time so cover_ids never
+        # re-extracts ids from a bitset on the hot path.
+        self._cover_sets: dict[tuple, set[int]] = {}
+        # filter_ns counter object, cached per registry identity.
+        self._filter_ns_cache: tuple | None = None
         self._publish_gauges()
+
+    @property
+    def substrate(self) -> str:
+        """The bitset substrate this engine's verdicts live on."""
+        return self.index.substrate
 
     # ------------------------------------------------------------------
     # view access
@@ -89,8 +130,11 @@ class CoverageEngine:
             oldest = next(iter(self._patterns))
             self.discard(oldest)
         self._patterns[key] = pattern
-        self._match_bits[key] = 0
-        self._seen_bits[key] = 0
+        self._compiled[key] = self.index.compile(pattern)
+        self._match_bits[key] = self._ops.zero()
+        self._seen_bits[key] = self._ops.zero()
+        self._seen_count[key] = 0
+        self._cover_sets[key] = set()
         self._publish_gauges()
 
     def _touch(self, key: tuple) -> None:
@@ -104,8 +148,12 @@ class CoverageEngine:
 
     def discard(self, key: tuple) -> None:
         self._patterns.pop(key, None)
+        self._compiled.pop(key, None)
         self._match_bits.pop(key, None)
         self._seen_bits.pop(key, None)
+        self._seen_count.pop(key, None)
+        self._covers.pop(key, None)
+        self._cover_sets.pop(key, None)
 
     def tracked(self, key: tuple) -> bool:
         return key in self._patterns
@@ -123,20 +171,42 @@ class CoverageEngine:
         unfiltered serial loop would visit them in.
         """
         self._touch(key)
-        pattern = self._patterns[key]
-        unseen = self.index.universe_bits & ~self._seen_bits[key]
-        if not unseen:
+        if self._seen_count[key] == len(self._graphs):
+            # Every verdict is known (seen ⊆ universe, so equal counts
+            # mean equal sets) — no bitset op, no substrate involved,
+            # and nothing added to the filter-phase clock.
             return []
-        candidates = self.index.candidate_bits(pattern, within=unseen)
-        self._seen_bits[key] |= unseen & ~candidates
-        return list(ids_of(candidates))
+        started = time.perf_counter_ns()
+        # The filter is monotone — candidates(unseen) is exactly
+        # candidates(universe) ∩ unseen — so run the compiled query
+        # over the whole universe (no unseen bitset to build first)
+        # and subtract seen from the survivors.  Verdict bitsets are
+        # plain ints, so the deltas are written as direct big-int
+        # expressions rather than BitsetOps method calls.
+        candidates = self.index.run_query(self._compiled[key])
+        pending_value = candidates & ~self._seen_bits[key]
+        # Marking every non-pending graph seen collapses to one
+        # subtraction: seen ∪ (unseen \ candidates) == universe \ pending.
+        self._seen_bits[key] = self.index.universe_value & ~pending_value
+        result = self._ops.ids(pending_value)
+        self._seen_count[key] = len(self._graphs) - len(result)
+        self._record_filter_ns(started)
+        return result
 
     def commit(self, key: tuple, graph_id: int, verdict: bool) -> None:
         """Record one verification verdict for (*key*, *graph_id*)."""
-        bit = 1 << graph_id
-        self._seen_bits[key] |= bit
+        ops = self._ops
+        if not ops.test(self._seen_bits[key], graph_id):
+            self._seen_bits[key] = ops.set_bit(
+                self._seen_bits[key], graph_id
+            )
+            self._seen_count[key] += 1
         if verdict:
-            self._match_bits[key] |= bit
+            self._match_bits[key] = ops.set_bit(
+                self._match_bits[key], graph_id
+            )
+            self._cover_sets[key].add(graph_id)
+            self._covers.pop(key, None)
         get_registry().counter("covindex.verifications").add(1)
 
     def cover_ids(self, key: tuple) -> frozenset[int]:
@@ -144,7 +214,32 @@ class CoverageEngine:
         self._touch(key)
         if check_enabled():
             check_engine(self)
-        return frozenset(ids_of(self._match_bits[key]))
+        result = self._covers.get(key)
+        if result is None:
+            # The live id-set mirror makes this a set copy, not a
+            # bitset id extraction.
+            started = time.perf_counter_ns()
+            result = self._covers[key] = frozenset(self._cover_sets[key])
+            self._record_filter_ns(started)
+        return result
+
+    def __getstate__(self):
+        # The cached filter_ns counter carries a lock — drop it when
+        # the engine is copied/pickled (maintenance snapshots deepcopy
+        # engine state); it repopulates on the next timed section.
+        state = self.__dict__.copy()
+        state["_filter_ns_cache"] = None
+        return state
+
+    def _record_filter_ns(self, started: int) -> None:
+        registry = get_registry()
+        cached = self._filter_ns_cache
+        if cached is None or cached[0] is not registry:
+            cached = self._filter_ns_cache = (
+                registry,
+                registry.counter("covindex.filter_ns"),
+            )
+        cached[1].add(time.perf_counter_ns() - started)
 
     def vertex_domains(
         self, key: tuple, graph_id: int
@@ -158,15 +253,20 @@ class CoverageEngine:
     # verdict persistence (out-of-core warm start; docs/STORAGE.md)
     # ------------------------------------------------------------------
     def export_verdicts(self) -> dict[tuple, tuple[int, int]]:
-        """Per tracked pattern key, its ``(match_bits, seen_bits)``.
+        """Per tracked pattern key, its ``(match_bits, seen_bits)`` as ints.
 
         The persistence handshake with a durable
         :class:`~repro.store.base.GraphStore`: the store saves these
         bitsets per shard and a restarted engine re-imports them instead
-        of re-verifying the whole database.
+        of re-verifying the whole database.  Always the canonical int
+        form, whatever substrate the engine runs on.
         """
+        ops = self._ops
         return {
-            key: (self._match_bits[key], self._seen_bits[key])
+            key: (
+                ops.to_int(self._match_bits[key]),
+                ops.to_int(self._seen_bits[key]),
+            )
             for key in self._patterns
         }
 
@@ -181,9 +281,19 @@ class CoverageEngine:
         """
         if key not in self._patterns:
             raise KeyError(f"pattern {key!r} is not tracked")
-        universe = self.index.universe_bits
-        self._match_bits[key] |= match_bits & universe
-        self._seen_bits[key] |= seen_bits & universe
+        ops = self._ops
+        universe = self.index.universe_value
+        self._match_bits[key] = ops.union(
+            self._match_bits[key],
+            ops.intersect(ops.from_int(match_bits), universe),
+        )
+        self._seen_bits[key] = ops.union(
+            self._seen_bits[key],
+            ops.intersect(ops.from_int(seen_bits), universe),
+        )
+        self._seen_count[key] = ops.popcount(self._seen_bits[key])
+        self._cover_sets[key] = set(ops.ids(self._match_bits[key]))
+        self._covers.pop(key, None)
         get_registry().counter("covindex.verdicts_imported").add(1)
 
     # ------------------------------------------------------------------
@@ -204,16 +314,24 @@ class CoverageEngine:
         as if it had been removed and re-added.  Verdicts for untouched
         graphs survive.
         """
+        ops = self._ops
         removed = [gid for gid in removed_ids if gid in self._graphs]
         for graph_id in removed:
             self.index.remove_graph(graph_id)
             del self._graphs[graph_id]
         stale = removed + [gid for gid in added if gid in self._graphs]
         if stale:
-            keep = ~bits_of(stale)
+            stale_value = ops.from_ids(stale)
             for key in self._patterns:
-                self._match_bits[key] &= keep
-                self._seen_bits[key] &= keep
+                self._match_bits[key] = ops.subtract(
+                    self._match_bits[key], stale_value
+                )
+                self._seen_bits[key] = ops.subtract(
+                    self._seen_bits[key], stale_value
+                )
+                self._seen_count[key] = ops.popcount(self._seen_bits[key])
+                self._cover_sets[key].difference_update(stale)
+            self._covers.clear()
         for graph_id, graph in added.items():
             self._graphs[graph_id] = graph
             self.index.add_graph(graph_id, graph)
@@ -225,8 +343,32 @@ class CoverageEngine:
         if check_enabled():
             check_engine(self)
         self._publish_gauges()
+        stats = self.stats()
+        registry.gauge("covindex.matched_verdicts").set(
+            stats["matched_verdicts"]
+        )
+        registry.gauge("covindex.seen_verdicts").set(stats["seen_verdicts"])
 
     # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Aggregate engine statistics via bitset popcounts.
+
+        Verdict totals use ``int.bit_count`` on the canonical int
+        verdict bitsets — no per-bit scans.
+        """
+        ops = self._ops
+        return {
+            "patterns": len(self._patterns),
+            "graphs": len(self._graphs),
+            "postings": self.index.num_postings(),
+            "matched_verdicts": sum(
+                ops.popcount(value) for value in self._match_bits.values()
+            ),
+            "seen_verdicts": sum(
+                ops.popcount(value) for value in self._seen_bits.values()
+            ),
+        }
+
     def _publish_gauges(self) -> None:
         registry = get_registry()
         registry.gauge("covindex.patterns").set(len(self._patterns))

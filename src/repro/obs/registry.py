@@ -163,6 +163,17 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def _get_or_create(self, name: str, cls):
+        # Lock-free fast path: dict reads are atomic under the GIL and
+        # metrics are never replaced once registered, so the hot
+        # instrumentation paths (one lookup per filter query) skip the
+        # lock entirely after first use.
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+                )
+            return metric
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:

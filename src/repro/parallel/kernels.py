@@ -61,6 +61,30 @@ def contains_seeded_kernel(payload, chunk):
     ]
 
 
+def contains_view_kernel(payload, chunk):
+    """``chunk``: ``(graph_id, domains)`` pairs; payload: the view handle.
+
+    The persistent-worker variant of :func:`contains_seeded_kernel`:
+    payload is ``(view_id, generation, pattern)`` and hosts are looked
+    up in the fork-inherited :mod:`repro.parallel.shared` registry, so
+    a fan-out ships only graph IDs + seed domains — never the host
+    graphs themselves.  ``domains`` may be None (unseeded verification).
+    A worker whose inherited view is missing or at the wrong generation
+    raises rather than answering from stale graphs; the pool's
+    epoch-stamped refork makes that unreachable in normal operation.
+    Verdicts are identical to the host-shipping kernels'.
+    """
+    from ..isomorphism.matcher import contains
+    from .shared import resolve_view
+
+    view_id, generation, pattern = payload
+    graphs = resolve_view(view_id, generation).graphs
+    return [
+        contains(graphs[graph_id], pattern, domains=domains)
+        for graph_id, domains in chunk
+    ]
+
+
 def mccs_kernel(payload, chunk):
     """``chunk``: list of graphs; payload: the seed graph.
 
@@ -152,6 +176,7 @@ __all__ = [
     "candidate_score_kernel",
     "contains_kernel",
     "contains_seeded_kernel",
+    "contains_view_kernel",
     "ged_pairs_kernel",
     "mccs_kernel",
     "pairwise_ged_matrix",

@@ -21,17 +21,35 @@ Design constraints, in order:
   budget — each worker polices its own copy of the remaining allowance,
   so a state budget bounds per-worker work, not the fleet total.
 * **Safety in tests** — the pool silently degrades to the serial path
-  inside pytest (``PYTEST_CURRENT_TEST``) and on platforms without the
-  ``fork`` start method, unless constructed with ``force=True``.
-  Serial and parallel paths return identical values, so callers never
-  branch on which one ran.
+  inside pytest (``PYTEST_CURRENT_TEST``), unless constructed with
+  ``force=True``.  On platforms without the ``fork`` start method the
+  degradation is *not* silent: it bumps ``parallel.fallback`` and emits
+  a one-time ``RuntimeWarning``, because losing parallelism there is a
+  deployment surprise rather than a test convenience.  Serial and
+  parallel paths return identical values, so callers never branch on
+  which one ran.
 
-Worker processes are forked lazily on first parallel ``map``; fork
-children inherit module globals at creation time, which is what lets
-fault-injection plans (:mod:`repro.resilience.faults`) keep firing at
-kernel sites inside workers.  Observability counters incremented inside
-workers stay in the worker's registry copy; the parent records fan-out
-activity under ``parallel.*`` instead.
+Workers are **persistent**: forked lazily on the first parallel ``map``
+and reused across fan-outs, so worker-startup cost is paid once per
+configuration, not once per batch.  Fork children inherit module
+globals at creation time — that is what lets fault-injection plans
+(:mod:`repro.resilience.faults`) keep firing at kernel sites inside
+workers, and what lets :mod:`repro.parallel.shared` hand kernels whole
+host-graph views without pickling them (tasks carry only graph IDs +
+seed domains).  Because children see a frozen copy of the parent,
+the pool stamps the :func:`~repro.parallel.shared.view_epoch` it forked
+at and transparently restarts its workers when a view has been
+republished since (``parallel.worker_restarts``) — once per committed
+batch, not per fan-out.
+
+Each task is shipped as one pre-pickled envelope and its size recorded
+under ``parallel.bytes_pickled``, making "fan-out no longer re-pickles
+the hosts" a measurable, regression-gated property rather than a hope
+(see the covix bench figure).
+
+Observability counters incremented inside workers stay in the worker's
+registry copy; the parent records fan-out activity under ``parallel.*``
+instead.
 """
 
 from __future__ import annotations
@@ -40,6 +58,8 @@ import atexit
 import math
 import multiprocessing
 import os
+import pickle
+import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
@@ -49,6 +69,7 @@ from typing import Any
 from ..exceptions import BudgetExhausted, DeadlineExceeded, ResilienceError
 from ..obs import get_registry
 from ..resilience.budget import Budget, current_budget, use_budget
+from . import shared
 
 #: Below this many items a fan-out costs more than it saves; call sites
 #: consult :meth:`KernelPool.worth_parallelizing` which applies it.
@@ -71,6 +92,23 @@ def _fork_context():
     except (ValueError, RuntimeError):  # pragma: no cover - exotic platforms
         pass
     return None
+
+
+_warned_no_fork = False
+
+
+def _warn_no_fork_once() -> None:
+    global _warned_no_fork
+    if _warned_no_fork:
+        return
+    _warned_no_fork = True
+    warnings.warn(
+        "the 'fork' start method is unavailable on this platform; "
+        "KernelPool degrades to the serial path (identical results, "
+        "no parallel speedup)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def _budget_spec() -> tuple[float | None, int | None] | None:
@@ -120,8 +158,19 @@ def _run_chunk(
         return ("resilience", str(exc), getattr(exc, "site", ""))
 
 
+def _run_chunk_envelope(data: bytes) -> tuple:
+    """Unpack one pre-pickled task envelope and run it.
+
+    The parent pickles each task exactly once (and counts the bytes
+    under ``parallel.bytes_pickled``); the worker sees a single opaque
+    blob, so the per-task wire cost is observable at the call site
+    instead of hidden inside the executor.
+    """
+    return _run_chunk(*pickle.loads(data))
+
+
 class KernelPool:
-    """Chunked fan-out / ordered reduction over worker processes.
+    """Chunked fan-out / ordered reduction over persistent workers.
 
     Parameters
     ----------
@@ -149,6 +198,7 @@ class KernelPool:
         self.chunk_size = chunk_size
         self.force = force
         self._executor: ProcessPoolExecutor | None = None
+        self._forked_epoch = -1
 
     # ------------------------------------------------------------------
     @property
@@ -174,7 +224,21 @@ class KernelPool:
         return [items[i : i + size] for i in range(0, len(items), size)]
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
+        """The live executor, reforked if a host view was republished.
+
+        Children inherit :mod:`repro.parallel.shared`'s view registry at
+        fork time; a publish after that leaves them stale, so the pool
+        restarts them — at most once per committed batch, because only
+        republishing bumps the epoch.
+        """
+        if (
+            self._executor is not None
+            and self._forked_epoch != shared.view_epoch()
+        ):
+            get_registry().counter("parallel.worker_restarts").add(1)
+            self.shutdown()
         if self._executor is None:
+            self._forked_epoch = shared.view_epoch()
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers, mp_context=_fork_context()
             )
@@ -202,6 +266,9 @@ class KernelPool:
         if not self.is_parallel:
             if self.workers > 1:
                 registry.counter("parallel.serial_fallbacks").add(1)
+                if _fork_context() is None:
+                    registry.counter("parallel.fallback").add(1)
+                    _warn_no_fork_once()
             results = list(kernel(payload, items))
             if len(results) != len(items):
                 raise RuntimeError(
@@ -222,9 +289,19 @@ class KernelPool:
         registry.counter("parallel.fanouts").add(1)
         registry.counter("parallel.tasks").add(len(chunks))
         executor = self._ensure_executor()
-        futures = [
-            executor.submit(_run_chunk, kernel, payload, chunk, spec, degrade, caching)
+        envelopes = [
+            pickle.dumps(
+                (kernel, payload, chunk, spec, degrade, caching),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
             for chunk in chunks
+        ]
+        registry.counter("parallel.bytes_pickled").add(
+            sum(len(envelope) for envelope in envelopes)
+        )
+        futures = [
+            executor.submit(_run_chunk_envelope, envelope)
+            for envelope in envelopes
         ]
         results: list = []
         failure: tuple | None = None

@@ -21,6 +21,7 @@ swap evaluations stay cheap.
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Iterable, Mapping
 
 from ..cache.stores import cached_ged_value, caching_enabled, get_caches
@@ -30,7 +31,8 @@ from ..graph.labeled_graph import LabeledGraph
 from ..index.maintenance import IndexPair
 from ..isomorphism.matcher import contains
 from ..obs import get_registry
-from ..parallel.kernels import contains_kernel, contains_seeded_kernel
+from ..parallel import shared
+from ..parallel.kernels import contains_view_kernel
 from ..parallel.pool import current_pool
 from .pattern import CannedPattern, PatternSet
 
@@ -112,9 +114,21 @@ class CoverageOracle:
         self._engine = engine
         self._cover_cache: dict[tuple, frozenset[int]] = {}
         self._lcov_cache: dict[tuple, frozenset[int]] = {}
+        # Token of this oracle's published host view (repro.parallel.shared),
+        # allocated lazily on the first parallel verification.
+        self._view_token: int | None = None
         #: Number of VF2 containment tests actually executed (for the
         #: index-effectiveness experiments).
         self.isomorphism_tests = 0
+
+    def __getstate__(self):
+        # Published host views are process-local, fork-inherited state;
+        # a pickled or deep-copied oracle (e.g. the transactional
+        # snapshot backup in Midas.apply_update) must not alias the live
+        # view, so the copy drops the token and republishes lazily.
+        state = self.__dict__.copy()
+        state["_view_token"] = None
+        return state
 
     @property
     def universe_size(self) -> int:
@@ -154,6 +168,10 @@ class CoverageOracle:
             self._graphs[graph_id] = graph
         if self._engine is not None:
             self._engine.apply_update(added, removed)
+        if self._view_token is not None:
+            # Republish under the same token: the generation bump is what
+            # invalidates persistent workers holding the pre-batch view.
+            shared.publish_view(self._graphs, view_id=self._view_token)
         self._cover_cache.clear()
         self._lcov_cache.clear()
 
@@ -246,6 +264,26 @@ class CoverageOracle:
             engine.commit(key, graph_id, verdict)
         return engine.cover_ids(key)
 
+    def _host_view(self) -> shared.HostView:
+        """This oracle's live published host view (publish on first use).
+
+        Parallel verification ships only ``(graph_id, domains)`` pairs;
+        workers resolve the graphs from the fork-inherited view this
+        returns.  The token is allocated once and retired when the
+        oracle is garbage-collected; :meth:`apply_update` republishes
+        under the same token so stale workers are invalidated by the
+        generation/epoch bump.
+        """
+        if self._view_token is not None:
+            view = shared.get_view(self._view_token)
+            if view is not None and view.graphs is self._graphs:
+                return view
+        view = shared.publish_view(self._graphs, view_id=self._view_token)
+        if self._view_token is None:
+            self._view_token = view.view_id
+            weakref.finalize(self, shared.retire_view, view.view_id)
+        return view
+
     def _verify(
         self,
         pattern: LabeledGraph,
@@ -261,21 +299,18 @@ class CoverageOracle:
         caches = get_caches() if caching_enabled() else None
         pool = current_pool()
         if pool.worth_parallelizing(len(pending)):
-            if domains is not None:
-                verdicts = pool.map(
-                    contains_seeded_kernel,
-                    [
-                        (self._graphs[graph_id], domains[graph_id])
-                        for graph_id in pending
-                    ],
-                    payload=pattern,
-                )
-            else:
-                verdicts = pool.map(
-                    contains_kernel,
-                    [self._graphs[graph_id] for graph_id in pending],
-                    payload=pattern,
-                )
+            view = self._host_view()
+            verdicts = pool.map(
+                contains_view_kernel,
+                [
+                    (
+                        graph_id,
+                        None if domains is None else domains[graph_id],
+                    )
+                    for graph_id in pending
+                ],
+                payload=(view.view_id, view.generation, pattern),
+            )
         else:
             verdicts = [
                 contains(

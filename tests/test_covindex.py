@@ -25,14 +25,19 @@ import pytest
 from repro.covindex import (
     CoverageEngine,
     CoverageIndex,
+    available_substrates,
     bits_of,
     count,
     covindex_enabled,
+    current_substrate,
     graph_posting_keys,
     ids_of,
+    make_ops,
     pattern_query_keys,
+    resolve_substrate,
     set_covindex,
     use_covindex,
+    use_substrate,
 )
 from repro.datasets import (
     aids_like,
@@ -502,3 +507,163 @@ class TestMaintenanceIdentity:
         baseline = _maintenance_trace(covindex=False)
         with_engine = _maintenance_trace(covindex=True)
         assert with_engine == baseline
+
+
+# ----------------------------------------------------------------------
+# substrate equivalence (int reference vs numpy word arrays)
+# ----------------------------------------------------------------------
+numpy_available = "numpy" in available_substrates()
+needs_numpy = pytest.mark.skipif(
+    not numpy_available, reason="numpy substrate unavailable"
+)
+
+
+@needs_numpy
+class TestSubstrateEquivalence:
+    def test_ops_algebra_on_random_id_sets(self):
+        """Property test: every BitsetOps operation agrees between
+        substrates on random ID sets, including IDs above 64·k word
+        boundaries and the empty/all-set edges."""
+        rng = random.Random(41)
+        int_ops = make_ops("int")
+        np_ops = make_ops("numpy")
+        universes = [
+            [],
+            [0],
+            [63], [64], [127], [128],  # word boundaries
+            list(range(200)),  # all-set prefix
+        ]
+        for _ in range(30):
+            size = rng.randrange(0, 60)
+            high = rng.choice((64, 130, 1000, 5000))
+            universes.append(
+                sorted(rng.sample(range(high), min(size, high)))
+            )
+        for ids_a in universes:
+            ids_b = rng.sample(
+                range(max(ids_a, default=0) + 70),
+                min(len(ids_a) + 5, max(ids_a, default=0) + 70),
+            )
+            a_int, a_np = int_ops.from_ids(ids_a), np_ops.from_ids(ids_a)
+            b_int, b_np = int_ops.from_ids(ids_b), np_ops.from_ids(ids_b)
+            assert np_ops.to_int(a_np) == a_int
+            assert np_ops.ids(a_np) == int_ops.ids(a_int) == sorted(
+                set(ids_a)
+            )
+            assert np_ops.popcount(a_np) == int_ops.popcount(a_int)
+            assert np_ops.is_empty(a_np) == int_ops.is_empty(a_int)
+            for op in ("union", "intersect", "subtract"):
+                got = np_ops.to_int(getattr(np_ops, op)(a_np, b_np))
+                want = getattr(int_ops, op)(a_int, b_int)
+                assert got == want, (op, ids_a, ids_b)
+            probe = rng.randrange(0, 5000)
+            assert np_ops.test(a_np, probe) == int_ops.test(a_int, probe)
+            assert np_ops.to_int(
+                np_ops.set_bit(np_ops.copy(a_np), probe)
+            ) == int_ops.set_bit(a_int, probe)
+            assert np_ops.to_int(
+                np_ops.clear_bit(np_ops.copy(a_np), probe)
+            ) == int_ops.clear_bit(a_int, probe)
+            assert np_ops.to_int(
+                np_ops.from_int(a_int)
+            ) == a_int  # int round-trip
+
+    def test_index_snapshots_identical(self, molecule_graphs):
+        int_index = CoverageIndex.build(molecule_graphs, substrate="int")
+        np_index = CoverageIndex.build(molecule_graphs, substrate="numpy")
+        assert int_index.snapshot() == np_index.snapshot()
+        assert int_index == np_index
+
+    def test_candidates_identical(self, molecule_graphs, query_patterns):
+        int_index = CoverageIndex.build(molecule_graphs, substrate="int")
+        np_index = CoverageIndex.build(molecule_graphs, substrate="numpy")
+        for pattern in query_patterns:
+            assert int_index.candidate_ids(pattern) == np_index.candidate_ids(
+                pattern
+            )
+
+    def test_incremental_maintenance_identical(self):
+        """Random add/remove churn keeps the substrates in lock-step,
+        including IDs crossing word boundaries."""
+        rng = random.Random(77)
+        graphs = dict(aids_like(20, seed=3).items())
+        int_index = CoverageIndex.build(graphs, substrate="int")
+        np_index = CoverageIndex.build(graphs, substrate="numpy")
+        pool = dict(aids_like(25, seed=6).items())
+        pool_iter = iter(sorted(pool))
+        next_id = 60  # jump past the first word boundary quickly
+        for _ in range(15):
+            if graphs and rng.random() < 0.4:
+                victim = rng.choice(sorted(graphs))
+                del graphs[victim]
+                int_index.remove_graph(victim)
+                np_index.remove_graph(victim)
+            else:
+                source = next(pool_iter, None)
+                if source is None:
+                    continue
+                graphs[next_id] = pool[source]
+                int_index.add_graph(next_id, pool[source])
+                np_index.add_graph(next_id, pool[source])
+                next_id += rng.choice((1, 7, 63))
+            assert int_index.snapshot() == np_index.snapshot()
+
+    def test_engine_verdicts_identical(
+        self, molecule_graphs, query_patterns
+    ):
+        """Both engines, same call sequence: identical exported verdicts."""
+        engines = {
+            sub: CoverageEngine(molecule_graphs, substrate=sub)
+            for sub in ("int", "numpy")
+        }
+        for pattern in query_patterns[:5]:
+            key = graph_key(pattern)
+            covers = {}
+            for sub, engine in engines.items():
+                engine.register(key, pattern)
+                for gid in engine.pending(key):
+                    engine.commit(
+                        key,
+                        gid,
+                        contains(molecule_graphs[gid], pattern),
+                    )
+                covers[sub] = engine.cover_ids(key)
+            assert covers["int"] == covers["numpy"]
+        assert (
+            engines["int"].export_verdicts()
+            == engines["numpy"].export_verdicts()
+        )
+
+    def test_sqlite_posting_roundtrip_across_substrates(
+        self, molecule_graphs, tmp_path
+    ):
+        """Persisted postings are substrate-independent ints: a SQLite
+        store written on any substrate reassembles the same index on
+        both."""
+        from repro.store.sqlite import SQLiteStore
+
+        store = SQLiteStore(str(tmp_path / "postings.db"))
+        try:
+            store.ingest(molecule_graphs)
+            persisted = store.coverage_index()
+            for substrate in ("int", "numpy"):
+                rebuilt = CoverageIndex.build(
+                    molecule_graphs, substrate=substrate
+                )
+                assert rebuilt.snapshot() == persisted.snapshot()
+        finally:
+            store.close()
+
+    def test_ambient_substrate_toggle(self):
+        assert resolve_substrate(None) in ("int", "numpy")
+        with use_substrate("int"):
+            assert current_substrate() == "int"
+            assert CoverageIndex.build({}).substrate == "int"
+        with use_substrate("numpy"):
+            assert CoverageIndex.build({}).substrate == "numpy"
+
+    def test_unknown_substrate_rejected(self):
+        with pytest.raises(ValueError):
+            make_ops("bogus")
+        with pytest.raises(ValueError):
+            ExecutionConfig(substrate="bogus")

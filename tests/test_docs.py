@@ -175,6 +175,47 @@ def test_execution_metrics_are_catalogued(source_text):
     )
 
 
+#: The metrics introduced with the vectorized bitset substrate and the
+#: persistent shared-memory workers (docs/PERFORMANCE.md).  Named
+#: explicitly — beyond the generic sweep above — so that renaming or
+#: dropping any of them breaks this test instead of silently shrinking
+#: the catalogue.
+SUBSTRATE_METRIC_NAMES = {
+    "covindex.filter_ns",
+    "covindex.trend.filter_ns_per_round_int",
+    "covindex.trend.filter_ns_per_round_numpy",
+    "covindex.trend.filter_speedup",
+    "parallel.fallback",
+    "parallel.bytes_pickled",
+    "parallel.worker_restarts",
+    "parallel.view_publishes",
+    "parallel.views",
+    "parallel.trend.ged_serial_seconds",
+    "parallel.trend.ged_fanout_seconds",
+    "cache.trend.ged_cold_seconds",
+    "cache.trend.ged_warm_seconds",
+}
+
+
+def test_substrate_worker_metrics_catalogued_and_emitted(source_text):
+    """Substrate/persistent-worker metrics: catalogued AND emitted."""
+    documented = set(_catalogue_names("## Metric catalogue"))
+    missing = sorted(SUBSTRATE_METRIC_NAMES - documented)
+    assert not missing, (
+        f"substrate/worker metrics missing from the OBSERVABILITY.md "
+        f"catalogue: {missing}"
+    )
+    unemitted = sorted(
+        name
+        for name in SUBSTRATE_METRIC_NAMES
+        if f'"{name}"' not in source_text
+    )
+    assert not unemitted, (
+        f"substrate/worker metrics catalogued but never emitted as a "
+        f"string literal under src/repro: {unemitted}"
+    )
+
+
 def test_invariant_catalogue_matches_source():
     """docs/CORRECTNESS.md and repro.check.invariants agree exactly."""
     in_source = _invariant_names_in_source()

@@ -10,6 +10,8 @@ otherwise degrades to the serial path under pytest by design).
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro.datasets import pubchem_like
@@ -18,9 +20,16 @@ from repro.obs import get_registry
 from repro.parallel import (
     MIN_PARALLEL_ITEMS,
     KernelPool,
+    contains_kernel,
+    contains_view_kernel,
     current_pool,
+    get_view,
     pairwise_ged_matrix,
+    publish_view,
+    resolve_view,
+    retire_view,
     use_pool,
+    view_epoch,
 )
 from repro.resilience import (
     Budget,
@@ -239,3 +248,188 @@ class TestPoolLifecycle:
         with KernelPool(workers=2, force=True) as pool:
             pass
         assert pool._executor is None
+
+
+class TestNoForkDegradation:
+    def test_no_fork_counts_and_warns_once(self, monkeypatch):
+        """Platforms without ``fork``: serial degradation bumps
+        ``parallel.fallback`` every time but warns exactly once."""
+        import multiprocessing
+
+        from repro.parallel import pool as pool_module
+
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        monkeypatch.setattr(pool_module, "_warned_no_fork", False)
+        pool = KernelPool(workers=2, force=True)
+        assert not pool.is_parallel
+        registry = get_registry()
+        before = registry.counter("parallel.fallback").value
+        items = list(range(MIN_PARALLEL_ITEMS + 2))
+        with pytest.warns(RuntimeWarning, match="fork"):
+            assert pool.map(square_kernel, items, payload=3) == square_kernel(
+                3, items
+            )
+        assert registry.counter("parallel.fallback").value == before + 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            pool.map(square_kernel, items, payload=3)
+        assert registry.counter("parallel.fallback").value == before + 2
+
+    def test_fork_platforms_never_touch_fallback_counter(self):
+        registry = get_registry()
+        before = registry.counter("parallel.fallback").value
+        KernelPool(workers=4).map(square_kernel, [1, 2], payload=0)
+        assert registry.counter("parallel.fallback").value == before
+
+
+class TestHostViews:
+    def test_resolve_view_validates_generation(self):
+        view = publish_view({0: make_graph("C", [])})
+        try:
+            assert resolve_view(view.view_id, view.generation) is view
+            with pytest.raises(RuntimeError, match="generation"):
+                resolve_view(view.view_id, view.generation + 1)
+        finally:
+            retire_view(view.view_id)
+        with pytest.raises(RuntimeError, match="not present"):
+            resolve_view(view.view_id, view.generation)
+
+    def test_republish_bumps_generation_and_epoch(self):
+        view = publish_view({0: make_graph("C", [])})
+        try:
+            epoch = view_epoch()
+            fresh = publish_view(
+                {0: make_graph("N", [])}, view_id=view.view_id
+            )
+            assert fresh.view_id == view.view_id
+            assert fresh.generation > view.generation
+            assert view_epoch() == epoch + 1
+            assert get_view(view.view_id) is fresh
+        finally:
+            retire_view(view.view_id)
+
+    def test_retire_is_idempotent(self):
+        view = publish_view({0: make_graph("C", [])})
+        retire_view(view.view_id)
+        retire_view(view.view_id)
+        assert get_view(view.view_id) is None
+
+
+@needs_fork
+class TestPersistentViewWorkers:
+    @pytest.fixture
+    def hosts(self):
+        return dict(pubchem_like(24, seed=5).items())
+
+    def test_view_kernel_matches_legacy_and_ships_fewer_bytes(self, hosts):
+        pattern = make_graph("CC", [(0, 1)])
+        ids = sorted(hosts)
+        registry = get_registry()
+        view = publish_view(hosts)
+        try:
+            with KernelPool(2, force=True) as pool:
+                before = registry.counter("parallel.bytes_pickled").value
+                view_verdicts = pool.map(
+                    contains_view_kernel,
+                    [(graph_id, None) for graph_id in ids],
+                    payload=(view.view_id, view.generation, pattern),
+                )
+                view_bytes = (
+                    registry.counter("parallel.bytes_pickled").value - before
+                )
+                before = registry.counter("parallel.bytes_pickled").value
+                legacy_verdicts = pool.map(
+                    contains_kernel,
+                    [hosts[graph_id] for graph_id in ids],
+                    payload=pattern,
+                )
+                legacy_bytes = (
+                    registry.counter("parallel.bytes_pickled").value - before
+                )
+        finally:
+            retire_view(view.view_id)
+        assert view_verdicts == legacy_verdicts
+        assert 0 < view_bytes < legacy_bytes
+
+    def test_workers_restart_once_per_republish(self, hosts):
+        pattern = make_graph("CC", [(0, 1)])
+        items = [(graph_id, None) for graph_id in sorted(hosts)]
+        registry = get_registry()
+        view = publish_view(hosts)
+        try:
+            with KernelPool(2, force=True) as pool:
+                payload = (view.view_id, view.generation, pattern)
+                first = pool.map(contains_view_kernel, items, payload=payload)
+                restarts = registry.counter("parallel.worker_restarts").value
+                # Same epoch: the executor is reused, no restart.
+                assert (
+                    pool.map(contains_view_kernel, items, payload=payload)
+                    == first
+                )
+                assert (
+                    registry.counter("parallel.worker_restarts").value
+                    == restarts
+                )
+                view = publish_view(hosts, view_id=view.view_id)
+                payload = (view.view_id, view.generation, pattern)
+                assert (
+                    pool.map(contains_view_kernel, items, payload=payload)
+                    == first
+                )
+                assert (
+                    registry.counter("parallel.worker_restarts").value
+                    == restarts + 1
+                )
+        finally:
+            retire_view(view.view_id)
+
+    def test_stale_generation_fails_loudly_in_worker(self, hosts):
+        pattern = make_graph("CC", [(0, 1)])
+        items = [(graph_id, None) for graph_id in sorted(hosts)]
+        view = publish_view(hosts)
+        try:
+            with KernelPool(2, force=True) as pool:
+                stale_payload = (view.view_id, view.generation, pattern)
+                view = publish_view(hosts, view_id=view.view_id)
+                # Workers refork at the new epoch and see the new
+                # generation; the stale task must raise, not answer.
+                with pytest.raises(RuntimeError, match="generation"):
+                    pool.map(
+                        contains_view_kernel, items, payload=stale_payload
+                    )
+        finally:
+            retire_view(view.view_id)
+
+    def test_oracle_fanout_restarts_once_per_committed_batch(self):
+        """End to end: CoverageOracle publishes its view once, a
+        committed batch republishes it, and the next fan-out restarts
+        the workers exactly once — with covers matching a fresh serial
+        oracle over the final view."""
+        from repro.datasets import aids_like
+        from repro.patterns.metrics import CoverageOracle
+
+        hosts = dict(aids_like(20, seed=11).items())
+        pattern = make_graph("CC", [(0, 1)])
+        oracle = CoverageOracle(hosts)
+        registry = get_registry()
+        with KernelPool(2, force=True) as pool, use_pool(pool):
+            first = oracle.cover(pattern)
+            restarts = registry.counter("parallel.worker_restarts").value
+            extra = dict(aids_like(20, seed=12).items())
+            added = {
+                max(hosts) + 1 + i: graph
+                for i, graph in enumerate(extra.values())
+            }
+            oracle.apply_update(added, [])
+            second = oracle.cover(pattern)
+            assert (
+                registry.counter("parallel.worker_restarts").value
+                == restarts + 1
+            )
+        final_view = dict(hosts)
+        final_view.update(added)
+        serial = CoverageOracle(final_view)
+        assert second == serial.cover(pattern)
+        assert first <= second
