@@ -40,6 +40,7 @@ from ..cache.stores import (
 )
 from ..covindex.bitset import available_substrates, use_substrate
 from ..covindex.engine import use_covindex
+from ..covindex.fragments import use_fragments
 from ..covindex.index import CoverageIndex
 from ..exceptions import InvariantViolation
 from ..ged import ged
@@ -282,6 +283,90 @@ def covindex_oracle(workload: Workload) -> Mismatch | None:
                         "detail": exc.detail,
                     },
                 )
+    return None
+
+
+def fragments_oracle(workload: Workload) -> Mismatch | None:
+    """Fragment network on vs off: identical verdicts at every view.
+
+    Two engine-backed oracles advance in lock-step over the batch
+    trajectory — one with the shared sub-pattern match network on, one
+    with it off — and both must agree with a fresh full-scan oracle at
+    every view.  The exported verdict bitsets must be identical too
+    (the network only prunes candidates VF2 would reject, so seen/match
+    bits converge to the same values once a pattern is drained), every
+    drained materialized fragment view must equal a direct VF2 sweep of
+    the fragment over the view, and the fragment invariant guards
+    (``covindex.frag_*``) must hold throughout.
+    """
+    with use_covindex(True), use_fragments(True):
+        networked = CoverageOracle(dict(workload.graphs))
+    with use_covindex(True), use_fragments(False):
+        plain = CoverageOracle(dict(workload.graphs))
+    for step, view in enumerate(workload.views()):
+        if step > 0:
+            batch = workload.batches[step - 1]
+            networked.apply_update(batch.added, batch.removed)
+            plain.apply_update(batch.added, batch.removed)
+        with use_covindex(False):
+            reference = CoverageOracle(view)
+        for i, pattern in enumerate(workload.patterns):
+            want = reference.cover(pattern)
+            for label, oracle in (
+                ("network_on", networked),
+                ("network_off", plain),
+            ):
+                got = oracle.cover(pattern)
+                if got != want:
+                    return Mismatch(
+                        "fragments",
+                        "cover_mismatch",
+                        {
+                            "view": step,
+                            "pattern": i,
+                            "network": label,
+                            "engine": sorted(got),
+                            "full_scan": sorted(want),
+                        },
+                    )
+        engine = networked._engine  # noqa: SLF001 - oracle inspects internals
+        off_engine = plain._engine  # noqa: SLF001
+        if engine is None or off_engine is None or engine.network is None:
+            continue
+        if engine.export_verdicts() != off_engine.export_verdicts():
+            return Mismatch(
+                "fragments",
+                "verdict_drift",
+                {"view": step},
+            )
+        network = engine.network
+        for fragment_key in network.fragment_keys():
+            state = network.fragment(fragment_key)
+            if not state.materialized or state.seen_count != len(view):
+                continue
+            expected_bits = 0
+            for graph_id, host in view.items():
+                if contains(host, state.graph):
+                    expected_bits |= 1 << graph_id
+            if state.match_bits != expected_bits:
+                return Mismatch(
+                    "fragments",
+                    "fragment_view_drift",
+                    {
+                        "view": step,
+                        "fragment_edges": state.graph.num_edges,
+                        "view_bits": state.match_bits,
+                        "direct_bits": expected_bits,
+                    },
+                )
+        try:
+            check_engine(engine)
+        except InvariantViolation as exc:
+            return Mismatch(
+                "fragments",
+                "invariant",
+                {"view": step, "name": exc.name, "detail": exc.detail},
+            )
     return None
 
 
@@ -834,6 +919,19 @@ ORACLES: dict[str, Oracle] = {
             "every view, with cross-substrate snapshot equality",
             covindex_oracle,
             {"num_graphs": 5, "num_batches": 2},
+        ),
+        Oracle(
+            "fragments",
+            "fragment network on vs off verdicts per view, drained "
+            "fragment views vs direct VF2 sweeps, and the "
+            "covindex.frag_* invariant guards",
+            fragments_oracle,
+            {
+                "num_graphs": 5,
+                "num_batches": 2,
+                "num_patterns": 4,
+                "max_pattern_edges": 6,
+            },
         ),
         Oracle(
             "cache",

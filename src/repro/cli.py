@@ -151,6 +151,7 @@ def _execution_from_args(
         workers=getattr(args, "workers", 1),
         cache=getattr(args, "cache", "off") == "on",
         covindex=getattr(args, "covindex", "off") == "on",
+        fragments=getattr(args, "fragments", "off") == "on",
         check=getattr(args, "check", "off") == "on",
         deadline_ms=deadline_ms,
         degrade=getattr(args, "degrade", "on") != "off",
@@ -648,6 +649,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="'on' enables the filter-then-verify coverage engine: "
             "posting-list candidate filtering + incremental cover "
             "maintenance; results are identical either way (see "
+            "docs/PERFORMANCE.md)",
+        )
+        sub.add_argument(
+            "--fragments",
+            choices=("on", "off"),
+            default="off",
+            help="'on' enables the shared sub-pattern match network "
+            "inside coverage engines (requires --covindex on to take "
+            "effect): patterns decompose into canonical fragment "
+            "chains whose verified views prune candidates before VF2; "
+            "results are identical either way (see "
             "docs/PERFORMANCE.md)",
         )
         sub.add_argument(

@@ -34,6 +34,16 @@ from .engine import (
     set_covindex,
     use_covindex,
 )
+from .fragments import (
+    DEFAULT_FRAGMENT_BUDGET,
+    MIN_FRAGMENT_EDGES,
+    FragmentNetwork,
+    current_fragment_budget,
+    decompose,
+    fragments_enabled,
+    set_fragments,
+    use_fragments,
+)
 from .index import (
     COUNT_CAP,
     DEGREE_CAP,
@@ -45,17 +55,23 @@ from .index import (
 
 __all__ = [
     "COUNT_CAP",
+    "DEFAULT_FRAGMENT_BUDGET",
     "DEGREE_CAP",
     "MAX_TRACKED_PATTERNS",
+    "MIN_FRAGMENT_EDGES",
     "SUBSTRATES",
     "CompiledQuery",
     "CoverageEngine",
     "CoverageIndex",
+    "FragmentNetwork",
     "available_substrates",
     "bits_of",
     "count",
     "covindex_enabled",
+    "current_fragment_budget",
     "current_substrate",
+    "decompose",
+    "fragments_enabled",
     "graph_posting_keys",
     "ids_of",
     "make_ops",
@@ -63,7 +79,9 @@ __all__ = [
     "popcount",
     "resolve_substrate",
     "set_covindex",
+    "set_fragments",
     "set_substrate",
     "use_covindex",
+    "use_fragments",
     "use_substrate",
 ]

@@ -236,6 +236,15 @@ class IntBitsetOps:
     def popcount(self, value: int) -> int:
         return popcount(value)
 
+    def nbytes(self, value: int) -> int:
+        """Resident data bytes of *value* (excludes object headers).
+
+        The measure the fragment network's view-budget accounting is
+        asserted against: a subset of the universe never reports more
+        bytes than the universe's own width.
+        """
+        return (value.bit_length() + 7) // 8
+
     def ids(self, value: int) -> list[int]:
         return list(ids_of(value))
 
@@ -339,6 +348,10 @@ class NumpyBitsetOps:
 
     def popcount(self, value) -> int:
         return popcount_words(value)
+
+    def nbytes(self, value) -> int:
+        """Resident data bytes of *value*'s word array."""
+        return int(value.nbytes)
 
     def ids(self, value) -> list[int]:
         return ids_of_words(value)

@@ -52,6 +52,7 @@ from ..check.invariants import check_enabled, check_engine
 from ..graph.labeled_graph import LabeledGraph, VertexId
 from ..obs import get_registry
 from .bitset import make_ops
+from .fragments import FragmentNetwork, fragments_enabled
 from .index import CompiledQuery, CoverageIndex
 
 #: Bound on concurrently tracked patterns.  MIDAS rounds evaluate many
@@ -68,9 +69,24 @@ class CoverageEngine:
         self,
         graphs: Mapping[int, LabeledGraph],
         substrate: str | None = None,
+        fragments: bool | None = None,
+        fragment_budget: int | None = None,
     ) -> None:
         self._graphs: dict[int, LabeledGraph] = dict(graphs)
         self.index = CoverageIndex.build(self._graphs, substrate=substrate)
+        # The shared sub-pattern match network (repro.covindex.fragments),
+        # attached when the ambient toggle (or the explicit argument)
+        # asks for it.  It shares this engine's graph-view dict and
+        # index, so apply_update keeps all three consistent in place.
+        if fragments is None:
+            fragments = fragments_enabled()
+        self._network = (
+            FragmentNetwork(
+                self.index, self._graphs, budget_bytes=fragment_budget
+            )
+            if fragments
+            else None
+        )
         # Verdict bookkeeping is int-typed on every substrate: the
         # index returns canonical ints from run_query, and the tiny
         # O(1) delta ops here are where big-ints win.
@@ -117,14 +133,28 @@ class CoverageEngine:
     def register(self, key: tuple, pattern: LabeledGraph) -> None:
         """Start tracking *pattern* under its canonical *key*.
 
-        Re-registering a tracked key keeps the stored pattern object —
-        verdicts are isomorphism-invariant, so the bits stay valid —
-        and refreshes its recency.  Callers must therefore verify with
-        :meth:`pattern`, whose vertex IDs :meth:`vertex_domains` is
-        keyed by, not with their own isomorphic copy.
+        Re-registering a tracked key refreshes its recency and keeps
+        the verdict bitsets — verdicts are isomorphism-invariant, so
+        the bits stay valid — but when the caller's copy permutes
+        vertex IDs relative to the stored pattern, the stored pattern
+        (and its compiled query) is replaced by the new copy.  That
+        keeps registration symmetric with evict-then-re-register:
+        :meth:`pattern` / :meth:`vertex_domains` always speak the
+        vertex IDs of the *latest* registration, whatever the eviction
+        history.  Callers must still verify with :meth:`pattern`, not
+        with their own isomorphic copy.
         """
         if key in self._patterns:
             self._touch(key)
+            stored = self._patterns[key]
+            if stored.labels() != pattern.labels() or set(
+                stored.edges()
+            ) != set(pattern.edges()):
+                self._patterns[key] = pattern
+                self._compiled[key] = self.index.compile(pattern)
+                get_registry().counter(
+                    "covindex.pattern_refreshes"
+                ).add(1)
             return
         while len(self._patterns) >= MAX_TRACKED_PATTERNS:
             oldest = next(iter(self._patterns))
@@ -135,6 +165,8 @@ class CoverageEngine:
         self._seen_bits[key] = self._ops.zero()
         self._seen_count[key] = 0
         self._cover_sets[key] = set()
+        if self._network is not None:
+            self._network.register(key, pattern)
         self._publish_gauges()
 
     def _touch(self, key: tuple) -> None:
@@ -154,6 +186,13 @@ class CoverageEngine:
         self._seen_count.pop(key, None)
         self._covers.pop(key, None)
         self._cover_sets.pop(key, None)
+        if self._network is not None:
+            self._network.discard(key)
+
+    @property
+    def network(self):
+        """The attached :class:`FragmentNetwork`, or ``None``."""
+        return self._network
 
     def tracked(self, key: tuple) -> bool:
         return key in self._patterns
@@ -176,6 +215,14 @@ class CoverageEngine:
             # mean equal sets) — no bitset op, no substrate involved,
             # and nothing added to the filter-phase clock.
             return []
+        mask = None
+        if self._network is not None:
+            # Fragment draining runs VF2 of its own, so it happens
+            # before the filter clock starts; the mask is a sound
+            # over-approximation of the cover (see pattern_mask), so
+            # graphs it excludes are marked seen-non-matching below
+            # exactly like posting-filter rejections.
+            mask = self._network.pattern_mask(key)
         started = time.perf_counter_ns()
         # The filter is monotone — candidates(unseen) is exactly
         # candidates(universe) ∩ unseen — so run the compiled query
@@ -184,6 +231,13 @@ class CoverageEngine:
         # plain ints, so the deltas are written as direct big-int
         # expressions rather than BitsetOps method calls.
         candidates = self.index.run_query(self._compiled[key])
+        if mask is not None:
+            masked = candidates & mask
+            get_registry().counter("covindex.frag.pruned").add(
+                (candidates & ~self._seen_bits[key]).bit_count()
+                - (masked & ~self._seen_bits[key]).bit_count()
+            )
+            candidates = masked
         pending_value = candidates & ~self._seen_bits[key]
         # Marking every non-pending graph seen collapses to one
         # subtraction: seen ∪ (unseen \ candidates) == universe \ pending.
@@ -335,6 +389,12 @@ class CoverageEngine:
         for graph_id, graph in added.items():
             self._graphs[graph_id] = graph
             self.index.add_graph(graph_id, graph)
+        if self._network is not None:
+            # The network shares this engine's graph dict and index, so
+            # by now it sees the post-batch view; it still needs the
+            # stale ids to drop their fragment verdicts, mirroring the
+            # pattern-verdict clearing above.
+            self._network.apply_update(stale)
         registry = get_registry()
         registry.counter("covindex.updates").add(1)
         registry.counter("covindex.dirty_graphs").add(
@@ -407,6 +467,7 @@ __all__ = [
     "MAX_TRACKED_PATTERNS",
     "CoverageEngine",
     "covindex_enabled",
+    "fragments_enabled",
     "set_covindex",
     "use_covindex",
 ]

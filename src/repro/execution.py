@@ -39,6 +39,14 @@ class ExecutionConfig:
         (:mod:`repro.covindex`): posting-list candidate filtering, VF2
         domain seeding and incremental cover maintenance.  Results are
         identical with the engine on or off.
+    fragments:
+        Enable the shared sub-pattern match network
+        (:mod:`repro.covindex.fragments`) inside coverage engines built
+        in the wrapped scope: registered patterns decompose into
+        canonical fragment chains whose verified match views prune
+        candidates before VF2.  Takes effect only where ``covindex``
+        builds an engine; results are identical with the network on or
+        off.
     check:
         Arm the runtime invariant guards (:mod:`repro.check`): bitset
         and posting-list consistency in the coverage engine, cache
@@ -68,6 +76,7 @@ class ExecutionConfig:
     workers: int = 1
     cache: bool = False
     covindex: bool = False
+    fragments: bool = False
     check: bool = False
     deadline_ms: float | None = None
     degrade: bool = True
@@ -92,6 +101,7 @@ class ExecutionConfig:
         from .check.invariants import use_check
         from .covindex.bitset import use_substrate
         from .covindex.engine import use_covindex
+        from .covindex.fragments import use_fragments
         from .parallel.pool import shared_pool, use_pool
         from .resilience.budget import Deadline, use_budget
         from .resilience.degrade import degradation_enabled, set_degradation
@@ -106,6 +116,8 @@ class ExecutionConfig:
                 stack.enter_context(use_caching(True))
             if self.covindex:
                 stack.enter_context(use_covindex(True))
+            if self.fragments:
+                stack.enter_context(use_fragments(True))
             if self.substrate is not None:
                 stack.enter_context(use_substrate(self.substrate))
             if self.check:

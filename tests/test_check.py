@@ -160,6 +160,7 @@ class TestOracleRegistry:
             "cache",
             "canonical",
             "covindex",
+            "fragments",
             "ged",
             "index",
             "parallel",
@@ -418,7 +419,7 @@ class TestCheckCli:
 
 
 # ----------------------------------------------------------------------
-# execution-knob identity: one round, all 2^4 combinations
+# execution-knob identity: one round, all 2^5 combinations
 # ----------------------------------------------------------------------
 def _knob_fingerprint(execution: ExecutionConfig):
     """One bootstrap + one mixed round under *execution*; every
@@ -444,7 +445,9 @@ def _knob_fingerprint(execution: ExecutionConfig):
 
 
 KNOB_COMBOS = list(
-    itertools.product((1, 2), (False, True), (False, True), (False, True))
+    itertools.product(
+        (1, 2), (False, True), (False, True), (False, True), (False, True)
+    )
 )
 
 _baseline_fingerprint: list = []
@@ -452,24 +455,31 @@ _baseline_fingerprint: list = []
 
 @pytest.mark.slow
 @pytest.mark.parametrize(
-    "workers,cache,covindex,check",
+    "workers,cache,covindex,fragments,check",
     KNOB_COMBOS,
     ids=[
-        f"workers{w}-cache{int(ca)}-covindex{int(co)}-check{int(ch)}"
-        for w, ca, co, ch in KNOB_COMBOS
+        f"workers{w}-cache{int(ca)}-covindex{int(co)}"
+        f"-fragments{int(fr)}-check{int(ch)}"
+        for w, ca, co, fr, ch in KNOB_COMBOS
     ],
 )
 def test_execution_knobs_do_not_change_results(
-    workers, cache, covindex, check
+    workers, cache, covindex, fragments, check
 ):
     """Every on/off combination of the execution accelerators (and the
     invariant guards) produces an identical maintenance round — the
-    knobs trade speed, never answers."""
+    knobs trade speed, never answers.  ``fragments`` without
+    ``covindex`` is deliberately included: the flag must be inert when
+    no engine exists to host the network."""
     if not _baseline_fingerprint:
         _baseline_fingerprint.append(_knob_fingerprint(ExecutionConfig()))
     fingerprint = _knob_fingerprint(
         ExecutionConfig(
-            workers=workers, cache=cache, covindex=covindex, check=check
+            workers=workers,
+            cache=cache,
+            covindex=covindex,
+            fragments=fragments,
+            check=check,
         )
     )
     assert fingerprint == _baseline_fingerprint[0]

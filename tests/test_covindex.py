@@ -426,6 +426,50 @@ class TestOracleEngine:
         )
         assert oracle.cover(pattern_b) == plain.cover(pattern_b)
 
+    def test_reregistration_refreshes_stored_pattern(self):
+        """Re-registering a tracked key with a permuted twin replaces
+        the stored pattern and recompiles its query: verdict bits
+        survive (they are isomorphism-invariant) but :meth:`pattern` /
+        :meth:`vertex_domains` must speak the vertex IDs of the latest
+        registration (regression: the old code kept the first copy
+        forever, so delta-path verification after a twin swap seeded
+        VF2 with the wrong vertex-ID→label assignment)."""
+        pattern_a = make_graph("CO", [(0, 1)])  # vertex 0 is C
+        pattern_b = make_graph("OC", [(0, 1)])  # vertex 0 is O
+        key = graph_key(pattern_a)
+        assert key == graph_key(pattern_b)
+        host = make_graph("COS", [(0, 1), (1, 2)])
+        engine = CoverageEngine({0: host})
+        engine.register(key, pattern_a)
+        for gid in engine.pending(key):
+            engine.commit(key, gid, contains(host, engine.pattern(key)))
+        assert engine.cover_ids(key) == frozenset({0})
+        engine.register(key, pattern_b)
+        stored = engine.pattern(key)
+        assert stored.labels() == pattern_b.labels()
+        # Verdicts survived the refresh — nothing to re-verify ...
+        assert engine.cover_ids(key) == frozenset({0})
+        assert engine.pending(key) == []
+        # ... and the compiled domains follow the new assignment:
+        # pattern vertex 0 is O now, matching only host vertex 1.
+        domains = engine.vertex_domains(key, 0)
+        assert domains[0] == {1}
+        assert domains[1] == {0}
+
+    def test_reregistration_same_object_is_cheap_no_refresh(self):
+        """Registering the identical copy again only touches recency —
+        no recompile, no refresh counter bump."""
+        from repro.obs import get_registry
+
+        pattern = make_graph("CO", [(0, 1)])
+        key = graph_key(pattern)
+        engine = CoverageEngine({0: make_graph("CO", [(0, 1)])})
+        engine.register(key, pattern)
+        before = get_registry().counter("covindex.pattern_refreshes").value
+        engine.register(key, make_graph("CO", [(0, 1)]))
+        after = get_registry().counter("covindex.pattern_refreshes").value
+        assert after == before
+
 
 # ----------------------------------------------------------------------
 # full-trajectory identity (mirrors the cache identity property test)

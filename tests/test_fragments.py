@@ -1,0 +1,422 @@
+"""The shared sub-pattern match network: the differential-test wall.
+
+The load-bearing properties:
+
+* **Decomposition canonicality** — a pattern's fragment chain is a
+  nested sequence of connected prefixes whose certificates are
+  invariant under vertex-ID permutation, so isomorphic patterns share
+  network nodes by construction.
+* **Decompose-then-reassemble** — intersecting the materialized
+  fragment views top-down yields exactly the AND of each fragment's
+  direct (brute-force) match set, and that mask never excludes a true
+  cover member: the engine's answers are identical with the network on
+  or off.
+* **Incremental ≡ rebuild** — after any add/remove batch sequence the
+  incrementally maintained views are bit-identical to views rebuilt
+  from scratch over the final database.
+* **Budget** — the greedy selector never lets actual view residency
+  (as reported by the substrate's ``nbytes``) exceed the configured
+  byte budget; a zero budget degrades to the plain engine, never to a
+  wrong answer.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.cache import graph_key
+from repro.check import load_artifact, permuted_copy
+from repro.check.fuzz import random_connected_pattern, random_labeled_graph
+from repro.check.invariants import check_fragment_network
+from repro.check.oracles import ORACLES, get_oracle
+from repro.check.workload import workload_from_dict
+from repro.covindex import (
+    CoverageEngine,
+    DEFAULT_FRAGMENT_BUDGET,
+    MIN_FRAGMENT_EDGES,
+    current_fragment_budget,
+    decompose,
+    fragments_enabled,
+    use_fragments,
+)
+from repro.execution import ExecutionConfig
+from repro.graph.canonical import canonical_certificate
+from repro.isomorphism import contains
+
+from .conftest import make_graph
+
+ARTIFACT = (
+    Path(__file__).parent / "artifacts" / "permuted_isomorphic_pattern.json"
+)
+
+
+def _drain(engine: CoverageEngine, key: tuple) -> None:
+    """Verify a tracked pattern's full pending delta (the oracle loop)."""
+    for graph_id in engine.pending(key):
+        engine.commit(
+            key,
+            graph_id,
+            contains(engine.graphs[graph_id], engine.pattern(key)),
+        )
+
+
+def _direct_match_bits(graphs: dict, pattern) -> int:
+    return sum(
+        1 << graph_id
+        for graph_id, graph in graphs.items()
+        if contains(graph, pattern)
+    )
+
+
+# ----------------------------------------------------------------------
+# decomposition
+# ----------------------------------------------------------------------
+class TestDecompose:
+    def test_small_patterns_have_no_fragments(self):
+        # At or below MIN_FRAGMENT_EDGES the posting filter already
+        # reproduces any view the network could build.
+        assert decompose(make_graph("CO", [(0, 1)])) == []
+        assert decompose(make_graph("CNO", [(0, 1), (1, 2)])) == []
+        assert (
+            decompose(make_graph("CNOC", [(0, 1), (1, 2), (2, 3)])) == []
+        )
+
+    def test_disconnected_patterns_have_no_fragments(self):
+        pattern = make_graph(
+            "CNOCNO", [(0, 1), (1, 2), (3, 4), (4, 5)]
+        )
+        assert decompose(pattern) == []
+
+    def test_chain_is_nested_connected_prefixes(self):
+        pattern = make_graph(
+            "CNCNCNC", [(i, i + 1) for i in range(6)]
+        )
+        fragments = decompose(pattern)
+        assert [f.num_edges for f in fragments] == [3, 4, 5]
+        for fragment in fragments:
+            assert fragment.is_connected()
+        for small, big in zip(fragments, fragments[1:]):
+            assert set(small.edges()) < set(big.edges())
+
+    def test_permuted_twins_decompose_identically(self):
+        rng = random.Random(11)
+        for seed in range(12):
+            pattern = random_connected_pattern(
+                rng, min_edges=MIN_FRAGMENT_EDGES + 1, max_edges=8
+            )
+            twin = permuted_copy(pattern, seed=seed)
+            certificates = [
+                canonical_certificate(f) for f in decompose(pattern)
+            ]
+            twin_certificates = [
+                canonical_certificate(f) for f in decompose(twin)
+            ]
+            assert certificates == twin_certificates
+
+    def test_shared_core_shares_fragments(self):
+        # Two decorations of the same 6-edge core must grow through the
+        # core itself (decoration labels sort after the core's), so all
+        # their proper fragments up to the core coincide.
+        core_edges = [(i, i + 1) for i in range(6)]
+        left = make_graph("CNCNCNCS", core_edges + [(0, 7)])
+        right = make_graph("CNCNCNCS", core_edges + [(1, 7)])
+        assert graph_key(left) != graph_key(right)
+        left_certs = [canonical_certificate(f) for f in decompose(left)]
+        right_certs = [canonical_certificate(f) for f in decompose(right)]
+        core_cert = canonical_certificate(
+            make_graph("CNCNCNC", core_edges)
+        )
+        # Both patterns have 7 edges, so the largest (6-edge) fragment
+        # IS the core and the full chains coincide fragment for
+        # fragment — one network node each, refcount 2.
+        assert left_certs == right_certs
+        assert left_certs[-1] == core_cert
+
+
+# ----------------------------------------------------------------------
+# decompose-then-reassemble (property a)
+# ----------------------------------------------------------------------
+class TestReassembly:
+    def test_mask_is_the_and_of_direct_fragment_matches(self):
+        rng = random.Random(7)
+        cases_with_mask = 0
+        for _ in range(10):
+            graphs = {
+                graph_id: random_labeled_graph(rng, max_vertices=8)
+                for graph_id in range(10)
+            }
+            pattern = random_connected_pattern(
+                rng, min_edges=MIN_FRAGMENT_EDGES + 1, max_edges=7
+            )
+            engine = CoverageEngine(graphs, fragments=True)
+            key = graph_key(pattern)
+            engine.register(key, pattern)
+            network = engine.network
+            mask = network.pattern_mask(key)
+            assert mask is not None  # default budget fits every chain
+            cases_with_mask += 1
+            expected = None
+            for fragment_key in network.chain(key):
+                state = network.fragment(fragment_key)
+                if not state.materialized:
+                    continue
+                bits = _direct_match_bits(graphs, state.graph)
+                expected = bits if expected is None else expected & bits
+            assert mask == expected
+            # Soundness: the mask never drops a true cover member.
+            cover_bits = _direct_match_bits(graphs, pattern)
+            assert cover_bits & ~mask == 0
+        assert cases_with_mask == 10
+
+    def test_engine_answers_identical_network_on_or_off(self):
+        rng = random.Random(19)
+        for _ in range(6):
+            graphs = {
+                graph_id: random_labeled_graph(rng, max_vertices=8)
+                for graph_id in range(8)
+            }
+            patterns = [
+                random_connected_pattern(rng, min_edges=2, max_edges=7)
+                for _ in range(4)
+            ]
+            with_network = CoverageEngine(graphs, fragments=True)
+            without = CoverageEngine(graphs)
+            for pattern in patterns:
+                key = graph_key(pattern)
+                with_network.register(key, pattern)
+                without.register(key, pattern)
+                # The masked pending delta is a subset of the unmasked.
+                masked = set(with_network.pending(key))
+                unmasked = set(without.pending(key))
+                assert masked <= unmasked
+                _drain(with_network, key)
+                _drain(without, key)
+                assert with_network.cover_ids(key) == without.cover_ids(
+                    key
+                )
+                assert with_network.cover_ids(key) == frozenset(
+                    graph_id
+                    for graph_id, graph in graphs.items()
+                    if contains(graph, pattern)
+                )
+
+
+# ----------------------------------------------------------------------
+# incremental ≡ rebuild (property b)
+# ----------------------------------------------------------------------
+class TestIncremental:
+    def test_views_after_batches_equal_rebuild(self):
+        rng = random.Random(21)
+        for _ in range(5):
+            graphs = {
+                graph_id: random_labeled_graph(rng, max_vertices=8)
+                for graph_id in range(8)
+            }
+            patterns = [
+                random_connected_pattern(
+                    rng, min_edges=MIN_FRAGMENT_EDGES + 1, max_edges=7
+                )
+                for _ in range(3)
+            ]
+            engine = CoverageEngine(graphs, fragments=True)
+            keys = []
+            for pattern in patterns:
+                key = graph_key(pattern)
+                keys.append(key)
+                engine.register(key, pattern)
+                _drain(engine, key)
+            next_id = 100
+            for _ in range(3):
+                added = {
+                    next_id + offset: random_labeled_graph(
+                        rng, max_vertices=8
+                    )
+                    for offset in range(rng.randint(0, 3))
+                }
+                next_id += 10
+                live = sorted(engine.graph_ids())
+                removed = rng.sample(
+                    live, k=min(len(live), rng.randint(0, 2))
+                )
+                engine.apply_update(added, removed)
+                for key in keys:
+                    _drain(engine, key)
+            for key in keys:
+                engine.network.pattern_mask(key)
+
+            fresh = CoverageEngine(dict(engine.graphs), fragments=True)
+            for key, pattern in zip(keys, patterns):
+                fresh.register(key, pattern)
+                fresh.network.pattern_mask(key)
+
+            assert set(engine.network.fragment_keys()) == set(
+                fresh.network.fragment_keys()
+            )
+            for fragment_key in engine.network.fragment_keys():
+                state = engine.network.fragment(fragment_key)
+                rebuilt = fresh.network.fragment(fragment_key)
+                assert state.materialized == rebuilt.materialized
+                if state.materialized:
+                    assert state.match_bits == rebuilt.match_bits
+                    assert state.seen_bits == rebuilt.seen_bits
+            # And the engine's covers track ground truth throughout.
+            for key, pattern in zip(keys, patterns):
+                expected = {
+                    graph_id
+                    for graph_id, graph in engine.graphs.items()
+                    if contains(graph, pattern)
+                }
+                assert set(engine.cover_ids(key)) == expected
+
+    def test_inplace_replacement_clears_fragment_verdicts(self):
+        host = make_graph("CNCNCNC", [(i, i + 1) for i in range(6)])
+        pattern = make_graph("CNCNC", [(i, i + 1) for i in range(4)])
+        engine = CoverageEngine({0: host}, fragments=True)
+        key = graph_key(pattern)
+        engine.register(key, pattern)
+        _drain(engine, key)
+        assert engine.cover_ids(key) == frozenset({0})
+        # Replace graph 0 in place with a host that lacks the pattern.
+        engine.apply_update({0: make_graph("SS", [(0, 1)])}, [])
+        _drain(engine, key)
+        assert engine.cover_ids(key) == frozenset()
+        for fragment_key in engine.network.chain(key):
+            state = engine.network.fragment(fragment_key)
+            if state.materialized:
+                assert state.match_bits == 0
+
+
+# ----------------------------------------------------------------------
+# budget (property c)
+# ----------------------------------------------------------------------
+class TestBudget:
+    @pytest.mark.parametrize("budget", [0, 1, 64, 256, 10_000])
+    def test_residency_never_exceeds_budget(self, budget):
+        rng = random.Random(3 + budget)
+        graphs = {
+            graph_id: random_labeled_graph(rng, max_vertices=8)
+            for graph_id in range(12)
+        }
+        engine = CoverageEngine(
+            graphs, fragments=True, fragment_budget=budget
+        )
+        for _ in range(5):
+            pattern = random_connected_pattern(
+                rng, min_edges=MIN_FRAGMENT_EDGES + 1, max_edges=8
+            )
+            key = graph_key(pattern)
+            engine.register(key, pattern)
+            engine.network.pattern_mask(key)
+            _drain(engine, key)
+            # Actual residency (substrate-reported bytes), not estimate.
+            assert engine.network.view_bytes() <= budget
+            check_fragment_network(engine.network)
+
+    def test_zero_budget_degrades_to_plain_engine(self):
+        rng = random.Random(5)
+        graphs = {
+            graph_id: random_labeled_graph(rng, max_vertices=8)
+            for graph_id in range(8)
+        }
+        engine = CoverageEngine(graphs, fragments=True, fragment_budget=0)
+        plain = CoverageEngine(graphs)
+        pattern = random_connected_pattern(
+            rng, min_edges=MIN_FRAGMENT_EDGES + 1, max_edges=7
+        )
+        key = graph_key(pattern)
+        engine.register(key, pattern)
+        plain.register(key, pattern)
+        assert engine.network.stats()["materialized"] == 0
+        assert engine.network.pattern_mask(key) is None
+        assert engine.pending(key) == plain.pending(key)
+        _drain(engine, key)
+        _drain(plain, key)
+        assert engine.cover_ids(key) == plain.cover_ids(key)
+
+    def test_eviction_on_budget_pressure_keeps_shared_fragments(self):
+        # Room for exactly two views: the fragment shared by both
+        # chains must win the selector over the chain-private ones.
+        graphs = {0: make_graph("CNCNCNCS", [(i, i + 1) for i in range(6)] + [(0, 7)])}
+        engine = CoverageEngine(graphs, fragments=True)
+        per_view = engine.network._estimated_view_bytes()
+        engine.network.budget_bytes = 2 * per_view
+        core_edges = [(i, i + 1) for i in range(6)]
+        left = make_graph("CNCNCNCS", core_edges + [(0, 7)])
+        right = make_graph("CNCNCNCS", core_edges + [(1, 7)])
+        engine.register(graph_key(left), left)
+        engine.register(graph_key(right), right)
+        network = engine.network
+        materialized = [
+            network.fragment(fragment_key)
+            for fragment_key in network.fragment_keys()
+            if network.fragment(fragment_key).materialized
+        ]
+        assert len(materialized) == 2
+        assert all(state.refcount == 2 for state in materialized)
+
+
+# ----------------------------------------------------------------------
+# toggles and wiring
+# ----------------------------------------------------------------------
+class TestToggle:
+    def test_use_fragments_scoping_restores_flag_and_budget(self):
+        assert not fragments_enabled()
+        before = current_fragment_budget()
+        with use_fragments(True, budget_bytes=123):
+            assert fragments_enabled()
+            assert current_fragment_budget() == 123
+            with use_fragments(False):
+                assert not fragments_enabled()
+            assert fragments_enabled()
+        assert not fragments_enabled()
+        assert current_fragment_budget() == before == DEFAULT_FRAGMENT_BUDGET
+
+    def test_engine_attaches_network_only_when_enabled(self):
+        graphs = {0: make_graph("CO", [(0, 1)])}
+        assert CoverageEngine(graphs).network is None
+        with use_fragments(True):
+            assert CoverageEngine(graphs).network is not None
+        assert CoverageEngine(graphs, fragments=True).network is not None
+        with use_fragments(True):
+            assert CoverageEngine(graphs, fragments=False).network is None
+
+    def test_execution_config_installs_toggle(self):
+        assert not fragments_enabled()
+        with ExecutionConfig(fragments=True).apply():
+            assert fragments_enabled()
+        assert not fragments_enabled()
+
+    def test_discard_drops_orphan_fragments(self):
+        pattern = make_graph("CNCNC", [(i, i + 1) for i in range(4)])
+        engine = CoverageEngine(
+            {0: make_graph("CNCNC", [(i, i + 1) for i in range(4)])},
+            fragments=True,
+        )
+        key = graph_key(pattern)
+        engine.register(key, pattern)
+        assert engine.network.fragment_keys()
+        engine.discard(key)
+        assert engine.network.fragment_keys() == []
+        assert not engine.network.tracked(key)
+
+
+# ----------------------------------------------------------------------
+# the differential wall
+# ----------------------------------------------------------------------
+class TestOracle:
+    def test_fragments_oracle_is_registered(self):
+        assert "fragments" in ORACLES
+        oracle = get_oracle("fragments")
+        assert oracle.name == "fragments"
+
+    def test_permuted_twin_artifact_passes_through_fragment_path(self):
+        """The PR-4 regression workload (permuted twin patterns + a
+        delta insertion) replayed against the *fragments* oracle: the
+        network-on engine must reproduce the fix, not resurrect the
+        stale-pattern bug through its own verification path."""
+        artifact = load_artifact(ARTIFACT)
+        workload = workload_from_dict(artifact["workload"])
+        assert get_oracle("fragments")(workload) is None
